@@ -1,0 +1,67 @@
+// ftgcs-experiments regenerates the paper-reproduction tables (see
+// DESIGN.md §4 for the experiment index and EXPERIMENTS.md for recorded
+// results).
+//
+//	ftgcs-experiments             # run all 14 experiments, full sweeps
+//	ftgcs-experiments -quick      # reduced sweeps (CI-sized)
+//	ftgcs-experiments -only E5,E7 # a subset
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ftgcs/internal/harness"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ftgcs-experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("ftgcs-experiments", flag.ContinueOnError)
+	quick := fs.Bool("quick", false, "reduced sweeps and horizons")
+	seed := fs.Int64("seed", 1, "master random seed")
+	only := fs.String("only", "", "comma-separated experiment IDs (e.g. E1,E5,A1); empty = all E*")
+	ablations := fs.Bool("ablations", false, "run the ablation studies (A1–A3) instead of the claim experiments")
+	verbose := fs.Bool("v", false, "print per-run progress")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	rc := harness.RunConfig{Quick: *quick, Seed: *seed}
+	if *verbose {
+		rc.Progress = os.Stderr
+	}
+
+	if *ablations && *only == "" {
+		for _, e := range harness.Ablations() {
+			tbl, err := e.Run(rc)
+			if err != nil {
+				return fmt.Errorf("%s: %w", e.ID, err)
+			}
+			tbl.Render(os.Stdout)
+		}
+		return nil
+	}
+	if *only == "" {
+		return harness.RunAll(rc, os.Stdout)
+	}
+	for _, id := range strings.Split(*only, ",") {
+		exp, err := harness.ByID(strings.TrimSpace(id))
+		if err != nil {
+			return err
+		}
+		tbl, err := exp.Run(rc)
+		if err != nil {
+			return fmt.Errorf("%s: %w", exp.ID, err)
+		}
+		tbl.Render(os.Stdout)
+	}
+	return nil
+}

@@ -1,0 +1,143 @@
+// ftgcs-sim runs one FTGCS scenario and reports the measured skews against
+// the paper's bounds.
+//
+//	ftgcs-sim -topology line -size 5 -k 4 -f 1 -duration 60
+//	ftgcs-sim -topology grid -size 4 -attack adaptive -attack-count 4
+//	ftgcs-sim -topology ring -size 8 -k 1 -f 0 -attack cadence -attack-count 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ftgcs"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ftgcs-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("ftgcs-sim", flag.ContinueOnError)
+	topo := fs.String("topology", "line", "line|ring|grid|torus|tree|clique|star|hypercube|random")
+	size := fs.Int("size", 4, "topology size parameter (clusters, or side length for grid/torus, depth for tree/hypercube)")
+	k := fs.Int("k", 4, "cluster size (≥ 3f+1)")
+	f := fs.Int("f", 1, "per-cluster fault budget")
+	rho := fs.Float64("rho", 3e-3, "hardware drift bound ρ")
+	delay := fs.Float64("d", 1e-3, "max message delay d (s)")
+	uncertainty := fs.Float64("u", 1e-4, "delay uncertainty U (s)")
+	c2 := fs.Float64("c2", 4, "µ = c₂·ρ")
+	eps := fs.Float64("eps", 0.25, "contraction margin ε")
+	duration := fs.Float64("duration", 30, "simulated seconds")
+	seed := fs.Int64("seed", 1, "random seed")
+	drift := fs.String("drift", "spread", "spread|gradient|halves|alternating|randomwalk|sine|none")
+	attack := fs.String("attack", "", "Byzantine strategy (silent|spam|two-faced|adaptive|cadence|oscillate|lie-early|lie-late|max-spam)")
+	attackCount := fs.Int("attack-count", 0, "number of clusters that get one Byzantine member (0 = all when -attack is set)")
+	csvPath := fs.String("csv", "", "write the skew time series to this CSV file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var base *ftgcs.Topology
+	switch *topo {
+	case "line":
+		base = ftgcs.Line(*size)
+	case "ring":
+		base = ftgcs.Ring(*size)
+	case "grid":
+		base = ftgcs.Grid(*size, *size)
+	case "torus":
+		base = ftgcs.Torus(*size, *size)
+	case "tree":
+		base = ftgcs.Tree(2, *size)
+	case "clique":
+		base = ftgcs.Clique(*size)
+	case "star":
+		base = ftgcs.Star(*size)
+	case "hypercube":
+		base = ftgcs.Hypercube(*size)
+	case "random":
+		base = ftgcs.Random(*size, *size/2, *seed)
+	default:
+		return fmt.Errorf("unknown topology %q", *topo)
+	}
+
+	driftKinds := map[string]ftgcs.DriftSpec{
+		"spread":      {Kind: ftgcs.DriftSpread},
+		"gradient":    {Kind: ftgcs.DriftGradient},
+		"halves":      {Kind: ftgcs.DriftHalves},
+		"alternating": {Kind: ftgcs.DriftAlternatingHalves},
+		"randomwalk":  {Kind: ftgcs.DriftRandomWalk},
+		"sine":        {Kind: ftgcs.DriftSine},
+		"none":        {Kind: ftgcs.DriftNone},
+	}
+	driftSpec, ok := driftKinds[*drift]
+	if !ok {
+		return fmt.Errorf("unknown drift %q", *drift)
+	}
+
+	var faults []ftgcs.FaultSpec
+	if *attack != "" {
+		strat, err := ftgcs.StrategyByName(*attack)
+		if err != nil {
+			return err
+		}
+		count := *attackCount
+		if count <= 0 || count > base.N() {
+			count = base.N()
+		}
+		for c := 0; c < count; c++ {
+			faults = append(faults, ftgcs.FaultSpec{
+				Node:     c**k + *k - 1,
+				Strategy: strat,
+			})
+		}
+	}
+
+	sys, err := ftgcs.New(ftgcs.Config{
+		Topology:    base,
+		ClusterSize: *k,
+		FaultBudget: *f,
+		Rho:         *rho,
+		Delay:       *delay,
+		Uncertainty: *uncertainty,
+		C2:          *c2,
+		Eps:         *eps,
+		Seed:        *seed,
+		Drift:       driftSpec,
+		Faults:      faults,
+	})
+	if err != nil {
+		return err
+	}
+
+	p := sys.Params()
+	fmt.Printf("topology %s: %d clusters × k=%d (%d nodes), diameter %d, %d Byzantine\n",
+		base.Name(), sys.Clusters(), *k, sys.Nodes(), sys.Diameter(), len(faults))
+	fmt.Printf("parameters: T=%.3gs τ=(%.3g, %.3g, %.3g) E=%.3gs κ=%.3gs µ=%.3g ϕ=%.3g\n\n",
+		p.T, p.Tau1, p.Tau2, p.Tau3, p.EG, p.Kappa, p.Mu, p.Phi)
+
+	if err := sys.Run(*duration); err != nil {
+		return err
+	}
+	fmt.Println(sys.Report())
+
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := sys.WriteCSV(f,
+			ftgcs.SeriesIntraSkew, ftgcs.SeriesLocalCluster,
+			ftgcs.SeriesLocalNode, ftgcs.SeriesGlobal); err != nil {
+			return err
+		}
+		fmt.Printf("skew series written to %s\n", *csvPath)
+	}
+	return nil
+}

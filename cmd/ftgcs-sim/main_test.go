@@ -1,0 +1,42 @@
+package main
+
+import "testing"
+
+func TestRunScenarios(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI scenarios run full simulations")
+	}
+	tests := [][]string{
+		{"-topology", "line", "-size", "3", "-duration", "2"},
+		{"-topology", "ring", "-size", "4", "-duration", "2", "-attack", "silent", "-attack-count", "2"},
+		{"-topology", "clique", "-size", "3", "-duration", "2", "-drift", "randomwalk"},
+		{"-topology", "star", "-size", "4", "-duration", "2", "-drift", "none"},
+		{"-topology", "tree", "-size", "2", "-duration", "2", "-drift", "sine"},
+		{"-topology", "hypercube", "-size", "2", "-duration", "2"},
+		{"-topology", "random", "-size", "5", "-duration", "2"},
+		{"-topology", "grid", "-size", "2", "-duration", "2", "-attack", "adaptive"},
+		{"-topology", "torus", "-size", "3", "-duration", "2", "-k", "1", "-f", "0"},
+	}
+	for _, args := range tests {
+		if err := run(args); err != nil {
+			t.Errorf("run(%v): %v", args, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	tests := [][]string{
+		{"-topology", "nonsense"},
+		{"-drift", "nonsense"},
+		{"-attack", "nonsense"},
+		{"-k", "2", "-f", "1"}, // k < 3f+1
+		{"-rho", "0"},          // invalid physical params
+		{"-u", "1"},            // U > d
+		{"-badflag"},           // flag parse error
+	}
+	for _, args := range tests {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v): expected error", args)
+		}
+	}
+}

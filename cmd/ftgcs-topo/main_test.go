@@ -1,0 +1,35 @@
+package main
+
+import "testing"
+
+func TestRunTopologies(t *testing.T) {
+	tests := [][]string{
+		{"-topology", "line", "-size", "4"},
+		{"-topology", "ring", "-size", "4", "-f", "1"},
+		{"-topology", "grid", "-size", "3", "-f", "1,2"},
+		{"-topology", "torus", "-size", "3"},
+		{"-topology", "tree", "-size", "2"},
+		{"-topology", "clique", "-size", "4"},
+		{"-topology", "star", "-size", "5"},
+		{"-topology", "hypercube", "-size", "3"},
+	}
+	for _, args := range tests {
+		if err := run(args); err != nil {
+			t.Errorf("run(%v): %v", args, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	tests := [][]string{
+		{"-topology", "nonsense"},
+		{"-f", "x"},
+		{"-f", "-1"},
+		{"-badflag"},
+	}
+	for _, args := range tests {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v): expected error", args)
+		}
+	}
+}

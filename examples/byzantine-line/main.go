@@ -1,0 +1,74 @@
+// byzantine-line reproduces the paper's motivating observation on a ring:
+// the plain (non-fault-tolerant) gradient clock synchronization algorithm
+// collapses under a single Byzantine node, while the clustered FTGCS
+// construction — same attack, same topology — keeps every correct pair
+// within its proven bound.
+//
+//	go run ./examples/byzantine-line
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ftgcs"
+)
+
+func run(name string, k, f int, faults []ftgcs.FaultSpec) ftgcs.Report {
+	sys, err := ftgcs.New(ftgcs.Config{
+		Topology:    ftgcs.Ring(8),
+		ClusterSize: k,
+		FaultBudget: f,
+		Rho:         3e-3,
+		Delay:       1e-3,
+		Uncertainty: 1e-4,
+		C2:          4,
+		Eps:         0.25,
+		Seed:        7,
+		Drift:       ftgcs.DriftSpec{Kind: ftgcs.DriftSpread},
+		Faults:      faults,
+	})
+	if err != nil {
+		log.Fatalf("%s: %v", name, err)
+	}
+	if err := sys.Run(25); err != nil {
+		log.Fatalf("%s: %v", name, err)
+	}
+	r := sys.Report()
+	fmt.Printf("%-42s local skew %.3gs  (bound %.3gs)\n", name, r.MaxLocalSkew, r.LocalSkewBound)
+	return r
+}
+
+func main() {
+	fmt.Println("ring of 8 clusters; attack: cadence equivocation (the paper's")
+	fmt.Println("'sub-nominal clock speed' Byzantine example)")
+	fmt.Println()
+
+	clean := run("plain GCS (k=1), fault-free", 1, 0, nil)
+
+	attacked := run("plain GCS (k=1), ONE Byzantine node", 1, 0,
+		[]ftgcs.FaultSpec{{Node: 0, Strategy: ftgcs.CadenceTwoFaced()}})
+
+	// FTGCS: one Byzantine per cluster — 8 attackers, not 1.
+	var faults []ftgcs.FaultSpec
+	for c := 0; c < 8; c++ {
+		faults = append(faults, ftgcs.FaultSpec{Node: c*4 + 3, Strategy: ftgcs.CadenceTwoFaced()})
+	}
+	protected := run("FTGCS (k=4, f=1), one Byzantine PER cluster", 4, 1, faults)
+
+	fmt.Println()
+	fmt.Printf("degradation of plain GCS under one fault: %.0f×\n",
+		attacked.MaxLocalSkew/max(clean.MaxLocalSkew, 1e-12))
+	fmt.Printf("FTGCS under 8 simultaneous attackers stays %.1f× below plain GCS under one\n",
+		attacked.MaxLocalSkew/protected.MaxLocalSkew)
+	if protected.AllWithinBounds() {
+		fmt.Println("FTGCS: all paper bounds hold ✓")
+	}
+}
+
+func max(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,67 @@
+// noc-grid models the Network-on-Chip scenario from the paper's
+// introduction: a 4×4 mesh of tiles, each tile's clock domain implemented
+// as a cluster of 4 redundant clock nodes, with manufacturing-spread
+// oscillators (sinusoidal thermal drift) and occasional dead or flaky
+// nodes. Neighboring tiles need tightly bounded skew for source-synchronous
+// hand-off; distant tiles may drift apart.
+//
+//	go run ./examples/noc-grid
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ftgcs"
+)
+
+func main() {
+	var faults []ftgcs.FaultSpec
+	// Tile (1,1) has a dead clock node, tile (2,3) a flaky (spamming) one,
+	// tile (3,0) one whose oscillator is out of spec by 4×.
+	faults = append(faults,
+		ftgcs.FaultSpec{Node: tile(1, 1)*4 + 2, Strategy: ftgcs.Silent()},
+		ftgcs.FaultSpec{Node: tile(2, 3)*4 + 1, Strategy: ftgcs.Spam()},
+		ftgcs.FaultSpec{Node: tile(3, 0)*4 + 0, OffSpecRate: 1 + 4*3e-3},
+	)
+
+	sys, err := ftgcs.New(ftgcs.Config{
+		Topology:    ftgcs.Grid(4, 4),
+		ClusterSize: 4,
+		FaultBudget: 1,
+		Rho:         3e-3, // cheap on-chip ring oscillators
+		Delay:       1e-3,
+		Uncertainty: 1e-4,
+		C2:          4,
+		Eps:         0.25,
+		Seed:        2026,
+		Drift:       ftgcs.DriftSpec{Kind: ftgcs.DriftSine}, // thermal wander
+		Faults:      faults,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	p := sys.Params()
+	fmt.Printf("4×4 NoC mesh: %d tiles × %d clock nodes, diameter %d\n",
+		sys.Clusters(), 4, sys.Diameter())
+	fmt.Printf("faults: 1 dead node, 1 flaky node, 1 out-of-spec oscillator\n")
+	fmt.Printf("round T = %.3gs, trigger unit κ = %.3gs\n\n", p.T, p.Kappa)
+
+	if err := sys.Run(40); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(sys.Report())
+
+	// Skew matrix between horizontally adjacent tiles.
+	fmt.Println("tile clock offsets relative to tile (0,0), milliseconds:")
+	base := sys.ClusterClock(0)
+	for y := 0; y < 4; y++ {
+		for x := 0; x < 4; x++ {
+			fmt.Printf("%+8.3f ", (sys.ClusterClock(tile(x, y))-base)*1e3)
+		}
+		fmt.Println()
+	}
+}
+
+// tile maps mesh coordinates to the cluster ID (row-major).
+func tile(x, y int) int { return y*4 + x }

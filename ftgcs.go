@@ -1,0 +1,295 @@
+// Package ftgcs is a from-scratch implementation of Fault-Tolerant
+// Gradient Clock Synchronization (Bund, Lenzen, Rosenbaum — PODC 2019,
+// arXiv:1902.08042).
+//
+// The algorithm synchronizes logical clocks across an arbitrary network
+// graph 𝒢 so that the worst-case skew between *neighbors* is
+// O((ρd+U)·log D) — exponentially better than the Θ(D) global skew — while
+// tolerating up to f Byzantine nodes per cluster. It combines:
+//
+//   - ClusterSync (Algorithm 1): a Lynch–Welch variant with amortized
+//     corrections, run inside fully connected clusters of k ≥ 3f+1 nodes
+//     that replace each node of 𝒢;
+//   - InterclusterSync (Algorithm 2): the Lenzen–Locher–Wattenhofer
+//     gradient clock synchronization algorithm simulated on cluster
+//     clocks, with fast/slow triggers evaluated on Byzantine-robust
+//     estimates of neighboring clusters;
+//   - the Appendix C global-skew machinery (max-estimates M_v with
+//     fault-tolerant level flooding and a catch-up rule).
+//
+// The package runs complete systems on a deterministic discrete-event
+// simulator: hardware clocks with adversarial drift, message delays in
+// [d−U, d], Byzantine attack strategies, and instrumentation for every
+// bound the paper proves. See DESIGN.md for the architecture and
+// EXPERIMENTS.md for the reproduction results.
+//
+// # Quick start
+//
+//	cfg := ftgcs.Config{
+//		Topology:    ftgcs.Line(3),  // three clusters in a line
+//		ClusterSize: 4,              // k = 3f+1
+//		FaultBudget: 1,              // tolerate 1 Byzantine per cluster
+//		Rho:         1e-3,           // hardware drift bound
+//		Delay:       1e-3,           // max message delay (s)
+//		Uncertainty: 1e-4,           // delay uncertainty (s)
+//		Seed:        1,
+//	}
+//	sys, err := ftgcs.New(cfg)
+//	if err != nil { ... }
+//	if err := sys.Run(60); err != nil { ... }  // 60 simulated seconds
+//	report := sys.Report()
+//	fmt.Println(report)
+package ftgcs
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"ftgcs/internal/core"
+	"ftgcs/internal/graph"
+	"ftgcs/internal/metrics"
+	"ftgcs/internal/params"
+)
+
+// Re-exported configuration types. These aliases let callers configure
+// drift schedules, delay adversaries and fault injections without
+// importing internal packages.
+type (
+	// Topology is a base cluster graph 𝒢 (see the constructors Line,
+	// Ring, Grid, Torus, Tree, Clique, Star, Hypercube, Random).
+	Topology = graph.Graph
+	// DriftSpec selects how hardware clock rates are assigned.
+	DriftSpec = core.DriftSpec
+	// DelaySpec selects the message delay model.
+	DelaySpec = core.DelaySpec
+	// FaultSpec marks a node Byzantine (strategy, crash, or off-spec
+	// clock).
+	FaultSpec = core.FaultSpec
+	// Params holds every derived algorithm constant (τ-phases, E, κ, δ…).
+	Params = params.Params
+	// Preset selects the analysis constants (PresetPaperStrict uses the
+	// paper's Eq. 5 values; PresetPractical is feasible at realistic
+	// drift).
+	Preset = params.Preset
+)
+
+// Drift kinds (see core.DriftKind).
+const (
+	DriftSpread            = core.DriftSpread
+	DriftGradient          = core.DriftGradient
+	DriftHalves            = core.DriftHalves
+	DriftAlternatingHalves = core.DriftAlternatingHalves
+	DriftRandomWalk        = core.DriftRandomWalk
+	DriftSine              = core.DriftSine
+	DriftNone              = core.DriftNone
+	DelayUniform           = core.DelayUniform
+	DelayExtremal          = core.DelayExtremal
+	DelayFixedMid          = core.DelayFixedMid
+	DelayPhasedReveal      = core.DelayPhasedReveal
+	PresetPaperStrict      = params.PaperStrict
+	PresetPractical        = params.Practical
+)
+
+// Config describes a complete FTGCS deployment.
+type Config struct {
+	// Topology is the base graph 𝒢 whose nodes become clusters.
+	Topology *Topology
+	// ClusterSize is k; must be ≥ 3·FaultBudget+1.
+	ClusterSize int
+	// FaultBudget is f, the tolerated Byzantine nodes per cluster.
+	FaultBudget int
+
+	// Rho bounds hardware clock drift: rates lie in [1, 1+Rho].
+	Rho float64
+	// Delay is the maximum message delay d (seconds).
+	Delay float64
+	// Uncertainty is the delay uncertainty U: delays lie in [d−U, d].
+	Uncertainty float64
+	// Preset selects analysis constants; zero value = PresetPractical.
+	Preset Preset
+	// C2 and Eps override the preset's constants when non-zero
+	// (µ = C2·ρ, contraction margin ε).
+	C2, Eps float64
+
+	Seed  int64
+	Drift DriftSpec
+	// DelayModel selects the delay adversary; zero value = uniform.
+	DelayModel DelaySpec
+	// Faults lists Byzantine nodes (at most FaultBudget per cluster for
+	// the guarantees to hold; exceed it to explore the boundary).
+	Faults []FaultSpec
+	// DisableGlobalSkew turns off the Appendix C machinery (enabled by
+	// default).
+	DisableGlobalSkew bool
+	// SampleInterval is the metrics sampling period; 0 = T/2.
+	SampleInterval float64
+}
+
+// System is a runnable FTGCS simulation.
+type System struct {
+	sys *core.System
+	p   params.Params
+	cfg Config
+}
+
+// New derives the algorithm parameters and wires the complete system
+// (clusters, observers, GCS controllers, global-skew estimators, fault
+// injections) without running it.
+func New(cfg Config) (*System, error) {
+	if cfg.Topology == nil {
+		return nil, fmt.Errorf("ftgcs: nil topology")
+	}
+	pcfg := params.PresetConfig(cfg.Preset, cfg.Rho, cfg.Delay, cfg.Uncertainty)
+	if cfg.Preset == 0 {
+		pcfg = params.PresetConfig(params.Practical, cfg.Rho, cfg.Delay, cfg.Uncertainty)
+	}
+	if cfg.C2 != 0 {
+		pcfg.C2 = cfg.C2
+	}
+	if cfg.Eps != 0 {
+		pcfg.Eps = cfg.Eps
+	}
+	p, err := params.Derive(pcfg)
+	if err != nil {
+		return nil, fmt.Errorf("ftgcs: %w", err)
+	}
+	sys, err := core.NewSystem(core.Config{
+		Base:             cfg.Topology,
+		K:                cfg.ClusterSize,
+		F:                cfg.FaultBudget,
+		Params:           p,
+		Seed:             cfg.Seed,
+		Drift:            cfg.Drift,
+		Delay:            cfg.DelayModel,
+		Faults:           cfg.Faults,
+		EnableGlobalSkew: !cfg.DisableGlobalSkew,
+		SampleInterval:   cfg.SampleInterval,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("ftgcs: %w", err)
+	}
+	return &System{sys: sys, p: p, cfg: cfg}, nil
+}
+
+// Params returns the derived algorithm constants.
+func (s *System) Params() Params { return s.p }
+
+// Run advances simulated time to the given horizon (seconds). It may be
+// called repeatedly with increasing horizons.
+func (s *System) Run(until float64) error { return s.sys.Run(until) }
+
+// Now returns the current simulated time.
+func (s *System) Now() float64 { return s.sys.Engine().Now() }
+
+// Logical returns node v's logical clock L_v at the current time.
+func (s *System) Logical(v int) float64 { return s.sys.Logical(v) }
+
+// ClusterClock returns cluster c's clock L_C = (L⁺+L⁻)/2 over its correct
+// members (Definition 3.3).
+func (s *System) ClusterClock(c int) float64 { return s.sys.ClusterClock(c) }
+
+// Estimate returns node v's estimate L̃_vB of neighboring cluster b's
+// clock (NaN if b is not adjacent to v's cluster).
+func (s *System) Estimate(v, b int) float64 { return s.sys.Estimate(v, b) }
+
+// Nodes returns the number of physical nodes (|𝒞|·k).
+func (s *System) Nodes() int { return s.sys.Aug().Net.N() }
+
+// Clusters returns the number of clusters |𝒞|.
+func (s *System) Clusters() int { return s.sys.Aug().Clusters() }
+
+// Diameter returns the hop diameter of the base graph.
+func (s *System) Diameter() int { return s.sys.Aug().Base.Diameter() }
+
+// Series exposes a recorded metric time series (see the core package's
+// Series* constants re-exported below), or nil.
+func (s *System) Series(name string) *metrics.Series { return s.sys.Recorder().Series(name) }
+
+// WriteCSV exports the recorded metric series (all by default) as CSV for
+// plotting; one row per sample time, one column per series.
+func (s *System) WriteCSV(w io.Writer, names ...string) error {
+	return s.sys.Recorder().WriteCSV(w, names...)
+}
+
+// Metric series names.
+const (
+	SeriesIntraSkew    = core.SeriesIntraSkew
+	SeriesLocalCluster = core.SeriesLocalCluster
+	SeriesLocalNode    = core.SeriesLocalNode
+	SeriesGlobal       = core.SeriesGlobal
+	SeriesFastFraction = core.SeriesFastFraction
+)
+
+// Report summarizes a run against the paper's bounds.
+type Report struct {
+	// Horizon is the simulated time covered.
+	Horizon float64
+	// Warmup is the prefix excluded from the maxima.
+	Warmup float64
+
+	// MaxIntraClusterSkew vs Corollary 3.2's 2ϑ_g·E.
+	MaxIntraClusterSkew, IntraClusterBound float64
+	// MaxLocalSkew (between physical neighbors) vs Theorem 1.1's
+	// O((ρd+U)·log D) with explicit constants.
+	MaxLocalSkew, LocalSkewBound float64
+	// MaxGlobalSkew vs Theorem C.3's O(δD).
+	MaxGlobalSkew, GlobalSkewBound float64
+
+	// Events is the number of simulation events processed.
+	Events uint64
+}
+
+// AllWithinBounds reports whether every measured maximum respects its
+// bound.
+func (r Report) AllWithinBounds() bool {
+	return r.MaxIntraClusterSkew <= r.IntraClusterBound &&
+		r.MaxLocalSkew <= r.LocalSkewBound &&
+		r.MaxGlobalSkew <= r.GlobalSkewBound
+}
+
+// String renders the report for terminals.
+func (r Report) String() string {
+	line := func(name string, got, bound float64) string {
+		status := "ok"
+		if got > bound {
+			status = "VIOLATED"
+		}
+		return fmt.Sprintf("  %-22s %.3g  (bound %.3g, %s)\n", name, got, bound, status)
+	}
+	out := fmt.Sprintf("ftgcs report after %.3gs (warmup %.3gs, %d events)\n", r.Horizon, r.Warmup, r.Events)
+	out += line("intra-cluster skew", r.MaxIntraClusterSkew, r.IntraClusterBound)
+	out += line("local (neighbor) skew", r.MaxLocalSkew, r.LocalSkewBound)
+	out += line("global skew", r.MaxGlobalSkew, r.GlobalSkewBound)
+	return out
+}
+
+// Report computes the run summary, excluding the first 10% as warmup.
+func (s *System) Report() Report {
+	warmup := s.Now() / 10
+	sum := s.sys.Summarize(warmup)
+	d := s.Diameter()
+	clean := func(v float64) float64 {
+		if math.IsInf(v, -1) {
+			return 0
+		}
+		return v
+	}
+	return Report{
+		Horizon:             sum.Horizon,
+		Warmup:              warmup,
+		MaxIntraClusterSkew: clean(sum.MaxIntraSkew),
+		IntraClusterBound:   s.p.ClusterSkewBound(),
+		MaxLocalSkew:        clean(sum.MaxLocalNode),
+		LocalSkewBound:      s.p.NodeLocalSkewBound(d),
+		MaxGlobalSkew:       clean(sum.MaxGlobal),
+		GlobalSkewBound:     s.p.GlobalSkewBound(d),
+		Events:              sum.Events,
+	}
+}
+
+// DeriveParams computes the algorithm constants for the given physical
+// parameters and preset without building a system.
+func DeriveParams(preset Preset, rho, delay, uncertainty float64) (Params, error) {
+	return params.Derive(params.PresetConfig(preset, rho, delay, uncertainty))
+}

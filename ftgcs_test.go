@@ -1,0 +1,199 @@
+package ftgcs
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func quickConfig() Config {
+	return Config{
+		Topology:    Line(3),
+		ClusterSize: 4,
+		FaultBudget: 1,
+		Rho:         1e-3,
+		Delay:       1e-3,
+		Uncertainty: 1e-4,
+		Seed:        1,
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	cfg := quickConfig()
+	cfg.Topology = nil
+	if _, err := New(cfg); err == nil {
+		t.Error("nil topology accepted")
+	}
+	cfg = quickConfig()
+	cfg.ClusterSize = 2
+	if _, err := New(cfg); err == nil {
+		t.Error("k < 3f+1 accepted")
+	}
+	cfg = quickConfig()
+	cfg.Rho = 0
+	if _, err := New(cfg); err == nil {
+		t.Error("zero drift accepted")
+	}
+	cfg = quickConfig()
+	cfg.Preset = PresetPaperStrict // infeasible at ρ=1e-3
+	if _, err := New(cfg); err == nil {
+		t.Error("infeasible preset accepted")
+	}
+}
+
+func TestEndToEndReport(t *testing.T) {
+	sys, err := New(quickConfig())
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	p := sys.Params()
+	if err := sys.Run(50 * p.T); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	r := sys.Report()
+	if !r.AllWithinBounds() {
+		t.Errorf("bounds violated:\n%s", r)
+	}
+	if r.Events == 0 || r.Horizon <= 0 {
+		t.Errorf("empty report: %+v", r)
+	}
+	if !strings.Contains(r.String(), "ok") {
+		t.Errorf("report rendering: %s", r)
+	}
+	if sys.Nodes() != 12 || sys.Clusters() != 3 || sys.Diameter() != 2 {
+		t.Errorf("topology accessors: %d %d %d", sys.Nodes(), sys.Clusters(), sys.Diameter())
+	}
+}
+
+func TestByzantineEndToEnd(t *testing.T) {
+	cfg := quickConfig()
+	cfg.Faults = []FaultSpec{
+		{Node: 3, Strategy: AdaptiveTwoFaced()},
+		{Node: 7, Strategy: Silent()},
+		{Node: 11, Strategy: Spam()},
+	}
+	cfg.Drift = DriftSpec{Kind: DriftSpread}
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Run(50 * sys.Params().T); err != nil {
+		t.Fatal(err)
+	}
+	if r := sys.Report(); !r.AllWithinBounds() {
+		t.Errorf("bounds violated under attack:\n%s", r)
+	}
+}
+
+func TestClockAccessors(t *testing.T) {
+	sys, err := New(quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Run(10 * sys.Params().T); err != nil {
+		t.Fatal(err)
+	}
+	now := sys.Now()
+	if now <= 0 {
+		t.Fatalf("Now = %v", now)
+	}
+	l := sys.Logical(0)
+	if l <= 0 || math.Abs(l-now) > 0.1*now {
+		t.Errorf("Logical(0) = %v at t=%v", l, now)
+	}
+	cc := sys.ClusterClock(1)
+	if math.IsNaN(cc) || cc <= 0 {
+		t.Errorf("ClusterClock = %v", cc)
+	}
+	est := sys.Estimate(0, 1) // node 0 (cluster 0) observes cluster 1
+	if math.IsNaN(est) {
+		t.Error("Estimate(0,1) should exist")
+	}
+	if !math.IsNaN(sys.Estimate(0, 2)) {
+		t.Error("Estimate(0,2) should be NaN (not adjacent)")
+	}
+	if sys.Series(SeriesGlobal) == nil {
+		t.Error("global skew series missing")
+	}
+}
+
+func TestTopologyConstructors(t *testing.T) {
+	tests := []struct {
+		name string
+		g    *Topology
+		n, d int
+	}{
+		{"line", Line(5), 5, 4},
+		{"ring", Ring(6), 6, 3},
+		{"grid", Grid(3, 3), 9, 4},
+		{"torus", Torus(3, 3), 9, 2},
+		{"tree", Tree(2, 2), 7, 4},
+		{"clique", Clique(5), 5, 1},
+		{"star", Star(5), 5, 2},
+		{"hypercube", Hypercube(3), 8, 3},
+	}
+	for _, tc := range tests {
+		if tc.g.N() != tc.n {
+			t.Errorf("%s: N = %d, want %d", tc.name, tc.g.N(), tc.n)
+		}
+		if got := tc.g.Diameter(); got != tc.d {
+			t.Errorf("%s: D = %d, want %d", tc.name, got, tc.d)
+		}
+	}
+	r := Random(20, 10, 7)
+	if r.N() != 20 || !r.Connected() {
+		t.Error("random topology")
+	}
+}
+
+func TestStrategyByName(t *testing.T) {
+	for _, name := range []string{"silent", "spam", "two-faced", "adaptive", "cadence", "oscillate"} {
+		s, err := StrategyByName(name)
+		if err != nil || s == nil {
+			t.Errorf("StrategyByName(%q): %v", name, err)
+		}
+	}
+	if _, err := StrategyByName("bogus"); err == nil {
+		t.Error("bogus strategy accepted")
+	}
+}
+
+func TestDeriveParams(t *testing.T) {
+	p, err := DeriveParams(PresetPractical, 1e-4, 1e-3, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Kappa <= 0 || p.T <= 0 {
+		t.Errorf("params: %+v", p)
+	}
+	if _, err := DeriveParams(PresetPaperStrict, 1e-3, 1e-3, 1e-4); err == nil {
+		t.Error("infeasible derivation accepted")
+	}
+}
+
+func TestOverrideConstants(t *testing.T) {
+	cfg := quickConfig()
+	cfg.C2 = 4
+	cfg.Eps = 0.25
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.Params().C2; got != 4 {
+		t.Errorf("C2 override = %v", got)
+	}
+}
+
+func TestReportBoundViolationDetected(t *testing.T) {
+	r := Report{
+		MaxIntraClusterSkew: 2, IntraClusterBound: 1,
+		MaxLocalSkew: 0, LocalSkewBound: 1,
+		MaxGlobalSkew: 0, GlobalSkewBound: 1,
+	}
+	if r.AllWithinBounds() {
+		t.Error("violation not detected")
+	}
+	if !strings.Contains(r.String(), "VIOLATED") {
+		t.Error("violation not rendered")
+	}
+}

@@ -1,0 +1,80 @@
+// Package approxagree implements the approximate-agreement selection rule
+// of Dolev et al. [6] that powers the Lynch–Welch clock correction
+// (Algorithm 1, line 12 of the FTGCS paper):
+//
+//	Δ_v(r) = (S_v^{f+1} + S_v^{k−f}) / 2
+//
+// where S_v is the ascending multiset of k observed pulse offsets and
+// S_v^i denotes its i-th element (1-based). Discarding the f smallest and
+// f largest values guarantees that both selected elements lie within the
+// range of values reported by correct nodes, no matter what up to f
+// Byzantine nodes contribute; averaging the two yields the 2-contraction
+// of the correct-value interval that drives convergence.
+package approxagree
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrTooFewValues indicates the multiset cannot tolerate f faults.
+var ErrTooFewValues = errors.New("approxagree: need k ≥ 3f+1 values")
+
+// ErrTooManyMissing indicates more than f values were missing/invalid, so
+// the selected positions are not guaranteed to lie in the correct range.
+var ErrTooManyMissing = errors.New("approxagree: more than f missing values")
+
+// Midpoint computes (S^{f+1} + S^{k−f})/2 over the ascending sort of
+// values. Missing observations must be encoded as +Inf (the convention used
+// by ClusterSync for neighbors whose pulse never arrived); NaNs are
+// rejected. The input slice is not modified.
+func Midpoint(values []float64, f int) (float64, error) {
+	k := len(values)
+	if f < 0 {
+		return 0, fmt.Errorf("approxagree: negative f=%d", f)
+	}
+	if k < 3*f+1 {
+		return 0, fmt.Errorf("%w: k=%d f=%d", ErrTooFewValues, k, f)
+	}
+	s := make([]float64, k)
+	copy(s, values)
+	for _, v := range s {
+		if math.IsNaN(v) {
+			return 0, errors.New("approxagree: NaN value")
+		}
+	}
+	sort.Float64s(s)
+	lo := s[f]     // S^{f+1}, 1-based
+	hi := s[k-f-1] // S^{k−f}, 1-based
+	if math.IsInf(lo, 0) || math.IsInf(hi, 0) {
+		return 0, ErrTooManyMissing
+	}
+	return (lo + hi) / 2, nil
+}
+
+// CorrectRange returns the interval [min, max] spanned by the values at
+// trusted positions — i.e. after discarding the f smallest and f largest.
+// Any Midpoint result lies inside this interval. Used by tests and the
+// fault-injection experiments to verify the validity property.
+func CorrectRange(values []float64, f int) (lo, hi float64, err error) {
+	k := len(values)
+	if k < 3*f+1 || f < 0 {
+		return 0, 0, fmt.Errorf("%w: k=%d f=%d", ErrTooFewValues, k, f)
+	}
+	s := make([]float64, k)
+	copy(s, values)
+	sort.Float64s(s)
+	return s[f], s[k-f-1], nil
+}
+
+// Contraction bounds the spread of midpoints across nodes: for any two
+// nodes whose multisets differ only in the contributions of ≤ f Byzantine
+// senders and in per-value perturbations of at most jitter, the midpoints
+// differ by at most spread/2 + jitter, where spread is the diameter of the
+// correct values (Dolev et al. [6]; the engine of Lynch–Welch convergence).
+// This helper computes that analytic bound for test assertions.
+func Contraction(correctSpread, jitter float64) float64 {
+	return correctSpread/2 + jitter
+}

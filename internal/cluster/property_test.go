@@ -1,0 +1,83 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"ftgcs/internal/clockwork"
+	"ftgcs/internal/graph"
+	"ftgcs/internal/sim"
+)
+
+// TestPropertyBoundsAcrossSeeds is the cluster-level robustness sweep:
+// across random seeds, drift assignments and Byzantine subsets, the
+// Corollary 3.2 bound must hold for the correct members.
+func TestPropertyBoundsAcrossSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed sweep")
+	}
+	p := testParams(t)
+	bound := p.ClusterSkewBound()
+	for seed := int64(100); seed < 112; seed++ {
+		rng := sim.NewRNG(seed, 0)
+		k := 4 + 3*rng.Intn(2) // 4 or 7
+		f := (k - 1) / 3
+		byz := map[graph.NodeID]bool{}
+		for len(byz) < f {
+			byz[graph.NodeID(rng.Intn(k))] = true
+		}
+		rates := func(i int) clockwork.RateModel {
+			switch rng.Intn(3) {
+			case 0:
+				return clockwork.Constant{Rate: 1 + rng.Float64()*p.Rho}
+			case 1:
+				return clockwork.Alternating{Lo: 1, Hi: 1 + p.Rho, Period: p.T * (1 + rng.Float64()*10)}
+			default:
+				return clockwork.NewRandomWalk(1, 1+p.Rho, p.T/2, sim.NewRNG(seed, 50+uint64(i)))
+			}
+		}
+		r := newRig(t, p, rigOpts{k: k, f: f, byzantine: byz, rates: rates, seed: seed})
+		r.start(t)
+		runRounds(t, r, 35)
+		if skew := r.correctSkew(byz); skew > bound {
+			t.Errorf("seed %d (k=%d f=%d byz=%v): skew %v > bound %v", seed, k, f, byz, skew, bound)
+		}
+		// Pulse diameters of completed rounds stay below E.
+		for round := 5; round <= 30; round++ {
+			if diam, ok := r.pulseDiameter(round, byz); ok && diam > p.EG {
+				t.Errorf("seed %d round %d: ‖p‖ %v > E %v", seed, round, diam, p.EG)
+			}
+		}
+	}
+}
+
+// TestObserverBoundAcrossSeeds extends the sweep to the estimate error
+// (Corollary 3.5).
+func TestObserverBoundAcrossSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed sweep")
+	}
+	p := testParams(t)
+	for seed := int64(200); seed < 206; seed++ {
+		r := newRig(t, p, rigOpts{k: 4, f: 1, observer: true, seed: seed})
+		r.start(t)
+		maxErr := 0.0
+		sample := func(e *sim.Engine) {
+			now := e.Now()
+			est := r.obsClock.Value(now)
+			lo, hi := math.Inf(1), math.Inf(-1)
+			for i := 0; i < r.k; i++ {
+				v := r.clocks[i].Value(now)
+				lo, hi = math.Min(lo, v), math.Max(hi, v)
+			}
+			maxErr = math.Max(maxErr, math.Abs(est-(lo+hi)/2))
+		}
+		for i := 5; i <= 30; i++ {
+			r.eng.MustSchedule(float64(i)*p.T, "sample", sample)
+		}
+		runRounds(t, r, 35)
+		if maxErr > p.EG {
+			t.Errorf("seed %d: estimate error %v > E %v", seed, maxErr, p.EG)
+		}
+	}
+}

@@ -1,0 +1,242 @@
+// Package core assembles the complete FTGCS system of the paper: the
+// augmented network G (clusters of k ≥ 3f+1 nodes), ClusterSync within
+// clusters (Algorithm 1), passive observers producing neighbor-cluster
+// estimates (Corollary 3.5), InterclusterSync mode selection at round
+// boundaries (Algorithm 2 + Theorem C.3 rules), and the Appendix C
+// global-skew estimate machinery — all running on the deterministic
+// discrete-event engine, instrumented for the experiments.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"ftgcs/internal/byzantine"
+	"ftgcs/internal/clockwork"
+	"ftgcs/internal/graph"
+	"ftgcs/internal/params"
+	"ftgcs/internal/sim"
+	"ftgcs/internal/transport"
+)
+
+// DriftKind selects how hardware clock rates are assigned across nodes.
+type DriftKind int
+
+const (
+	// DriftSpread: member i of every cluster runs at 1 + ρ·i/(k−1) —
+	// maximal constant intra-cluster drift.
+	DriftSpread DriftKind = iota + 1
+	// DriftGradient: all members of cluster c run at 1 + ρ·c/(|𝒞|−1) —
+	// constant inter-cluster gradient along the cluster index.
+	DriftGradient
+	// DriftHalves: clusters in the lower index half run at 1, the upper
+	// half at 1+ρ — maximal persistent rate difference at the boundary.
+	DriftHalves
+	// DriftAlternatingHalves: like DriftHalves but the halves swap rates
+	// every Period seconds — the classic skew-pumping adversary.
+	DriftAlternatingHalves
+	// DriftRandomWalk: every node redraws its rate from [1, 1+ρ] every
+	// Step seconds.
+	DriftRandomWalk
+	// DriftSine: slow sinusoidal wander with per-node phase.
+	DriftSine
+	// DriftNone: every clock runs at exactly rate 1 (debug/reference).
+	DriftNone
+)
+
+// DriftSpec configures the drift assignment.
+type DriftSpec struct {
+	Kind DriftKind
+	// Period applies to DriftAlternatingHalves and DriftSine. 0 selects
+	// 40·T at build time.
+	Period float64
+	// Step applies to DriftRandomWalk. 0 selects T/3.
+	Step float64
+}
+
+// DelayKind selects the message delay model.
+type DelayKind int
+
+const (
+	// DelayUniform draws uniformly from [d−U, d].
+	DelayUniform DelayKind = iota + 1
+	// DelayExtremal biases delays by direction (skew-maximizing).
+	DelayExtremal
+	// DelayFixedMid always uses d−U/2.
+	DelayFixedMid
+	// DelayPhasedReveal uses one extremal bias before SwitchAt and the
+	// opposite after — the hidden-skew reveal adversary of experiment E9.
+	DelayPhasedReveal
+)
+
+// DelaySpec configures the delay model.
+type DelaySpec struct {
+	Kind DelayKind
+	// SwitchAt applies to DelayPhasedReveal.
+	SwitchAt float64
+}
+
+// FaultSpec marks one physical node faulty.
+//
+// Exactly one of the behavior fields applies, in this precedence order:
+// Strategy (arbitrary Byzantine behavior from the byzantine package),
+// CrashAt > 0 (correct until CrashAt, then silent), OffSpecRate ≠ 0 (runs
+// the correct algorithm on a hardware clock of absolute rate OffSpecRate,
+// possibly outside [1, 1+ρ] — the paper's "sub-nominal speed" example).
+type FaultSpec struct {
+	Node        graph.NodeID
+	Strategy    byzantine.Strategy
+	CrashAt     float64
+	OffSpecRate float64
+}
+
+// Config describes a complete system build.
+type Config struct {
+	// Base is the cluster graph 𝒢.
+	Base *graph.Graph
+	// K is the cluster size (≥ 3F+1).
+	K int
+	// F is the per-cluster fault budget.
+	F int
+	// Params are the derived algorithm constants.
+	Params params.Params
+	// Seed drives all randomness (delays, drift, adversaries).
+	Seed int64
+
+	Drift DriftSpec
+	Delay DelaySpec
+
+	// Faults lists the faulty nodes. At most F per cluster for the
+	// paper's guarantees to apply (experiments exceed it deliberately).
+	Faults []FaultSpec
+
+	// EnableGlobalSkew turns on the Appendix C M_v machinery and the
+	// Theorem C.3 catch-up rule.
+	EnableGlobalSkew bool
+
+	// SampleInterval is the metric sampling period; 0 selects T/2.
+	SampleInterval float64
+	// TrackClusters records per-cluster clock/FC/SC series (experiment
+	// E10); costs memory proportional to samples × clusters.
+	TrackClusters bool
+	// TrackRounds records per-node round boundaries, logical values and
+	// modes (experiments E3, E4).
+	TrackRounds bool
+
+	// ModeOverride, when non-nil, replaces the GCS decision: returning
+	// (mode, true) forces the node's mode for that round. Used by the
+	// unanimity experiments (E4).
+	ModeOverride func(node graph.NodeID, cluster graph.ClusterID, round int) (int, bool)
+
+	// StaggerStart, when positive, delays the protocol start of cluster
+	// member i by i·StaggerStart/(k−1) seconds. This injects an initial
+	// pulse-diameter ‖p(1)‖ ≈ StaggerStart, which the convergence
+	// experiment (E3) watches contract towards the steady state E
+	// (Eq. 9/12). Must stay well below τ₁ so round-1 pulses still land in
+	// every member's listening window.
+	StaggerStart float64
+}
+
+// validate checks structural requirements.
+func (c *Config) validate() error {
+	if c.Base == nil || c.Base.N() == 0 {
+		return fmt.Errorf("core: empty base graph")
+	}
+	if c.K < 1 {
+		return fmt.Errorf("core: cluster size K=%d < 1", c.K)
+	}
+	if c.F < 0 || (c.F > 0 && c.K < 3*c.F+1) {
+		return fmt.Errorf("core: K=%d cannot tolerate F=%d (need K ≥ 3F+1)", c.K, c.F)
+	}
+	if c.Params.T <= 0 {
+		return fmt.Errorf("core: parameters not derived (T=%v)", c.Params.T)
+	}
+	seen := make(map[graph.NodeID]bool)
+	for _, f := range c.Faults {
+		if f.Node < 0 || f.Node >= c.Base.N()*c.K {
+			return fmt.Errorf("core: fault node %d out of range", f.Node)
+		}
+		if seen[f.Node] {
+			return fmt.Errorf("core: duplicate fault spec for node %d", f.Node)
+		}
+		seen[f.Node] = true
+	}
+	return nil
+}
+
+// buildDrift constructs the rate model for one node.
+func buildDrift(spec DriftSpec, p params.Params, aug *graph.Augmented, v graph.NodeID, rng *sim.RNG) clockwork.RateModel {
+	rho := p.Rho
+	c := aug.ClusterOf(v)
+	i := aug.IndexIn(v)
+	nClusters := aug.Clusters()
+	switch spec.Kind {
+	case DriftGradient:
+		frac := 0.0
+		if nClusters > 1 {
+			frac = float64(c) / float64(nClusters-1)
+		}
+		return clockwork.Constant{Rate: 1 + rho*frac}
+	case DriftHalves:
+		if c >= nClusters/2 {
+			return clockwork.Constant{Rate: 1 + rho}
+		}
+		return clockwork.Constant{Rate: 1}
+	case DriftAlternatingHalves:
+		period := spec.Period
+		if period <= 0 {
+			period = 40 * p.T
+		}
+		phase := 0.0
+		if c >= nClusters/2 {
+			phase = -period // upper half starts at the high rate
+		}
+		return clockwork.Alternating{Lo: 1, Hi: 1 + rho, Period: period, Phase: phase}
+	case DriftRandomWalk:
+		step := spec.Step
+		if step <= 0 {
+			step = p.T / 3
+		}
+		return clockwork.NewRandomWalk(1, 1+rho, step, rng)
+	case DriftSine:
+		period := spec.Period
+		if period <= 0 {
+			period = 40 * p.T
+		}
+		return clockwork.Sinusoid{
+			Base: 1, Amp: rho, Period: period, StepsPerPeriod: 32,
+			Phase: period * float64(v%16) / 16,
+		}
+	case DriftNone:
+		return clockwork.Constant{Rate: 1}
+	default: // DriftSpread
+		frac := 0.0
+		if aug.K > 1 {
+			frac = float64(i) / float64(aug.K-1)
+		}
+		return clockwork.Constant{Rate: 1 + rho*frac}
+	}
+}
+
+// buildDelay constructs the delay model.
+func buildDelay(spec DelaySpec, p params.Params, rng *sim.RNG) transport.DelayModel {
+	d, u := p.Delay, p.Uncertainty
+	switch spec.Kind {
+	case DelayExtremal:
+		return transport.ExtremalDelay{D: d, U: u}
+	case DelayFixedMid:
+		return transport.FixedDelay{D: d, U: u, Frac: 0.5}
+	case DelayPhasedReveal:
+		switchAt := spec.SwitchAt
+		if switchAt <= 0 {
+			switchAt = math.Inf(1)
+		}
+		return transport.PhasedDelay{
+			Before:   transport.ExtremalDelay{D: d, U: u},
+			After:    transport.ExtremalDelay{D: d, U: u, Invert: true},
+			SwitchAt: switchAt,
+		}
+	default: // DelayUniform
+		return transport.UniformDelay{D: d, U: u, Rng: rng}
+	}
+}

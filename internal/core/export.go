@@ -1,0 +1,21 @@
+package core
+
+import (
+	"ftgcs/internal/clockwork"
+	"ftgcs/internal/graph"
+	"ftgcs/internal/params"
+	"ftgcs/internal/sim"
+	"ftgcs/internal/transport"
+)
+
+// BuildDrift exposes the drift-model assignment for other packages (the
+// TreeSync baseline uses the same adversarial drift schedules as the main
+// system so comparisons are apples-to-apples).
+func BuildDrift(spec DriftSpec, p params.Params, aug *graph.Augmented, v graph.NodeID, rng *sim.RNG) clockwork.RateModel {
+	return buildDrift(spec, p, aug, v, rng)
+}
+
+// BuildDelay exposes the delay-model assignment for other packages.
+func BuildDelay(spec DelaySpec, p params.Params, rng *sim.RNG) transport.DelayModel {
+	return buildDelay(spec, p, rng)
+}

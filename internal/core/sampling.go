@@ -1,0 +1,193 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"ftgcs/internal/gcs"
+	"ftgcs/internal/sim"
+)
+
+// Metric series names recorded by the sampler.
+const (
+	// SeriesIntraSkew is the max over clusters of the intra-cluster skew
+	// among correct members (Corollary 3.2's subject).
+	SeriesIntraSkew = "skew/intra"
+	// SeriesLocalCluster is the max over base edges of |L_B − L_C|
+	// (Theorem 4.10's subject).
+	SeriesLocalCluster = "skew/local-cluster"
+	// SeriesLocalNode is the max over physical edges between correct
+	// nodes of |L_v − L_w| (Theorem 1.1's subject).
+	SeriesLocalNode = "skew/local-node"
+	// SeriesGlobal is the max skew between any two correct nodes.
+	SeriesGlobal = "skew/global"
+	// SeriesMaxEstLag is the max over correct nodes of L_max − M_v
+	// (Lemma C.2: should stay O(δD)).
+	SeriesMaxEstLag = "maxest/lag"
+	// SeriesMaxEstViolations counts nodes with M_v > L_max (must be 0).
+	SeriesMaxEstViolations = "maxest/violations"
+	// SeriesFastFraction is the fraction of correct nodes in fast mode.
+	SeriesFastFraction = "gcs/fast-fraction"
+)
+
+// clusterSeries formats the per-cluster series names (TrackClusters).
+func clusterSeries(c int, what string) string {
+	return fmt.Sprintf("cluster/%d/%s", c, what)
+}
+
+// ClusterSeriesClock returns the series name of cluster c's clock samples.
+func ClusterSeriesClock(c int) string { return clusterSeries(c, "clock") }
+
+// ClusterSeriesFC returns the series name of cluster c's fast-condition
+// indicator (1.0 when FC holds).
+func ClusterSeriesFC(c int) string { return clusterSeries(c, "fc") }
+
+// ClusterSeriesSC returns the series name of cluster c's slow-condition
+// indicator.
+func ClusterSeriesSC(c int) string { return clusterSeries(c, "sc") }
+
+func (s *System) scheduleSampler() {
+	var tick func(e *sim.Engine)
+	tick = func(e *sim.Engine) {
+		s.sample(e.Now())
+		e.MustSchedule(e.Now()+s.sampleInterval, "sampler", tick)
+	}
+	s.eng.MustSchedule(s.eng.Now()+s.sampleInterval, "sampler", tick)
+}
+
+// sample computes all skew metrics at time t.
+func (s *System) sample(t float64) {
+	nc := s.aug.Clusters()
+	lows := make([]float64, nc)
+	highs := make([]float64, nc)
+	clocks := make([]float64, nc)
+	valid := make([]bool, nc)
+
+	intraMax := math.Inf(-1)
+	globalLo, globalHi := math.Inf(1), math.Inf(-1)
+	for c := 0; c < nc; c++ {
+		lo, hi, ok := s.clusterRange(c)
+		lows[c], highs[c], valid[c] = lo, hi, ok
+		if !ok {
+			clocks[c] = math.NaN()
+			continue
+		}
+		clocks[c] = (lo + hi) / 2
+		intraMax = math.Max(intraMax, hi-lo)
+		globalLo = math.Min(globalLo, lo)
+		globalHi = math.Max(globalHi, hi)
+	}
+
+	localCluster := 0.0
+	localNode := intraMax // cluster edges are physical edges too
+	for _, e := range s.cfg.Base.Edges() {
+		b, c := e[0], e[1]
+		if !valid[b] || !valid[c] {
+			continue
+		}
+		localCluster = math.Max(localCluster, math.Abs(clocks[b]-clocks[c]))
+		// Node-level over the complete bipartite edge set:
+		localNode = math.Max(localNode, highs[b]-lows[c])
+		localNode = math.Max(localNode, highs[c]-lows[b])
+	}
+
+	s.rec.Observe(SeriesIntraSkew, t, intraMax)
+	s.rec.Observe(SeriesLocalCluster, t, localCluster)
+	s.rec.Observe(SeriesLocalNode, t, localNode)
+	s.rec.Observe(SeriesGlobal, t, globalHi-globalLo)
+
+	// Fast-mode fraction.
+	total, fast := 0, 0
+	for _, n := range s.nodes {
+		if n.faulty || n.inst == nil {
+			continue
+		}
+		total++
+		if n.main.Gamma() == 1 {
+			fast++
+		}
+	}
+	if total > 0 {
+		s.rec.Observe(SeriesFastFraction, t, float64(fast)/float64(total))
+	}
+
+	// Global max-estimate health.
+	if s.cfg.EnableGlobalSkew {
+		lag := math.Inf(-1)
+		violations := 0.0
+		for _, n := range s.nodes {
+			if n.faulty || n.maxEst == nil {
+				continue
+			}
+			m := n.maxEst.Value(t)
+			if m > globalHi+1e-9 {
+				violations++
+			}
+			lag = math.Max(lag, globalHi-m)
+		}
+		s.rec.Observe(SeriesMaxEstLag, t, lag)
+		s.rec.Observe(SeriesMaxEstViolations, t, violations)
+	}
+
+	// Per-cluster tracking for the GCS-axiom experiment.
+	if s.cfg.TrackClusters {
+		p := s.cfg.Params
+		for c := 0; c < nc; c++ {
+			if !valid[c] {
+				continue
+			}
+			nbrs := s.aug.NeighborClusters(c)
+			nbrClocks := make([]float64, 0, len(nbrs))
+			for _, b := range nbrs {
+				if valid[b] {
+					nbrClocks = append(nbrClocks, clocks[b])
+				}
+			}
+			fc := gcs.FastCondition(clocks[c], nbrClocks, p.Kappa)
+			sc := gcs.SlowCondition(clocks[c], nbrClocks, p.Kappa)
+			s.rec.Observe(ClusterSeriesClock(c), t, clocks[c])
+			s.rec.Observe(ClusterSeriesFC(c), t, b2f(fc))
+			s.rec.Observe(ClusterSeriesSC(c), t, b2f(sc))
+		}
+	}
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Summary condenses a finished run for reports.
+type Summary struct {
+	Horizon          float64
+	MaxIntraSkew     float64
+	MaxLocalCluster  float64
+	MaxLocalNode     float64
+	MaxGlobal        float64
+	MaxMaxEstLag     float64
+	MaxEstViolations float64
+	Events           uint64
+}
+
+// Summarize computes the run summary, excluding samples before warmup
+// (pass 0 to include everything).
+func (s *System) Summarize(warmup float64) Summary {
+	get := func(name string) float64 {
+		if ser := s.rec.Series(name); ser != nil {
+			return ser.MaxAfter(warmup)
+		}
+		return math.Inf(-1)
+	}
+	return Summary{
+		Horizon:          s.eng.Now(),
+		MaxIntraSkew:     get(SeriesIntraSkew),
+		MaxLocalCluster:  get(SeriesLocalCluster),
+		MaxLocalNode:     get(SeriesLocalNode),
+		MaxGlobal:        get(SeriesGlobal),
+		MaxMaxEstLag:     get(SeriesMaxEstLag),
+		MaxEstViolations: get(SeriesMaxEstViolations),
+		Events:           s.eng.Processed(),
+	}
+}

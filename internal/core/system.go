@@ -1,0 +1,525 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"ftgcs/internal/byzantine"
+	"ftgcs/internal/clockwork"
+	"ftgcs/internal/cluster"
+	"ftgcs/internal/gcs"
+	"ftgcs/internal/globalskew"
+	"ftgcs/internal/graph"
+	"ftgcs/internal/metrics"
+	"ftgcs/internal/params"
+	"ftgcs/internal/sim"
+	"ftgcs/internal/transport"
+)
+
+// node is the per-physical-node runtime state.
+type node struct {
+	id        graph.NodeID
+	clusterID graph.ClusterID
+
+	hw   *clockwork.HardwareClock
+	main *clockwork.LogicalClock
+
+	inst      *cluster.Instance                     // nil for strategy-driven Byzantine nodes
+	observers map[graph.ClusterID]*cluster.Instance // estimates of neighbor clusters
+	obsClocks map[graph.ClusterID]*clockwork.LogicalClock
+	obsOrder  []graph.ClusterID     // deterministic iteration order
+	maxEst    *globalskew.Estimator // nil unless global-skew machinery enabled
+
+	gcsStats gcs.Stats
+	faulty   bool
+	crashAt  float64 // +Inf when not crashing
+
+	// Round tracking (Config.TrackRounds).
+	roundTimes  []float64
+	roundValues []float64
+	roundModes  []int8
+}
+
+// System is a fully wired simulation.
+type System struct {
+	cfg Config
+	eng *sim.Engine
+	aug *graph.Augmented
+	net *transport.Network
+	rec *metrics.Recorder
+
+	nodes []*node
+
+	// pulse bookkeeping per cluster per round over correct members:
+	// round → min/max Newtonian pulse time and count.
+	pulseMin   []map[int]float64
+	pulseMax   []map[int]float64
+	pulseCount []map[int]int
+
+	sampleInterval float64
+	started        bool
+}
+
+// NewSystem builds (but does not run) a system.
+func NewSystem(cfg Config) (*System, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	aug, err := graph.Augment(cfg.Base, cfg.K)
+	if err != nil {
+		return nil, fmt.Errorf("core: augment: %w", err)
+	}
+	eng := sim.NewEngine()
+	delayRng := sim.NewRNG(cfg.Seed, 1)
+	net := transport.NewNetwork(eng, aug.Net, buildDelay(cfg.Delay, cfg.Params, delayRng))
+
+	s := &System{
+		cfg:            cfg,
+		eng:            eng,
+		aug:            aug,
+		net:            net,
+		rec:            metrics.NewRecorder(),
+		nodes:          make([]*node, aug.Net.N()),
+		pulseMin:       make([]map[int]float64, aug.Clusters()),
+		pulseMax:       make([]map[int]float64, aug.Clusters()),
+		pulseCount:     make([]map[int]int, aug.Clusters()),
+		sampleInterval: cfg.SampleInterval,
+	}
+	if s.sampleInterval <= 0 {
+		s.sampleInterval = cfg.Params.T / 2
+	}
+	for c := 0; c < aug.Clusters(); c++ {
+		s.pulseMin[c] = make(map[int]float64)
+		s.pulseMax[c] = make(map[int]float64)
+		s.pulseCount[c] = make(map[int]int)
+	}
+
+	faults := make(map[graph.NodeID]FaultSpec)
+	for _, f := range cfg.Faults {
+		faults[f.Node] = f
+	}
+	for v := 0; v < aug.Net.N(); v++ {
+		if err := s.buildNode(v, faults); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// buildNode wires one physical node.
+func (s *System) buildNode(v graph.NodeID, faults map[graph.NodeID]FaultSpec) error {
+	cfg := s.cfg
+	p := cfg.Params
+	c := s.aug.ClusterOf(v)
+	n := &node{
+		id:        v,
+		clusterID: c,
+		observers: make(map[graph.ClusterID]*cluster.Instance),
+		obsClocks: make(map[graph.ClusterID]*clockwork.LogicalClock),
+		crashAt:   math.Inf(1),
+	}
+	s.nodes[v] = n
+
+	fault, isFaulty := faults[v]
+	n.faulty = isFaulty
+
+	// Hardware clock.
+	driftRng := sim.NewRNG(cfg.Seed, 100+uint64(v))
+	var model clockwork.RateModel
+	switch {
+	case isFaulty && fault.OffSpecRate != 0:
+		model = clockwork.Constant{Rate: fault.OffSpecRate}
+	default:
+		model = buildDrift(cfg.Drift, p, s.aug, v, driftRng)
+	}
+	n.hw = clockwork.NewHardwareClock(model)
+	n.main = clockwork.NewLogicalClock(n.hw, p.Phi, p.Mu)
+
+	// Strategy-driven Byzantine nodes run no protocol at all; if the
+	// strategy is adaptive it receives the node's incoming pulses.
+	if isFaulty && fault.Strategy != nil {
+		handler, err := fault.Strategy.Install(byzantine.Ctx{
+			Eng:       s.eng,
+			Net:       s.net,
+			Self:      v,
+			Params:    p,
+			Rng:       sim.NewRNG(cfg.Seed, 900+uint64(v)),
+			Neighbors: s.aug.Net.Neighbors(v),
+		})
+		if err != nil {
+			return err
+		}
+		if handler != nil {
+			s.net.OnPulse(v, handler)
+		}
+		return nil
+	}
+	if isFaulty && fault.CrashAt > 0 {
+		n.crashAt = fault.CrashAt
+	}
+
+	// Main ClusterSync instance.
+	inst, err := cluster.New(s.eng, cluster.Config{
+		Params:  p,
+		F:       cfg.F,
+		Members: s.aug.Members(c),
+		Self:    v,
+		Active:  true,
+		Clock:   n.main,
+		Send: func(t float64) {
+			if t >= n.crashAt {
+				return
+			}
+			if err := s.net.Broadcast(t, v, transport.PulseClock); err != nil {
+				panic(err) // structural bug: broadcast over known edges
+			}
+		},
+		Loopback: func(t float64) {
+			if err := s.net.LoopbackFunc(t, v, func(at float64) {
+				s.nodes[v].inst.HandlePulse(at, v)
+			}); err != nil {
+				panic(err)
+			}
+		},
+		OnPulse: func(r int, t float64) {
+			s.recordPulse(c, v, r, t)
+		},
+		OnRoundStart: func(r int, t float64) {
+			s.decideMode(n, r, t)
+		},
+	})
+	if err != nil {
+		return fmt.Errorf("core: node %d: %w", v, err)
+	}
+	n.inst = inst
+
+	// Observers for each neighboring cluster.
+	for _, b := range s.aug.NeighborClusters(c) {
+		b := b
+		obsClock := clockwork.NewLogicalClock(n.hw, p.Phi, p.Mu)
+		// Observers track with γ̃ = 0 permanently; the Lynch–Welch error
+		// bound E covers the full nominal envelope (Corollary 3.5).
+		obs, err := cluster.New(s.eng, cluster.Config{
+			Params:  p,
+			F:       cfg.F,
+			Members: s.aug.Members(b),
+			Self:    v,
+			Active:  false,
+			Clock:   obsClock,
+			Loopback: func(t float64) {
+				if err := s.net.LoopbackFunc(t, v, func(at float64) {
+					s.nodes[v].observers[b].HandlePulse(at, v)
+				}); err != nil {
+					panic(err)
+				}
+			},
+		})
+		if err != nil {
+			return fmt.Errorf("core: node %d observer of %d: %w", v, b, err)
+		}
+		n.observers[b] = obs
+		n.obsClocks[b] = obsClock
+		n.obsOrder = append(n.obsOrder, b)
+	}
+
+	// Global-skew estimator.
+	if cfg.EnableGlobalSkew {
+		groups := map[graph.ClusterID][]graph.NodeID{c: s.aug.Members(c)}
+		for _, b := range s.aug.NeighborClusters(c) {
+			groups[b] = s.aug.Members(b)
+		}
+		est, err := globalskew.New(s.eng, globalskew.Config{
+			Unit:   p.Delay - p.Uncertainty,
+			Rho:    p.Rho,
+			F:      cfg.F,
+			Groups: groups,
+			HW:     n.hw,
+			Send: func(t float64, copies int) {
+				if t >= n.crashAt {
+					return
+				}
+				for i := 0; i < copies; i++ {
+					if err := s.net.Broadcast(t, v, transport.PulseMax); err != nil {
+						panic(err)
+					}
+				}
+			},
+		})
+		if err != nil {
+			return fmt.Errorf("core: node %d maxest: %w", v, err)
+		}
+		n.maxEst = est
+	}
+
+	// Pulse routing.
+	s.net.OnPulse(v, func(at float64, pu transport.Pulse) {
+		switch pu.Kind {
+		case transport.PulseMax:
+			if n.maxEst != nil {
+				n.maxEst.HandleMaxPulse(at, pu.From)
+			}
+		default:
+			from := s.aug.ClusterOf(pu.From)
+			if from == c {
+				n.inst.HandlePulse(at, pu.From)
+			} else if obs, ok := n.observers[from]; ok {
+				obs.HandlePulse(at, pu.From)
+			}
+		}
+	})
+	return nil
+}
+
+// recordPulse updates per-cluster pulse diameter bookkeeping (correct
+// members only).
+func (s *System) recordPulse(c graph.ClusterID, v graph.NodeID, r int, t float64) {
+	if s.nodes[v].faulty {
+		return
+	}
+	if cur, ok := s.pulseMin[c][r]; !ok || t < cur {
+		s.pulseMin[c][r] = t
+	}
+	if cur, ok := s.pulseMax[c][r]; !ok || t > cur {
+		s.pulseMax[c][r] = t
+	}
+	s.pulseCount[c][r]++
+}
+
+// decideMode runs the InterclusterSync decision for node n at round start.
+func (s *System) decideMode(n *node, r int, t float64) {
+	cfg := s.cfg
+	p := cfg.Params
+
+	mode := gcs.Slow
+	if cfg.ModeOverride != nil {
+		if g, ok := cfg.ModeOverride(n.id, n.clusterID, r); ok {
+			if g == 1 {
+				mode = gcs.Fast
+			}
+			n.main.SetGamma(t, mode.Gamma())
+			n.recordRound(t, mode)
+			return
+		}
+	}
+
+	own := n.main.Value(t)
+	estimates := make([]float64, 0, len(n.obsOrder))
+	for _, b := range n.obsOrder {
+		estimates = append(estimates, n.obsClocks[b].Value(t))
+	}
+	maxEst := math.NaN()
+	if n.maxEst != nil {
+		// A node's own clock lower-bounds L_max (Lemma C.2 relies on
+		// M_w ≥ L_w); refresh before reading.
+		n.maxEst.RaiseTo(t, own)
+		maxEst = n.maxEst.Value(t)
+	}
+	d := gcs.Decide(own, estimates, maxEst, gcs.Rules{
+		Kappa:   p.Kappa,
+		Delta:   p.Delta,
+		CGlobal: p.CGlobal,
+	})
+	n.gcsStats.Record(d)
+	mode = d.Mode
+	n.main.SetGamma(t, mode.Gamma())
+	n.recordRound(t, mode)
+}
+
+func (n *node) recordRound(t float64, mode gcs.Mode) {
+	if n.roundTimes == nil {
+		return
+	}
+	n.roundTimes = append(n.roundTimes, t)
+	n.roundValues = append(n.roundValues, n.main.Value(t))
+	n.roundModes = append(n.roundModes, int8(mode.Gamma()))
+}
+
+// Start launches every protocol instance at the current engine time
+// (normally 0: the paper's simultaneous initialization).
+func (s *System) Start() error {
+	if s.started {
+		return fmt.Errorf("core: system already started")
+	}
+	s.started = true
+	for _, n := range s.nodes {
+		if n.inst == nil {
+			continue // strategy-driven Byzantine node
+		}
+		if s.cfg.TrackRounds {
+			n.roundTimes = []float64{0}
+			n.roundValues = []float64{0}
+			n.roundModes = []int8{0}
+		}
+		n := n
+		startAll := func() error {
+			if err := n.inst.Start(); err != nil {
+				return err
+			}
+			for _, b := range n.obsOrder {
+				if err := n.observers[b].Start(); err != nil {
+					return err
+				}
+			}
+			if n.maxEst != nil {
+				if err := n.maxEst.Start(); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		offset := 0.0
+		if s.cfg.StaggerStart > 0 && s.cfg.K > 1 {
+			offset = float64(s.aug.IndexIn(n.id)) * s.cfg.StaggerStart / float64(s.cfg.K-1)
+		}
+		if offset <= 0 {
+			if err := startAll(); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, err := s.eng.Schedule(s.eng.Now()+offset, "staggered-start", func(*sim.Engine) {
+			if err := startAll(); err != nil {
+				panic(err) // start at a scheduled instant cannot fail
+			}
+		}); err != nil {
+			return err
+		}
+	}
+	s.scheduleSampler()
+	return nil
+}
+
+// Run starts the system (if needed) and advances simulated time to the
+// horizon.
+func (s *System) Run(until float64) error {
+	if !s.started {
+		if err := s.Start(); err != nil {
+			return err
+		}
+	}
+	return s.eng.Run(until)
+}
+
+// --- Accessors used by experiments, examples and tests ---
+
+// Engine exposes the simulation engine.
+func (s *System) Engine() *sim.Engine { return s.eng }
+
+// Aug returns the augmented topology.
+func (s *System) Aug() *graph.Augmented { return s.aug }
+
+// Params returns the derived constants.
+func (s *System) Params() params.Params { return s.cfg.Params }
+
+// Recorder returns the metric recorder.
+func (s *System) Recorder() *metrics.Recorder { return s.rec }
+
+// Network returns the transport layer (stats).
+func (s *System) Network() *transport.Network { return s.net }
+
+// Faulty reports whether node v is faulty.
+func (s *System) Faulty(v graph.NodeID) bool { return s.nodes[v].faulty }
+
+// Logical returns L_v at the current simulation time.
+func (s *System) Logical(v graph.NodeID) float64 {
+	return s.nodes[v].main.Value(s.eng.Now())
+}
+
+// Estimate returns node v's estimate of cluster b's clock at the current
+// time, or NaN when v has no observer for b.
+func (s *System) Estimate(v graph.NodeID, b graph.ClusterID) float64 {
+	if oc, ok := s.nodes[v].obsClocks[b]; ok {
+		return oc.Value(s.eng.Now())
+	}
+	return math.NaN()
+}
+
+// MaxEstimate returns M_v at the current time (NaN when disabled).
+func (s *System) MaxEstimate(v graph.NodeID) float64 {
+	if s.nodes[v].maxEst == nil {
+		return math.NaN()
+	}
+	return s.nodes[v].maxEst.Value(s.eng.Now())
+}
+
+// clusterRange returns (min, max) of correct members' logical clocks at the
+// current time; ok=false when the cluster has no correct instances.
+func (s *System) clusterRange(c graph.ClusterID) (lo, hi float64, ok bool) {
+	lo, hi = math.Inf(1), math.Inf(-1)
+	now := s.eng.Now()
+	for _, v := range s.aug.Members(c) {
+		n := s.nodes[v]
+		if n.faulty || n.inst == nil {
+			continue
+		}
+		val := n.main.Value(now)
+		lo = math.Min(lo, val)
+		hi = math.Max(hi, val)
+		ok = true
+	}
+	return lo, hi, ok
+}
+
+// ClusterClock returns L_C = (L_C^+ + L_C^−)/2 over correct members
+// (Definition 3.3); NaN when the cluster has no correct members.
+func (s *System) ClusterClock(c graph.ClusterID) float64 {
+	lo, hi, ok := s.clusterRange(c)
+	if !ok {
+		return math.NaN()
+	}
+	return (lo + hi) / 2
+}
+
+// GCSStats returns node v's accumulated mode-decision statistics.
+func (s *System) GCSStats(v graph.NodeID) gcs.Stats { return s.nodes[v].gcsStats }
+
+// InstanceStats returns node v's ClusterSync statistics (zero value for
+// strategy-driven Byzantine nodes).
+func (s *System) InstanceStats(v graph.NodeID) cluster.Stats {
+	if s.nodes[v].inst == nil {
+		return cluster.Stats{}
+	}
+	return s.nodes[v].inst.Stats()
+}
+
+// PulseDiameters returns ‖p(r)‖ for cluster c indexed by round, for rounds
+// where every correct member pulsed.
+func (s *System) PulseDiameters(c graph.ClusterID) map[int]float64 {
+	correct := 0
+	for _, v := range s.aug.Members(c) {
+		if !s.nodes[v].faulty && s.nodes[v].inst != nil {
+			correct++
+		}
+	}
+	out := make(map[int]float64)
+	for r, cnt := range s.pulseCount[c] {
+		if cnt == correct && correct >= 2 {
+			out[r] = s.pulseMax[c][r] - s.pulseMin[c][r]
+		}
+	}
+	return out
+}
+
+// RoundTrace returns node v's recorded round boundaries (times, logical
+// values, modes). Empty unless Config.TrackRounds.
+func (s *System) RoundTrace(v graph.NodeID) (times, values []float64, modes []int8) {
+	n := s.nodes[v]
+	return n.roundTimes, n.roundValues, n.roundModes
+}
+
+// InjectClockFault discontinuously shifts node v's logical clock by delta
+// at the current simulation time — a transient fault (memory corruption,
+// glitched oscillator) outside the algorithm's fault model. Used by the
+// self-stabilization experiments: the paper's Appendix A notes the GCS
+// layer recovers its skew bounds from any state within O(S/µ) time as long
+// as a global skew bound holds. The instance's pending phase timers keep
+// their Newtonian firing times (the node's *schedule* is intact; only its
+// clock value is corrupted), which matches a value-corruption fault.
+func (s *System) InjectClockFault(v graph.NodeID, delta float64) error {
+	n := s.nodes[v]
+	if n.inst == nil {
+		return fmt.Errorf("core: node %d runs no instance", v)
+	}
+	n.main.Jump(s.eng.Now(), delta)
+	return nil
+}

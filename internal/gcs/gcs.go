@@ -1,0 +1,275 @@
+// Package gcs implements the inter-cluster layer of the FTGCS paper:
+// InterclusterSync (Algorithm 2), which simulates the gradient clock
+// synchronization algorithm of Lenzen, Locher and Wattenhofer [13] (in the
+// formulation of Kuhn, Lenzen, Locher, Oshman [10]) on the cluster graph 𝒢.
+//
+// Clusters play the role of GCS nodes. Each physical node v ∈ C evaluates,
+// at the start of every ClusterSync round, the fast trigger (FT, Def. 4.3)
+// and slow trigger (ST, Def. 4.4) over its own logical clock L_v (its
+// stand-in for the cluster clock L_C) and its estimates L̃_vB of
+// neighboring cluster clocks, then sets its mode γ_v for the round:
+//
+//	FT-1  ∃A ∈ N_C : L̃_vA(t) − L_v(t) ≥ 2sκ − δ
+//	FT-2  ∀B ∈ N_C : L_v(t) − L̃_vB(t) ≤ 2sκ + δ        (some s ∈ ℕ)
+//
+//	ST-1  ∃A ∈ N_C : L_v(t) − L̃_vA(t) ≥ (2s−1)κ − δ
+//	ST-2  ∀B ∈ N_C : L̃_vB(t) − L_v(t) ≤ (2s−1)κ + δ    (some s ∈ ℕ)
+//
+// The slack δ absorbs estimate errors; κ = 3δ (Lemma 4.8) makes every
+// execution faithful: whenever the true fast/slow condition (FC/SC,
+// Defs. 4.1–4.2 — the same predicates with exact cluster clocks and δ = 0)
+// holds, every correct cluster member has been satisfying the corresponding
+// trigger for ≥ k rounds already.
+//
+// On top of the triggers, the Theorem C.3 global-skew rules apply: if
+// neither trigger fires but the node's clock lags the max-estimate M_v by
+// ≥ c·δ, it picks fast mode; otherwise it defaults to slow (Lemma C.1).
+//
+// Note on Lemma 4.5: the paper states FT/ST mutual exclusivity for
+// δ < 2κ; the standard parity argument (and our property tests, see
+// TestTriggerExclusivityBoundary) give the sharper requirement δ < κ/2.
+// The paper's own choice κ = 3δ satisfies both.
+package gcs
+
+import (
+	"fmt"
+	"math"
+)
+
+// Mode is the γ decision for a round.
+type Mode int
+
+const (
+	// Slow is γ = 0.
+	Slow Mode = iota
+	// Fast is γ = 1.
+	Fast
+)
+
+func (m Mode) String() string {
+	if m == Fast {
+		return "fast"
+	}
+	return "slow"
+}
+
+// Gamma returns the γ multiplier flag of the mode.
+func (m Mode) Gamma() int {
+	if m == Fast {
+		return 1
+	}
+	return 0
+}
+
+// Reason records why a mode was chosen (metrics and faithfulness checks).
+type Reason int
+
+const (
+	// ReasonFastTrigger: FT held.
+	ReasonFastTrigger Reason = iota + 1
+	// ReasonSlowTrigger: ST held (and FT did not).
+	ReasonSlowTrigger
+	// ReasonCatchUp: neither trigger held but L_v ≤ M_v − c·δ
+	// (Theorem C.3 second rule).
+	ReasonCatchUp
+	// ReasonDefaultSlow: no rule fired; slow by default (Lemma C.1).
+	ReasonDefaultSlow
+)
+
+func (r Reason) String() string {
+	switch r {
+	case ReasonFastTrigger:
+		return "fast-trigger"
+	case ReasonSlowTrigger:
+		return "slow-trigger"
+	case ReasonCatchUp:
+		return "catch-up"
+	case ReasonDefaultSlow:
+		return "default-slow"
+	default:
+		return fmt.Sprintf("reason(%d)", int(r))
+	}
+}
+
+// spreads reduces the neighbor estimates to the two quantities the
+// triggers depend on:
+//
+//	up   = max_B (est_B − own): how far the most-ahead neighbor leads
+//	down = max_B (own − est_B): how far the most-behind neighbor trails
+//
+// Both are −Inf when there are no neighbors.
+func spreads(own float64, estimates []float64) (up, down float64) {
+	up, down = math.Inf(-1), math.Inf(-1)
+	for _, e := range estimates {
+		up = math.Max(up, e-own)
+		down = math.Max(down, own-e)
+	}
+	return up, down
+}
+
+// FastTrigger evaluates FT (Def. 4.3). The existential over s ∈ ℕ (s ≥ 1)
+// is resolved in closed form: FT-1 admits any s ≤ (up+δ)/(2κ), and FT-2 is
+// monotonically easier as s grows, so only the largest admissible s needs
+// checking.
+func FastTrigger(own float64, estimates []float64, kappa, delta float64) bool {
+	ok, _ := FastTriggerLevel(own, estimates, kappa, delta)
+	return ok
+}
+
+// FastTriggerLevel additionally reports the level s the trigger fired at
+// (0 when it did not fire). The level indicates how deep into the skew
+// hierarchy the node currently is — useful diagnostics for experiments.
+func FastTriggerLevel(own float64, estimates []float64, kappa, delta float64) (bool, int) {
+	if kappa <= 0 {
+		return false, 0
+	}
+	up, down := spreads(own, estimates)
+	if math.IsInf(up, -1) {
+		return false, 0
+	}
+	s := math.Floor((up + delta) / (2 * kappa))
+	if s < 1 {
+		return false, 0
+	}
+	if down <= 2*s*kappa+delta {
+		return true, int(s)
+	}
+	return false, 0
+}
+
+// SlowTrigger evaluates ST (Def. 4.4). ST-1 admits any s ≤
+// (down+δ+κ)/(2κ); ST-2 is easier as s grows.
+func SlowTrigger(own float64, estimates []float64, kappa, delta float64) bool {
+	ok, _ := SlowTriggerLevel(own, estimates, kappa, delta)
+	return ok
+}
+
+// SlowTriggerLevel additionally reports the firing level s (0 when the
+// trigger did not fire).
+func SlowTriggerLevel(own float64, estimates []float64, kappa, delta float64) (bool, int) {
+	if kappa <= 0 {
+		return false, 0
+	}
+	up, down := spreads(own, estimates)
+	if math.IsInf(down, -1) {
+		return false, 0
+	}
+	s := math.Floor((down + delta + kappa) / (2 * kappa))
+	if s < 1 {
+		return false, 0
+	}
+	if up <= (2*s-1)*kappa+delta {
+		return true, int(s)
+	}
+	return false, 0
+}
+
+// FastCondition evaluates FC (Def. 4.1): FT with exact cluster clocks and
+// zero slack.
+func FastCondition(clusterClock float64, neighborClocks []float64, kappa float64) bool {
+	return FastTrigger(clusterClock, neighborClocks, kappa, 0)
+}
+
+// SlowCondition evaluates SC (Def. 4.2).
+func SlowCondition(clusterClock float64, neighborClocks []float64, kappa float64) bool {
+	return SlowTrigger(clusterClock, neighborClocks, kappa, 0)
+}
+
+// Rules bundles the decision parameters.
+type Rules struct {
+	Kappa float64 // GCS level unit κ
+	Delta float64 // trigger slack δ
+	// CGlobal is Theorem C.3's constant c; the catch-up rule fires when
+	// M_v − L_v ≥ CGlobal·δ. Set ≤ 0 to disable the global-skew rule.
+	CGlobal float64
+}
+
+// Decision is the outcome of one round's mode selection.
+type Decision struct {
+	Mode   Mode
+	Reason Reason
+	// Level is the trigger level s that fired (0 for catch-up/default
+	// decisions). Higher levels mean the node sits deeper in the skew
+	// hierarchy of Theorem 4.10's analysis.
+	Level int
+}
+
+// Decide implements Algorithm 2 extended with the Theorem C.3 rules:
+//
+//  1. FT ⇒ fast.
+//  2. ST ⇒ slow.
+//  3. Neither, and L_v ≤ M_v − cδ ⇒ fast (catch-up).
+//  4. Otherwise slow (Lemma C.1 default).
+//
+// maxEstimate is the node's M_v; pass NaN when the global-skew machinery
+// is not in use.
+func Decide(own float64, estimates []float64, maxEstimate float64, r Rules) Decision {
+	if ok, level := FastTriggerLevel(own, estimates, r.Kappa, r.Delta); ok {
+		return Decision{Mode: Fast, Reason: ReasonFastTrigger, Level: level}
+	}
+	if ok, level := SlowTriggerLevel(own, estimates, r.Kappa, r.Delta); ok {
+		return Decision{Mode: Slow, Reason: ReasonSlowTrigger, Level: level}
+	}
+	if r.CGlobal > 0 && !math.IsNaN(maxEstimate) && maxEstimate-own >= r.CGlobal*r.Delta {
+		return Decision{Mode: Fast, Reason: ReasonCatchUp}
+	}
+	return Decision{Mode: Slow, Reason: ReasonDefaultSlow}
+}
+
+// Stats aggregates decisions for a node or cluster.
+type Stats struct {
+	Decisions    uint64
+	FastTrigger  uint64
+	SlowTrigger  uint64
+	CatchUp      uint64
+	DefaultSlow  uint64
+	ModeSwitches uint64
+	MaxLevel     int // deepest trigger level observed
+	lastMode     Mode
+	started      bool
+}
+
+// Record tallies a decision.
+func (s *Stats) Record(d Decision) {
+	s.Decisions++
+	switch d.Reason {
+	case ReasonFastTrigger:
+		s.FastTrigger++
+	case ReasonSlowTrigger:
+		s.SlowTrigger++
+	case ReasonCatchUp:
+		s.CatchUp++
+	case ReasonDefaultSlow:
+		s.DefaultSlow++
+	}
+	if d.Level > s.MaxLevel {
+		s.MaxLevel = d.Level
+	}
+	if s.started && d.Mode != s.lastMode {
+		s.ModeSwitches++
+	}
+	s.lastMode = d.Mode
+	s.started = true
+}
+
+// GCSAxiomCheck verifies the Definition 4.9 axioms for a measured rate,
+// given the derived constants ρ̄, µ̄ (Prop. 4.11): returns a non-nil error
+// naming the violated axiom.
+//
+//	A1: 1 ≤ rate ≤ (1+ρ̄)(1+µ̄)
+//	A2: SC ⇒ rate ≤ 1+ρ̄
+//	A3: FC ⇒ rate ≥ 1+µ̄
+//
+// (A4, µ̄/ρ̄ > 1, is a pure parameter property checked in params.)
+func GCSAxiomCheck(rate float64, satisfiesSC, satisfiesFC bool, rhoBar, muBar float64, slack float64) error {
+	if rate < 1-slack || rate > (1+rhoBar)*(1+muBar)+slack {
+		return fmt.Errorf("gcs: axiom A1 violated: rate %v outside [1, %v]", rate, (1+rhoBar)*(1+muBar))
+	}
+	if satisfiesSC && rate > 1+rhoBar+slack {
+		return fmt.Errorf("gcs: axiom A2 violated: SC holds but rate %v > 1+ρ̄ = %v", rate, 1+rhoBar)
+	}
+	if satisfiesFC && rate < 1+muBar-slack {
+		return fmt.Errorf("gcs: axiom A3 violated: FC holds but rate %v < 1+µ̄ = %v", rate, 1+muBar)
+	}
+	return nil
+}

@@ -1,0 +1,301 @@
+package gcs
+
+import (
+	"math"
+	"testing"
+
+	"ftgcs/internal/sim"
+)
+
+func TestFastTriggerBasic(t *testing.T) {
+	kappa, delta := 3.0, 1.0
+	tests := []struct {
+		name string
+		own  float64
+		est  []float64
+		want bool
+	}{
+		{"no neighbors", 0, nil, false},
+		{"all synced", 0, []float64{0, 0}, false},
+		{"one far ahead, s=1", 0, []float64{2*kappa - delta}, true},
+		{"ahead but below threshold", 0, []float64{2*kappa - delta - 0.01}, false},
+		{"ahead but another far behind", 0, []float64{2 * kappa, -(2*kappa + delta + 0.01)}, false},
+		{"ahead and another just within", 0, []float64{2 * kappa, -(2*kappa + delta)}, true},
+		{"s=2 rescue: far ahead dominates behind", 0, []float64{4 * kappa, -(2*kappa + delta + 0.5)}, true},
+		{"behind only", 0, []float64{-10}, false},
+	}
+	for _, tc := range tests {
+		if got := FastTrigger(tc.own, tc.est, kappa, delta); got != tc.want {
+			t.Errorf("%s: FastTrigger = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestSlowTriggerBasic(t *testing.T) {
+	kappa, delta := 3.0, 1.0
+	tests := []struct {
+		name string
+		own  float64
+		est  []float64
+		want bool
+	}{
+		{"no neighbors", 0, nil, false},
+		{"all synced", 0, []float64{0}, false},
+		{"one far behind, s=1", 0, []float64{-(kappa - delta)}, true},
+		{"behind but below threshold", 0, []float64{-(kappa - delta - 0.01)}, false},
+		{"behind but another too far ahead", 0, []float64{-(kappa), kappa + delta + 0.01}, false},
+		{"behind and ahead within", 0, []float64{-kappa, kappa + delta}, true},
+		{"s=2 rescue", 0, []float64{-(3 * kappa), kappa + delta + 0.5}, true},
+		{"ahead only", 0, []float64{10}, false},
+	}
+	for _, tc := range tests {
+		if got := SlowTrigger(tc.own, tc.est, kappa, delta); got != tc.want {
+			t.Errorf("%s: SlowTrigger = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestTriggersInvalidKappa(t *testing.T) {
+	if FastTrigger(0, []float64{100}, 0, 0) || SlowTrigger(0, []float64{-100}, -1, 0) {
+		t.Error("non-positive κ must disable triggers")
+	}
+}
+
+func TestConditionsAreZeroSlackTriggers(t *testing.T) {
+	kappa := 2.0
+	if !FastCondition(0, []float64{2 * kappa}, kappa) {
+		t.Error("FC should hold with neighbor 2κ ahead")
+	}
+	if FastCondition(0, []float64{2*kappa - 0.01}, kappa) {
+		t.Error("FC should need the full 2κ")
+	}
+	if !SlowCondition(0, []float64{-kappa}, kappa) {
+		t.Error("SC should hold with neighbor κ behind")
+	}
+}
+
+// TestTriggerExclusivity is experiment E5: with the paper's δ = κ/3, FT and
+// ST are mutually exclusive over randomized estimate configurations.
+func TestTriggerExclusivity(t *testing.T) {
+	rng := sim.NewRNG(11, 0)
+	kappa := 1.0
+	delta := kappa / 3
+	for trial := 0; trial < 200000; trial++ {
+		n := 1 + rng.Intn(5)
+		est := make([]float64, n)
+		for i := range est {
+			est[i] = rng.UniformIn(-6*kappa, 6*kappa)
+		}
+		own := rng.UniformIn(-2*kappa, 2*kappa)
+		ft := FastTrigger(own, est, kappa, delta)
+		st := SlowTrigger(own, est, kappa, delta)
+		if ft && st {
+			t.Fatalf("trial %d: FT and ST both hold (own=%v est=%v)", trial, own, est)
+		}
+	}
+}
+
+// TestTriggerExclusivityBoundary documents the sharp constant: δ < κ/2
+// keeps the triggers exclusive, while δ ≥ κ/2 admits configurations where
+// both fire (the parity argument |2s − (2s'−1)| ≥ 1 needs 2δ/κ < 1). The
+// paper's Lemma 4.5 states δ < 2κ; its own choice δ = κ/3 is safe either
+// way.
+func TestTriggerExclusivityBoundary(t *testing.T) {
+	kappa := 1.0
+	// Just below κ/2: exhaustive-ish scan finds no overlap.
+	delta := 0.49 * kappa
+	rng := sim.NewRNG(13, 0)
+	for trial := 0; trial < 100000; trial++ {
+		est := []float64{rng.UniformIn(-4, 4), rng.UniformIn(-4, 4)}
+		if FastTrigger(0, est, kappa, delta) && SlowTrigger(0, est, kappa, delta) {
+			t.Fatalf("δ=0.49κ: overlap at est=%v", est)
+		}
+	}
+	// At δ = 0.6κ the known counterexample fires both triggers:
+	// up = 2κ−δ (FT-1 at s=1), down = κ−δ (ST-1 at s=1),
+	// FT-2: κ−δ ≤ 2κ+δ ✓, ST-2: 2κ−δ ≤ κ+δ ⇔ κ ≤ 2δ ✓.
+	delta = 0.6 * kappa
+	est := []float64{2*kappa - delta, -(kappa - delta)}
+	if !FastTrigger(0, est, kappa, delta) || !SlowTrigger(0, est, kappa, delta) {
+		t.Error("expected both triggers to fire at δ=0.6κ (documented counterexample)")
+	}
+}
+
+func TestConditionImpliesTrigger(t *testing.T) {
+	// Faithfulness prerequisite: if FC holds on true values and every
+	// estimate is within δ/2 of truth and own clock within δ/2 of the
+	// cluster clock, then FT holds on the estimates (the slack δ absorbs
+	// the estimate error — cf. Lemma 4.8).
+	rng := sim.NewRNG(17, 0)
+	kappa := 1.0
+	delta := kappa / 3
+	for trial := 0; trial < 50000; trial++ {
+		n := 1 + rng.Intn(4)
+		truth := make([]float64, n)
+		for i := range truth {
+			truth[i] = rng.UniformIn(-5, 5)
+		}
+		clusterClock := rng.UniformIn(-2, 2)
+		est := make([]float64, n)
+		for i := range est {
+			est[i] = truth[i] + rng.UniformIn(-delta/2, delta/2)
+		}
+		own := clusterClock + rng.UniformIn(-delta/2, delta/2)
+		if FastCondition(clusterClock, truth, kappa) {
+			if !FastTrigger(own, est, kappa, delta) {
+				t.Fatalf("trial %d: FC holds but FT does not (truth=%v est=%v)", trial, truth, est)
+			}
+		}
+		if SlowCondition(clusterClock, truth, kappa) {
+			if !SlowTrigger(own, est, kappa, delta) {
+				t.Fatalf("trial %d: SC holds but ST does not", trial)
+			}
+		}
+	}
+}
+
+func TestDecidePriorities(t *testing.T) {
+	r := Rules{Kappa: 3, Delta: 1, CGlobal: 8}
+	// FT wins.
+	d := Decide(0, []float64{10}, math.NaN(), r)
+	if d.Mode != Fast || d.Reason != ReasonFastTrigger {
+		t.Errorf("FT case: %+v", d)
+	}
+	// ST when no FT.
+	d = Decide(0, []float64{-4}, math.NaN(), r)
+	if d.Mode != Slow || d.Reason != ReasonSlowTrigger {
+		t.Errorf("ST case: %+v", d)
+	}
+	// Catch-up: no triggers, M_v far ahead.
+	d = Decide(0, []float64{0}, 100, r)
+	if d.Mode != Fast || d.Reason != ReasonCatchUp {
+		t.Errorf("catch-up case: %+v", d)
+	}
+	// Catch-up disabled by NaN.
+	d = Decide(0, []float64{0}, math.NaN(), r)
+	if d.Mode != Slow || d.Reason != ReasonDefaultSlow {
+		t.Errorf("default case: %+v", d)
+	}
+	// Catch-up disabled by CGlobal ≤ 0.
+	d = Decide(0, []float64{0}, 100, Rules{Kappa: 3, Delta: 1})
+	if d.Reason != ReasonDefaultSlow {
+		t.Errorf("disabled catch-up: %+v", d)
+	}
+	// ST takes precedence over catch-up (Theorem C.3: "if neither holds").
+	d = Decide(0, []float64{-4}, 100, r)
+	if d.Mode != Slow || d.Reason != ReasonSlowTrigger {
+		t.Errorf("ST-over-catchup case: %+v", d)
+	}
+}
+
+func TestStatsRecording(t *testing.T) {
+	var s Stats
+	s.Record(Decision{Mode: Slow, Reason: ReasonDefaultSlow})
+	s.Record(Decision{Mode: Fast, Reason: ReasonFastTrigger})
+	s.Record(Decision{Mode: Fast, Reason: ReasonCatchUp})
+	s.Record(Decision{Mode: Slow, Reason: ReasonSlowTrigger})
+	if s.Decisions != 4 || s.FastTrigger != 1 || s.SlowTrigger != 1 ||
+		s.CatchUp != 1 || s.DefaultSlow != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.ModeSwitches != 2 {
+		t.Errorf("ModeSwitches = %d, want 2", s.ModeSwitches)
+	}
+}
+
+func TestGCSAxiomCheck(t *testing.T) {
+	rhoBar, muBar := 0.001, 0.004
+	if err := GCSAxiomCheck(1.0005, false, false, rhoBar, muBar, 0); err != nil {
+		t.Errorf("valid A1 rate rejected: %v", err)
+	}
+	if err := GCSAxiomCheck(0.5, false, false, rhoBar, muBar, 0); err == nil {
+		t.Error("sub-1 rate should violate A1")
+	}
+	if err := GCSAxiomCheck(1.002, true, false, rhoBar, muBar, 0); err == nil {
+		t.Error("SC with high rate should violate A2")
+	}
+	if err := GCSAxiomCheck(1.002, false, true, rhoBar, muBar, 0); err == nil {
+		t.Error("FC with low rate should violate A3")
+	}
+	if err := GCSAxiomCheck(1.005, false, true, rhoBar, muBar, 0); err != nil {
+		t.Errorf("FC with fast rate should pass A3: %v", err)
+	}
+}
+
+func TestModeAndReasonStrings(t *testing.T) {
+	if Fast.String() != "fast" || Slow.String() != "slow" {
+		t.Error("mode strings")
+	}
+	if Fast.Gamma() != 1 || Slow.Gamma() != 0 {
+		t.Error("gamma mapping")
+	}
+	for _, r := range []Reason{ReasonFastTrigger, ReasonSlowTrigger, ReasonCatchUp, ReasonDefaultSlow, Reason(99)} {
+		if r.String() == "" {
+			t.Errorf("empty string for reason %d", int(r))
+		}
+	}
+}
+
+func TestTriggerScaleInvariance(t *testing.T) {
+	// Triggers are invariant under common shifts of all clocks and under
+	// common scaling of (κ, δ, values).
+	rng := sim.NewRNG(23, 0)
+	for trial := 0; trial < 20000; trial++ {
+		kappa := rng.UniformIn(0.1, 10)
+		delta := kappa / 3
+		own := rng.UniformIn(-5, 5)
+		est := []float64{rng.UniformIn(-15, 15), rng.UniformIn(-15, 15)}
+		shift := rng.UniformIn(-100, 100)
+		scale := rng.UniformIn(0.1, 10)
+
+		ft := FastTrigger(own, est, kappa, delta)
+		shifted := []float64{est[0] + shift, est[1] + shift}
+		if FastTrigger(own+shift, shifted, kappa, delta) != ft {
+			t.Fatalf("trial %d: FT not shift-invariant", trial)
+		}
+		scaled := []float64{est[0] * scale, est[1] * scale}
+		if FastTrigger(own*scale, scaled, kappa*scale, delta*scale) != ft {
+			t.Fatalf("trial %d: FT not scale-invariant", trial)
+		}
+	}
+}
+
+func BenchmarkDecide(b *testing.B) {
+	est := []float64{1.5, -0.3, 0.9, 2.2}
+	r := Rules{Kappa: 1, Delta: 1.0 / 3, CGlobal: 8}
+	for i := 0; i < b.N; i++ {
+		Decide(0.1, est, 5, r)
+	}
+}
+
+func TestTriggerLevels(t *testing.T) {
+	kappa, delta := 1.0, 1.0/3
+	// Neighbor 2κ ahead → level 1; 6κ ahead → level 3.
+	if ok, lvl := FastTriggerLevel(0, []float64{2 * kappa}, kappa, delta); !ok || lvl != 1 {
+		t.Errorf("FT level = (%v, %d), want (true, 1)", ok, lvl)
+	}
+	if ok, lvl := FastTriggerLevel(0, []float64{6*kappa + delta}, kappa, delta); !ok || lvl != 3 {
+		t.Errorf("FT deep level = (%v, %d), want (true, 3)", ok, lvl)
+	}
+	if ok, lvl := FastTriggerLevel(0, []float64{0.1}, kappa, delta); ok || lvl != 0 {
+		t.Errorf("FT no-fire level = (%v, %d), want (false, 0)", ok, lvl)
+	}
+	// Neighbor κ behind → ST level 1; 5κ behind → level 3.
+	if ok, lvl := SlowTriggerLevel(0, []float64{-kappa}, kappa, delta); !ok || lvl != 1 {
+		t.Errorf("ST level = (%v, %d), want (true, 1)", ok, lvl)
+	}
+	if ok, lvl := SlowTriggerLevel(0, []float64{-(5*kappa + delta)}, kappa, delta); !ok || lvl != 3 {
+		t.Errorf("ST deep level = (%v, %d), want (true, 3)", ok, lvl)
+	}
+	// Decide propagates the level.
+	d := Decide(0, []float64{4 * kappa}, math.NaN(), Rules{Kappa: kappa, Delta: delta})
+	if d.Level != 2 {
+		t.Errorf("Decide level = %d, want 2", d.Level)
+	}
+	var st Stats
+	st.Record(d)
+	st.Record(Decision{Mode: Slow, Reason: ReasonSlowTrigger, Level: 1})
+	if st.MaxLevel != 2 {
+		t.Errorf("MaxLevel = %d, want 2", st.MaxLevel)
+	}
+}

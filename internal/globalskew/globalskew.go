@@ -1,0 +1,237 @@
+// Package globalskew implements the Appendix C machinery of the FTGCS
+// paper: every node maintains a conservative estimate M_v of the maximum
+// correct logical clock L_max, with L_max(t) ≥ M_v(t) ≥ L_max(t) − O(δD)
+// (Lemma C.2). The estimate feeds Theorem C.3's catch-up rule (nodes with
+// L_v ≤ M_v − cδ switch to fast mode), which bounds the global skew by
+// O(δD).
+//
+// Mechanism:
+//
+//   - M_v(0) = 0 and grows at rate h_v(t)/(1+ρ) ≤ 1, so local growth can
+//     never overtake L_max (whose rate is ≥ 1).
+//   - Whenever M_v reaches the next multiple of d−U, v broadcasts a "max
+//     pulse" (distinguishable from clock pulses).
+//   - Max pulses travel ≥ d−U seconds, so a pulse for level ℓ certifies
+//     that its sender's estimate was ℓ·(d−U) at least d−U ago — hence
+//     (ℓ+1)·(d−U) is a safe value now, provided the sender is correct.
+//   - To tolerate Byzantine senders, v only adopts level ℓ+1 once f+1
+//     distinct members of some single adjacent cluster have each delivered
+//     ℓ max pulses: at least one of them is correct.
+//   - Adopting a level may let v skip ahead several multiples; it then
+//     emits the skipped pulses too, yielding a fault-tolerant flooding
+//     wave that propagates the maximum at one level per hop delay.
+package globalskew
+
+import (
+	"fmt"
+
+	"ftgcs/internal/clockwork"
+	"ftgcs/internal/graph"
+	"ftgcs/internal/sim"
+)
+
+// Config assembles an Estimator.
+type Config struct {
+	// Unit is the level granularity d−U.
+	Unit float64
+	// Rho is the hardware drift bound; M grows at h/(1+ρ).
+	Rho float64
+	// F is the per-cluster fault budget.
+	F int
+	// Groups maps each adjacent cluster (including the node's own) to its
+	// member node IDs. Level confirmation requires f+1 distinct senders
+	// within one group.
+	Groups map[graph.ClusterID][]graph.NodeID
+	// HW is the node's hardware clock.
+	HW *clockwork.HardwareClock
+	// Send broadcasts `copies` max pulses at time t.
+	Send func(t float64, copies int)
+}
+
+// Estimator maintains one node's M_v.
+type Estimator struct {
+	cfg Config
+	eng *sim.Engine
+
+	anchorT float64 // Newtonian anchor
+	anchorH float64 // hardware value at anchor
+	anchorM float64 // M value at anchor
+
+	sentLevel  int // highest level for which a pulse was sent
+	groupOf    map[graph.NodeID]graph.ClusterID
+	counts     map[graph.NodeID]int // max pulses received per sender
+	levelTimer sim.Handle
+
+	stats Stats
+}
+
+// Stats counts estimator activity.
+type Stats struct {
+	LocalLevels   uint64 // levels reached by local growth
+	AdoptedLevels uint64 // levels adopted from neighbors
+	PulsesSent    uint64
+	PulsesHeard   uint64
+	Ignored       uint64 // pulses from unknown senders
+}
+
+// New validates and constructs an estimator (not yet started).
+func New(eng *sim.Engine, cfg Config) (*Estimator, error) {
+	if cfg.Unit <= 0 {
+		return nil, fmt.Errorf("globalskew: unit %v must be positive (d−U)", cfg.Unit)
+	}
+	if cfg.HW == nil {
+		return nil, fmt.Errorf("globalskew: nil hardware clock")
+	}
+	if cfg.Send == nil {
+		return nil, fmt.Errorf("globalskew: nil send")
+	}
+	groupOf := make(map[graph.NodeID]graph.ClusterID)
+	for c, members := range cfg.Groups {
+		for _, m := range members {
+			groupOf[m] = c
+		}
+	}
+	return &Estimator{
+		cfg:     cfg,
+		eng:     eng,
+		groupOf: groupOf,
+		counts:  make(map[graph.NodeID]int),
+	}, nil
+}
+
+// Start begins local growth at the engine's current time.
+func (e *Estimator) Start() error {
+	e.anchorT = e.eng.Now()
+	e.anchorH = e.cfg.HW.Read(e.anchorT)
+	e.anchorM = 0
+	return e.scheduleNextLevel()
+}
+
+// Value returns M_v(t). Queries must be non-decreasing in t.
+func (e *Estimator) Value(t float64) float64 {
+	h := e.cfg.HW.Read(t)
+	return e.anchorM + (h-e.anchorH)/(1+e.cfg.Rho)
+}
+
+// Stats returns a copy of the counters.
+func (e *Estimator) Stats() Stats { return e.stats }
+
+// scheduleNextLevel arms the timer for M reaching (sentLevel+1)·unit.
+func (e *Estimator) scheduleNextLevel() error {
+	target := float64(e.sentLevel+1) * e.cfg.Unit
+	// Hardware value at which M reaches target:
+	hTarget := e.anchorH + (target-e.anchorM)*(1+e.cfg.Rho)
+	at, err := e.cfg.HW.TimeWhen(e.eng.Now(), hTarget)
+	if err != nil {
+		return fmt.Errorf("globalskew: level timer: %w", err)
+	}
+	h, err := e.eng.Schedule(at, "max-level", func(*sim.Engine) { e.localLevel() })
+	if err != nil {
+		return err
+	}
+	e.levelTimer = h
+	return nil
+}
+
+// localLevel fires when M grows past the next multiple of the unit.
+func (e *Estimator) localLevel() {
+	t := e.eng.Now()
+	e.sentLevel++
+	e.stats.LocalLevels++
+	e.stats.PulsesSent++
+	e.cfg.Send(t, 1)
+	if err := e.scheduleNextLevel(); err != nil {
+		panic(err) // unreachable: target ahead of monotone clock
+	}
+}
+
+// RaiseTo lifts M_v to the node's own logical clock value (a node's own
+// clock is a lower bound on L_max, and the Lemma C.2 argument relies on
+// M_w ≥ L_w). Emits any level pulses the jump crosses, exactly like an
+// adoption. Call it at round boundaries.
+func (e *Estimator) RaiseTo(t, ownLogical float64) {
+	if ownLogical <= e.Value(t) {
+		return
+	}
+	e.anchorT = t
+	e.anchorH = e.cfg.HW.Read(t)
+	e.anchorM = ownLogical
+	if newLevel := int(ownLogical / e.cfg.Unit); newLevel > e.sentLevel {
+		copies := newLevel - e.sentLevel
+		e.sentLevel = newLevel
+		e.stats.PulsesSent += uint64(copies)
+		e.cfg.Send(t, copies)
+	}
+	e.eng.Cancel(e.levelTimer)
+	if err := e.scheduleNextLevel(); err != nil {
+		panic(err) // unreachable: target ahead of monotone clock
+	}
+}
+
+// HandleMaxPulse processes a received max pulse.
+func (e *Estimator) HandleMaxPulse(t float64, from graph.NodeID) {
+	group, ok := e.groupOf[from]
+	if !ok {
+		e.stats.Ignored++
+		return
+	}
+	e.stats.PulsesHeard++
+	e.counts[from]++
+
+	// Confirmed level for the sender's group: the (f+1)-th largest pulse
+	// count among its members.
+	members := e.cfg.Groups[group]
+	confirmed := confirmedLevel(members, e.counts, e.cfg.F)
+	if confirmed == 0 {
+		return
+	}
+	target := float64(confirmed+1) * e.cfg.Unit
+	if target <= e.Value(t) {
+		return
+	}
+	// Adopt the certified value: jump M up to target.
+	e.anchorT = t
+	e.anchorH = e.cfg.HW.Read(t)
+	e.anchorM = target
+	e.stats.AdoptedLevels++
+	// Emit the pulses for every multiple we skipped (the flooding step).
+	if newLevel := confirmed + 1; newLevel > e.sentLevel {
+		copies := newLevel - e.sentLevel
+		e.sentLevel = newLevel
+		e.stats.PulsesSent += uint64(copies)
+		e.cfg.Send(t, copies)
+	}
+	// Re-arm the growth timer against the new anchor.
+	e.eng.Cancel(e.levelTimer)
+	if err := e.scheduleNextLevel(); err != nil {
+		panic(err)
+	}
+}
+
+// confirmedLevel returns the largest ℓ such that at least f+1 members have
+// delivered ≥ ℓ pulses (0 when fewer than f+1 members have sent anything).
+func confirmedLevel(members []graph.NodeID, counts map[graph.NodeID]int, f int) int {
+	if len(members) < f+1 {
+		return 0
+	}
+	// Collect counts and find the (f+1)-th largest.
+	best := make([]int, 0, len(members))
+	for _, m := range members {
+		best = append(best, counts[m])
+	}
+	// Partial selection: we need the (f+1)-th largest value.
+	// Simple approach given small k: sort descending by insertion.
+	for i := 1; i < len(best); i++ {
+		for j := i; j > 0 && best[j] > best[j-1]; j-- {
+			best[j], best[j-1] = best[j-1], best[j]
+		}
+	}
+	return best[f]
+}
+
+// Gap returns M_v(t) − L for a logical clock value L; positive values mean
+// the node lags the (estimated) maximum. Convenience for the Theorem C.3
+// rule.
+func (e *Estimator) Gap(t, logical float64) float64 {
+	return e.Value(t) - logical
+}

@@ -1,0 +1,267 @@
+package globalskew
+
+import (
+	"math"
+	"testing"
+
+	"ftgcs/internal/clockwork"
+	"ftgcs/internal/graph"
+	"ftgcs/internal/sim"
+)
+
+func singleGroup(members ...graph.NodeID) map[graph.ClusterID][]graph.NodeID {
+	return map[graph.ClusterID][]graph.NodeID{0: members}
+}
+
+func TestLocalGrowthRate(t *testing.T) {
+	eng := sim.NewEngine()
+	rho := 1e-3
+	hw := clockwork.NewHardwareClock(clockwork.Constant{Rate: 1 + rho})
+	var sent int
+	e, err := New(eng, Config{
+		Unit: 0.1, Rho: rho, F: 1, Groups: singleGroup(1, 2, 3, 4),
+		HW:   hw,
+		Send: func(tt float64, copies int) { sent += copies },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(10.05); err != nil {
+		t.Fatal(err)
+	}
+	// M grows at (1+ρ)/(1+ρ) = 1 exactly; at t=10.05, M = 10.05.
+	now := eng.Now()
+	if got := e.Value(now); math.Abs(got-now) > 1e-9 {
+		t.Errorf("M(%v) = %v, want %v", now, got, now)
+	}
+	// Levels at multiples of 0.1 → 100 pulses by t=10.05 (the level-100
+	// event lands at t=10 up to float rounding).
+	if sent != 100 {
+		t.Errorf("sent %d pulses, want 100", sent)
+	}
+	if e.Stats().LocalLevels != 100 {
+		t.Errorf("stats: %+v", e.Stats())
+	}
+}
+
+func TestSlowClockGrowsSlower(t *testing.T) {
+	eng := sim.NewEngine()
+	rho := 1e-3
+	hw := clockwork.NewHardwareClock(clockwork.Constant{Rate: 1})
+	e, err := New(eng, Config{
+		Unit: 0.1, Rho: rho, F: 0, Groups: singleGroup(1),
+		HW: hw, Send: func(float64, int) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	// M = 100/(1+ρ) < 100: conservative by construction.
+	want := 100 / (1 + rho)
+	if got := e.Value(100); math.Abs(got-want) > 1e-9 {
+		t.Errorf("M(100) = %v, want %v", got, want)
+	}
+}
+
+func TestAdoptionNeedsFPlusOne(t *testing.T) {
+	eng := sim.NewEngine()
+	hw := clockwork.NewHardwareClock(clockwork.Constant{Rate: 1})
+	var sent int
+	e, err := New(eng, Config{
+		Unit: 1.0, Rho: 1e-3, F: 1, Groups: singleGroup(1, 2, 3, 4),
+		HW:   hw,
+		Send: func(tt float64, copies int) { sent += copies },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// One (possibly Byzantine) sender claims level 5: must NOT be adopted.
+	eng.MustSchedule(0.01, "byz", func(*sim.Engine) {
+		for i := 0; i < 5; i++ {
+			e.HandleMaxPulse(0.01, 1)
+		}
+	})
+	if err := eng.Run(0.02); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Value(0.02); got > 0.1 {
+		t.Errorf("M adopted a single-sender claim: %v", got)
+	}
+	// A second sender confirms level 5 → adopt 6·unit.
+	eng.MustSchedule(0.03, "honest", func(*sim.Engine) {
+		for i := 0; i < 5; i++ {
+			e.HandleMaxPulse(0.03, 2)
+		}
+	})
+	if err := eng.Run(0.04); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Value(0.04); math.Abs(got-6) > 0.01 {
+		t.Errorf("M after confirmation = %v, want ≈ 6", got)
+	}
+	// The jump must have emitted the skipped pulses (levels 1..6).
+	if sent < 6 {
+		t.Errorf("sent %d pulses after jump, want ≥ 6", sent)
+	}
+	if e.Stats().AdoptedLevels == 0 {
+		t.Error("adoption not recorded")
+	}
+}
+
+func TestUnknownSenderIgnored(t *testing.T) {
+	eng := sim.NewEngine()
+	hw := clockwork.NewHardwareClock(clockwork.Constant{Rate: 1})
+	e, err := New(eng, Config{
+		Unit: 1, Rho: 1e-3, F: 0, Groups: singleGroup(1),
+		HW: hw, Send: func(float64, int) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	e.HandleMaxPulse(0, 99)
+	if e.Stats().Ignored != 1 {
+		t.Error("unknown sender should be ignored and counted")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	eng := sim.NewEngine()
+	hw := clockwork.NewHardwareClock(clockwork.Constant{Rate: 1})
+	send := func(float64, int) {}
+	if _, err := New(eng, Config{Unit: 0, Rho: 1e-3, HW: hw, Send: send}); err == nil {
+		t.Error("zero unit accepted")
+	}
+	if _, err := New(eng, Config{Unit: 1, Rho: 1e-3, Send: send}); err == nil {
+		t.Error("nil HW accepted")
+	}
+	if _, err := New(eng, Config{Unit: 1, Rho: 1e-3, HW: hw}); err == nil {
+		t.Error("nil Send accepted")
+	}
+}
+
+func TestConfirmedLevel(t *testing.T) {
+	counts := map[graph.NodeID]int{1: 5, 2: 3, 3: 0, 4: 7}
+	members := []graph.NodeID{1, 2, 3, 4}
+	tests := []struct {
+		f    int
+		want int
+	}{
+		{0, 7}, // largest
+		{1, 5}, // 2nd largest
+		{2, 3},
+		{3, 0},
+	}
+	for _, tc := range tests {
+		if got := confirmedLevel(members, counts, tc.f); got != tc.want {
+			t.Errorf("f=%d: confirmedLevel = %d, want %d", tc.f, got, tc.want)
+		}
+	}
+	if got := confirmedLevel([]graph.NodeID{1}, counts, 1); got != 0 {
+		t.Errorf("too few members should confirm 0, got %d", got)
+	}
+}
+
+func TestFloodingChain(t *testing.T) {
+	// Three estimators in a chain of clusters; a level wave injected at
+	// node 0's group propagates: estimator B adopts from group A, and its
+	// re-emitted pulses let estimator C adopt from group B.
+	eng := sim.NewEngine()
+	mk := func(groups map[graph.ClusterID][]graph.NodeID, send func(float64, int)) *Estimator {
+		hw := clockwork.NewHardwareClock(clockwork.Constant{Rate: 1})
+		e, err := New(eng, Config{Unit: 1, Rho: 1e-3, F: 1, Groups: groups, HW: hw, Send: send})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Start(); err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	// Group 0 = {1,2,3,4} feeds B; group 1 = {11,12,13,14} feeds C.
+	var c *Estimator
+	relayDelay := 0.001
+	b := mk(map[graph.ClusterID][]graph.NodeID{0: {1, 2, 3, 4}}, func(tt float64, copies int) {
+		// B's own pulses reach C attributed to B's ID (11) and a
+		// corroborating group member (12) — modeling f+1 correct members
+		// of B's cluster raising their estimates near-simultaneously.
+		for i := 0; i < copies; i++ {
+			eng.MustSchedule(tt+relayDelay, "relay", func(e2 *sim.Engine) {
+				c.HandleMaxPulse(e2.Now(), 11)
+				c.HandleMaxPulse(e2.Now(), 12)
+			})
+		}
+	})
+	c = mk(map[graph.ClusterID][]graph.NodeID{1: {11, 12, 13, 14}}, func(float64, int) {})
+
+	// Two members of group 0 claim level 4.
+	eng.MustSchedule(0.01, "inject", func(e2 *sim.Engine) {
+		for i := 0; i < 4; i++ {
+			b.HandleMaxPulse(e2.Now(), 1)
+			b.HandleMaxPulse(e2.Now(), 2)
+		}
+	})
+	if err := eng.Run(0.05); err != nil {
+		t.Fatal(err)
+	}
+	// After adoption M keeps growing locally at rate ≈ 1, so by t=0.05 the
+	// value is the adopted level plus up to 0.05 of local growth.
+	if got := b.Value(0.05); got < 5 || got > 5.06 {
+		t.Errorf("B adopted %v, want in [5, 5.06]", got)
+	}
+	// C heard 5 confirmed levels from B's group (both 11 and 12 delivered
+	// 5 pulses) → adopts 6·unit.
+	if got := c.Value(0.05); got < 6 || got > 6.06 {
+		t.Errorf("C adopted %v, want in [6, 6.06]", got)
+	}
+}
+
+func TestGap(t *testing.T) {
+	eng := sim.NewEngine()
+	hw := clockwork.NewHardwareClock(clockwork.Constant{Rate: 1})
+	e, err := New(eng, Config{Unit: 1, Rho: 1e-3, F: 0, Groups: singleGroup(1),
+		HW: hw, Send: func(float64, int) {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	m := e.Value(10)
+	if gap := e.Gap(10, m-3); math.Abs(gap-3) > 1e-9 {
+		t.Errorf("Gap = %v, want 3", gap)
+	}
+}
+
+func BenchmarkHandleMaxPulse(b *testing.B) {
+	eng := sim.NewEngine()
+	hw := clockwork.NewHardwareClock(clockwork.Constant{Rate: 1})
+	e, err := New(eng, Config{Unit: 1e9, Rho: 1e-3, F: 2,
+		Groups: singleGroup(1, 2, 3, 4, 5, 6, 7), HW: hw, Send: func(float64, int) {}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := e.Start(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.HandleMaxPulse(0, graph.NodeID(1+i%7))
+	}
+}

@@ -1,0 +1,109 @@
+package graph
+
+import "fmt"
+
+// ClusterID identifies a cluster (a node of the base graph 𝒢).
+type ClusterID = int
+
+// Augmented is the network G = (V, E) of the paper's Section 2: every node
+// C of the base graph 𝒢 becomes a cluster of k fully connected physical
+// nodes, and every base edge (B, C) ∈ ℰ becomes a complete bipartite graph
+// between the members of B and C.
+//
+// Edge types:
+//   - cluster edges: for each C and v,w ∈ C, {v,w} ∈ E
+//   - intercluster edges: for each (B,C) ∈ ℰ, v ∈ B, w ∈ C, {v,w} ∈ E
+//
+// Node v = c*k + i is the i-th member of cluster c, so membership is O(1).
+type Augmented struct {
+	Base *Graph // the base graph 𝒢
+	K    int    // cluster size k ≥ 1
+	Net  *Graph // the augmented physical network G
+}
+
+// Augment builds the augmented graph with cluster size k.
+func Augment(base *Graph, k int) (*Augmented, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("graph: cluster size k=%d < 1", k)
+	}
+	n := base.N() * k
+	net := New(n, fmt.Sprintf("%s⊗K%d", base.Name(), k))
+	a := &Augmented{Base: base, K: k, Net: net}
+	// Cluster edges: each cluster is a clique.
+	for c := 0; c < base.N(); c++ {
+		for i := 0; i < k; i++ {
+			for j := i + 1; j < k; j++ {
+				net.mustAddEdge(a.Member(c, i), a.Member(c, j))
+			}
+		}
+	}
+	// Intercluster edges: complete bipartite between adjacent clusters.
+	for _, e := range base.Edges() {
+		b, c := e[0], e[1]
+		for i := 0; i < k; i++ {
+			for j := 0; j < k; j++ {
+				net.mustAddEdge(a.Member(b, i), a.Member(c, j))
+			}
+		}
+	}
+	return a, nil
+}
+
+// Member returns the physical node ID of the i-th member of cluster c.
+func (a *Augmented) Member(c ClusterID, i int) NodeID { return c*a.K + i }
+
+// ClusterOf returns the cluster a physical node belongs to.
+func (a *Augmented) ClusterOf(v NodeID) ClusterID { return v / a.K }
+
+// IndexIn returns the member index of v within its cluster.
+func (a *Augmented) IndexIn(v NodeID) int { return v % a.K }
+
+// Members returns the physical node IDs of cluster c.
+func (a *Augmented) Members(c ClusterID) []NodeID {
+	out := make([]NodeID, a.K)
+	for i := 0; i < a.K; i++ {
+		out[i] = a.Member(c, i)
+	}
+	return out
+}
+
+// Clusters returns the number of clusters |𝒞|.
+func (a *Augmented) Clusters() int { return a.Base.N() }
+
+// NeighborClusters returns the clusters adjacent to c in the base graph
+// (the paper's N_C).
+func (a *Augmented) NeighborClusters(c ClusterID) []ClusterID {
+	return a.Base.Neighbors(c)
+}
+
+// Overhead summarizes the cost of the augmentation (Theorem 1.1's O(f) node
+// and O(f²) edge overheads).
+type Overhead struct {
+	BaseNodes, BaseEdges int
+	Nodes, Edges         int
+	ClusterEdges         int // Σ_C k(k−1)/2
+	InterclusterEdges    int // Σ_ℰ k²
+	NodeFactor           float64
+	EdgeFactor           float64
+}
+
+// Overhead computes the augmentation cost accounting.
+func (a *Augmented) Overhead() Overhead {
+	k := a.K
+	bn, bm := a.Base.N(), a.Base.M()
+	clusterEdges := bn * k * (k - 1) / 2
+	interEdges := bm * k * k
+	o := Overhead{
+		BaseNodes:         bn,
+		BaseEdges:         bm,
+		Nodes:             a.Net.N(),
+		Edges:             a.Net.M(),
+		ClusterEdges:      clusterEdges,
+		InterclusterEdges: interEdges,
+		NodeFactor:        float64(k),
+	}
+	if bm > 0 {
+		o.EdgeFactor = float64(o.Edges) / float64(bm)
+	}
+	return o
+}

@@ -1,0 +1,154 @@
+package graph
+
+import (
+	"fmt"
+
+	"ftgcs/internal/sim"
+)
+
+// Line returns the path graph 0–1–…–(n−1). Its diameter n−1 makes it the
+// canonical worst case for gradient clock synchronization (cf. [15] and the
+// paper's introduction: a clock wave "compresses" global skew onto one edge
+// of a line under master/slave synchronization).
+func Line(n int) *Graph {
+	g := New(n, fmt.Sprintf("line-%d", n))
+	for i := 0; i+1 < n; i++ {
+		g.mustAddEdge(i, i+1)
+	}
+	return g
+}
+
+// Ring returns the cycle graph on n nodes.
+func Ring(n int) *Graph {
+	g := New(n, fmt.Sprintf("ring-%d", n))
+	if n < 3 {
+		for i := 0; i+1 < n; i++ {
+			g.mustAddEdge(i, i+1)
+		}
+		return g
+	}
+	for i := 0; i < n; i++ {
+		g.mustAddEdge(i, (i+1)%n)
+	}
+	return g
+}
+
+// Clique returns the complete graph on n nodes (the Lynch–Welch setting:
+// D = 1).
+func Clique(n int) *Graph {
+	g := New(n, fmt.Sprintf("clique-%d", n))
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.mustAddEdge(i, j)
+		}
+	}
+	return g
+}
+
+// Star returns a star with node 0 at the center and n−1 leaves.
+func Star(n int) *Graph {
+	g := New(n, fmt.Sprintf("star-%d", n))
+	for i := 1; i < n; i++ {
+		g.mustAddEdge(0, i)
+	}
+	return g
+}
+
+// Grid returns the w×h grid graph; node (x, y) has ID y*w+x. Grids model
+// the System-on-Chip / Network-on-Chip topologies the paper's introduction
+// motivates.
+func Grid(w, h int) *Graph {
+	g := New(w*h, fmt.Sprintf("grid-%dx%d", w, h))
+	id := func(x, y int) int { return y*w + x }
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if x+1 < w {
+				g.mustAddEdge(id(x, y), id(x+1, y))
+			}
+			if y+1 < h {
+				g.mustAddEdge(id(x, y), id(x, y+1))
+			}
+		}
+	}
+	return g
+}
+
+// Torus returns the w×h torus (grid with wraparound links).
+func Torus(w, h int) *Graph {
+	g := New(w*h, fmt.Sprintf("torus-%dx%d", w, h))
+	id := func(x, y int) int { return ((y+h)%h)*w + (x+w)%w }
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if w > 2 || x+1 < w {
+				g.mustAddEdge(id(x, y), id(x+1, y))
+			}
+			if h > 2 || y+1 < h {
+				g.mustAddEdge(id(x, y), id(x, y+1))
+			}
+		}
+	}
+	return g
+}
+
+// BalancedTree returns a complete b-ary tree with the given depth
+// (depth 0 = single root).
+func BalancedTree(branching, depth int) *Graph {
+	if branching < 1 {
+		branching = 1
+	}
+	// Count nodes: 1 + b + b² + … + b^depth.
+	n := 1
+	level := 1
+	for d := 0; d < depth; d++ {
+		level *= branching
+		n += level
+	}
+	g := New(n, fmt.Sprintf("tree-b%d-d%d", branching, depth))
+	// Children of node i are b*i+1 … b*i+b (heap layout).
+	for i := 0; i < n; i++ {
+		for c := 1; c <= branching; c++ {
+			child := branching*i + c
+			if child < n {
+				g.mustAddEdge(i, child)
+			}
+		}
+	}
+	return g
+}
+
+// Hypercube returns the d-dimensional hypercube on 2^d nodes.
+func Hypercube(d int) *Graph {
+	n := 1 << uint(d)
+	g := New(n, fmt.Sprintf("hypercube-%d", d))
+	for v := 0; v < n; v++ {
+		for b := 0; b < d; b++ {
+			u := v ^ (1 << uint(b))
+			if v < u {
+				g.mustAddEdge(v, u)
+			}
+		}
+	}
+	return g
+}
+
+// RandomConnected returns a connected graph on n nodes with approximately
+// extra additional random edges beyond a random spanning tree. The result
+// is deterministic for a given rng stream.
+func RandomConnected(n, extra int, rng *sim.RNG) *Graph {
+	g := New(n, fmt.Sprintf("random-%d+%d", n, extra))
+	// Random spanning tree: connect node i to a random earlier node.
+	for i := 1; i < n; i++ {
+		g.mustAddEdge(i, rng.Intn(i))
+	}
+	// Extra random edges, skipping duplicates.
+	for e := 0; e < extra; e++ {
+		for tries := 0; tries < 32; tries++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v && !g.HasEdge(u, v) {
+				g.mustAddEdge(u, v)
+				break
+			}
+		}
+	}
+	return g
+}

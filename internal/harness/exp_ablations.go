@@ -1,0 +1,202 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+
+	"ftgcs/internal/byzantine"
+	"ftgcs/internal/core"
+)
+
+// Ablations returns the ablation studies: experiments probing design
+// choices of the construction rather than paper claims. They are run by
+// cmd/ftgcs-experiments -ablations and the A* benchmarks.
+func Ablations() []Experiment {
+	return []Experiment{
+		{ID: "A1", Title: "Recovery from transient clock faults (self-stabilization probe)", Run: runA1},
+		{ID: "A2", Title: "Trigger unit κ sensitivity", Run: runA2},
+		{ID: "A3", Title: "Global-skew machinery ablation (Theorem C.3 rules on/off)", Run: runA3},
+	}
+}
+
+// runA1 — transient-fault recovery and its boundary. The implementation's
+// plausibility filter (offsets beyond ±(τ₁+τ₂) are discarded — the defense
+// that disarms drag-away attacks) doubles as the re-acquisition limit:
+// clock corruption within the window heals in a few rounds through the
+// ordinary Lynch–Welch corrections, while corruption beyond it leaves the
+// victim permanently partitioned. This matches the paper's framing:
+// Lynch–Welch alone is *not* self-stabilizing — recovering from arbitrary
+// states requires the dedicated machinery of [8] (Khanchandani–Lenzen),
+// which is out of scope here and explicitly so in the paper too.
+func runA1(rc RunConfig) (*Table, error) {
+	p := mustParams()
+	rounds := 900.0
+	if rc.Quick {
+		rounds = 500
+	}
+	horizon := rounds * p.T
+	injectAt := math.Floor(rounds/4) * p.T
+	// The effective re-acquisition margin for a forward jump is the slack
+	// between where cluster-mates' pulses land in the victim's round
+	// (≈ τ₁ + d) and its compute deadline (τ₁+τ₂): jumping further than
+	// τ₂ − d ≈ ϑ_g·E pushes every mate's pulse past the deadline and the
+	// victim stops correcting entirely.
+	margin := p.Tau2 - p.Delay
+	window := p.Tau1 + p.Tau2
+	type trial struct {
+		label  string
+		mag    float64
+		expect string // "heals" or "partitions"
+	}
+	trials := []trial{
+		{"0.4·(τ₂−d)", 0.4 * margin, "heals"},
+		{"0.8·(τ₂−d)", 0.8 * margin, "heals"},
+		{"2·(τ₁+τ₂)", 2 * window, "partitions"},
+		{"10·(τ₁+τ₂)", 10 * window, "partitions"},
+	}
+	if rc.Quick {
+		trials = []trial{trials[0], trials[2]}
+	}
+
+	tbl := &Table{
+		ID:     "A1",
+		Title:  "Recovery after corrupting one node's clock (line D=4, k=4, f=1)",
+		Claim:  "re-acquisition works within the deadline margin τ₂−d ≈ ϑ_g·E; beyond it Lynch–Welch is not self-stabilizing (paper §1, [8])",
+		Header: []string{"offset", "peak local skew", "tail local skew", "healed", "expected"},
+	}
+	for _, tr := range trials {
+		base, faults := lineWithFaults(5, 4, func() byzantine.Strategy { return byzantine.Silent{} })
+		sys, err := core.NewSystem(core.Config{
+			Base: base, K: 4, F: 1, Params: p, Seed: rc.Seed + 200,
+			Drift:            core.DriftSpec{Kind: core.DriftSpread},
+			Faults:           faults,
+			EnableGlobalSkew: true,
+			SampleInterval:   p.T / 4,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := sys.Run(injectAt); err != nil {
+			return nil, err
+		}
+		// Corrupt node 10 (cluster 2, the middle of the line).
+		if err := sys.InjectClockFault(10, tr.mag); err != nil {
+			return nil, err
+		}
+		if err := sys.Run(horizon); err != nil {
+			return nil, err
+		}
+
+		ser := sys.Recorder().Series(core.SeriesLocalNode)
+		peak, tail, pre := 0.0, 0.0, 0.0
+		for i, tt := range ser.Times {
+			v := ser.Values[i]
+			switch {
+			case tt < injectAt && tt > injectAt/2:
+				pre = math.Max(pre, v) // pre-injection steady level
+			case tt >= injectAt:
+				peak = math.Max(peak, v)
+				if tt > horizon-horizon/5 {
+					tail = math.Max(tail, v)
+				}
+			}
+		}
+		healed := tail <= 2*pre+p.EG
+		tbl.AddRow(tr.label, f3(peak), f3(tail), okFail(healed), tr.expect)
+		rc.progressf("  A1 m=%.3g: peak=%.3g tail=%.3g pre=%.3g", tr.mag, peak, tail, pre)
+	}
+	tbl.AddNote("fault: node 10's clock value jumps forward mid-run (transient corruption outside the Byzantine budget)")
+	tbl.AddNote("measured re-acquisition margin ≈ τ₂−d = %.3g (mates' pulses must still land before the victim's compute deadline); beyond it the victim free-runs", margin)
+	tbl.AddNote("matching the paper: Lynch–Welch alone is not self-stabilizing — arbitrary-state recovery needs the dedicated machinery of [8]")
+	return tbl, nil
+}
+
+// runA2 — sensitivity of the local skew to the trigger unit κ. The
+// construction sets κ = 3δ = 3(k_stable+5)·E (Lemma 4.8); smaller κ reacts
+// earlier (smaller steady skew) but risks unfaithful executions where
+// estimate error crosses the trigger slack; larger κ is safe but slack.
+func runA2(rc RunConfig) (*Table, error) {
+	pBase := mustParams()
+	factors := []float64{0.5, 1, 2, 4}
+	if rc.Quick {
+		factors = []float64{1, 2}
+	}
+	rounds := 1200.0
+	if rc.Quick {
+		rounds = 600
+	}
+	tbl := &Table{
+		ID:     "A2",
+		Title:  "Local skew vs trigger unit κ (line D=4, alternating-halves drift)",
+		Claim:  "design choice: κ = 3δ balances reaction threshold against estimate slack",
+		Header: []string{"κ multiplier", "κ", "local skew", "level-1 band 2κ−δ", "skew/κ"},
+	}
+	for _, factor := range factors {
+		p := pBase
+		p.Kappa = pBase.Kappa * factor // δ unchanged: probes the κ/δ ratio
+		base, faults := lineWithFaults(5, 4, func() byzantine.Strategy { return byzantine.Silent{} })
+		sys, err := core.NewSystem(core.Config{
+			Base: base, K: 4, F: 1, Params: p, Seed: rc.Seed + 210,
+			Drift:            core.DriftSpec{Kind: core.DriftAlternatingHalves, Period: rounds * p.T / 2},
+			Faults:           faults,
+			EnableGlobalSkew: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := sys.Run(rounds * p.T); err != nil {
+			return nil, err
+		}
+		sum := sys.Summarize(rounds * p.T / 10)
+		tbl.AddRow(fmt.Sprintf("%.1f×", factor), f3(p.Kappa), f3(sum.MaxLocalNode),
+			f3(2*p.Kappa-p.Delta), f3(sum.MaxLocalNode/p.Kappa))
+		rc.progressf("  A2 κ×%.1f: local=%.3g", factor, sum.MaxLocalNode)
+	}
+	tbl.AddNote("measured skew tracks the level-1 band 2κ−δ: the trigger unit directly sets the steady skew")
+	tbl.AddNote("κ/δ < 3/2 would break trigger exclusivity (E5); κ/δ = 3 is the paper's choice")
+	return tbl, nil
+}
+
+// runA3 — ablate the Theorem C.3 rules: without the M_v catch-up rule the
+// gradient layer alone still bounds *local* skew, but nothing pulls
+// laggards toward the global maximum, so the global skew keeps growing
+// under a persistent rate gradient.
+func runA3(rc RunConfig) (*Table, error) {
+	p := mustParams()
+	rounds := 2000.0
+	if rc.Quick {
+		rounds = 800
+	}
+	tbl := &Table{
+		ID:     "A3",
+		Title:  "With vs without the global-skew machinery (line D=8, halves drift)",
+		Claim:  "Theorem C.3's catch-up rule is what bounds the global skew; local skew needs only the triggers",
+		Header: []string{"variant", "local skew", "global skew", "global bound O(δD)", "global within"},
+	}
+	for _, enabled := range []bool{true, false} {
+		base, faults := lineWithFaults(9, 4, func() byzantine.Strategy { return byzantine.Silent{} })
+		sys, err := core.NewSystem(core.Config{
+			Base: base, K: 4, F: 1, Params: p, Seed: rc.Seed + 220,
+			Drift:            core.DriftSpec{Kind: core.DriftHalves},
+			Faults:           faults,
+			EnableGlobalSkew: enabled,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := sys.Run(rounds * p.T); err != nil {
+			return nil, err
+		}
+		sum := sys.Summarize(rounds * p.T / 10)
+		name := "with catch-up (full algorithm)"
+		if !enabled {
+			name = "without catch-up (triggers only)"
+		}
+		bound := p.GlobalSkewBound(8)
+		tbl.AddRow(name, f3(sum.MaxLocalNode), f3(sum.MaxGlobal), f3(bound),
+			okFail(sum.MaxGlobal <= bound))
+		rc.progressf("  A3 enabled=%v: local=%.3g global=%.3g", enabled, sum.MaxGlobal, sum.MaxLocalNode)
+	}
+	tbl.AddNote("under a persistent rate gradient the FT triggers already chase the fastest cluster, so the ablated variant may still look bounded on short runs; the catch-up rule is what guarantees it")
+	return tbl, nil
+}

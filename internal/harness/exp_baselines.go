@@ -1,0 +1,235 @@
+package harness
+
+import (
+	"fmt"
+
+	"ftgcs/internal/baseline"
+	"ftgcs/internal/byzantine"
+	"ftgcs/internal/core"
+	"ftgcs/internal/graph"
+	"ftgcs/internal/metrics"
+	"ftgcs/internal/params"
+)
+
+// runE8 — the paper's motivating observation (§1): the plain GCS algorithm
+// (k=1) "utterly fails in face of non-benign faults" — a single Byzantine
+// node invalidates any non-trivial skew bound — while the clustered
+// construction at k=3f+1 restores it.
+func runE8(rc RunConfig) (*Table, error) {
+	p := mustParams()
+	rounds := 2500.0
+	if rc.Quick {
+		rounds = 900
+	}
+	horizon := rounds * p.T
+	ringSize := 8
+	// Cadence equivocation: independent off-nominal pulse trains per
+	// victim — the paper's "sub-nominal clock speed" example. Estimates
+	// follow the cadence without bound; every per-round innovation stays
+	// plausible.
+	attack := func() byzantine.Strategy { return byzantine.CadenceTwoFaced{} }
+
+	type variant struct {
+		name   string
+		k, f   int
+		faults []core.FaultSpec
+	}
+	variants := []variant{
+		{"plain GCS (k=1), fault-free", 1, 0, nil},
+		{"plain GCS (k=1), 1 Byzantine", 1, 0,
+			[]core.FaultSpec{{Node: 0, Strategy: attack()}}},
+		{"FTGCS (k=4, f=1), 1 Byzantine/cluster", 4, 1, nil},
+	}
+	// FTGCS variant: one two-faced node in every cluster.
+	for c := 0; c < ringSize; c++ {
+		variants[2].faults = append(variants[2].faults,
+			core.FaultSpec{Node: c*4 + 3, Strategy: attack()})
+	}
+
+	tbl := &Table{
+		ID:     "E8",
+		Title:  fmt.Sprintf("One Byzantine node vs plain GCS (ring of %d clusters)", ringSize),
+		Claim:  "§1: plain GCS has no non-trivial skew bound under 1 Byzantine fault; FTGCS restores O((ρd+U)logD)",
+		Header: []string{"system", "local skew (correct pairs)", "vs fault-free", "vs FTGCS bound", "bounded"},
+	}
+	var faultFree float64
+	bound := p.NodeLocalSkewBound(ringSize / 2)
+	for i, v := range variants {
+		// Mild drift (intra-cluster only): the Byzantine attack, not the
+		// rate adversary, must be the dominant skew source here.
+		sys, err := core.NewSystem(core.Config{
+			Base: graph.Ring(ringSize), K: v.k, F: v.f, Params: p,
+			Seed:             rc.Seed + 80 + int64(i),
+			Drift:            core.DriftSpec{Kind: core.DriftSpread},
+			Faults:           v.faults,
+			EnableGlobalSkew: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := sys.Run(horizon); err != nil {
+			return nil, err
+		}
+		sum := sys.Summarize(horizon / 10)
+		if i == 0 {
+			faultFree = sum.MaxLocalNode
+		}
+		ratio := sum.MaxLocalNode / faultFree
+		tbl.AddRow(v.name, f3(sum.MaxLocalNode), fmt.Sprintf("%.1f×", ratio),
+			f3(sum.MaxLocalNode/bound), okFail(sum.MaxLocalNode <= bound))
+		rc.progressf("  E8 %s: local=%.3g", v.name, sum.MaxLocalNode)
+	}
+	tbl.AddNote("attack: cadence equivocation — a fast pulse train (cadence ×(1+ε)) to half the neighbors, slow to the rest")
+	tbl.AddNote("skew is measured between correct nodes only; the Byzantine node itself is excluded")
+	return tbl, nil
+}
+
+// runE9 — the "simplistic approach" baseline (§1): master/slave TreeSync
+// achieves optimal global skew but compresses it onto single edges — local
+// skew grows linearly in D under the delay-bias reveal adversary, while
+// FTGCS stays flat/logarithmic.
+func runE9(rc RunConfig) (*Table, error) {
+	// Larger uncertainty makes the per-hop bias (±U/2) the dominant term.
+	cfg := params.Config{Rho: 1e-3, Delay: 1e-3, Uncertainty: 5e-4, C2: 4, Eps: 0.25, KStable: 1, CGlobal: 8}
+	p, err := params.Derive(cfg)
+	if err != nil {
+		return nil, err
+	}
+	diameters := []int{2, 4, 8}
+	rounds := 60.0
+	if rc.Quick {
+		diameters = []int{2, 4}
+		rounds = 30
+	}
+	horizon := rounds * p.T
+	fine := (p.Delay + p.EG) / 2 // sample fast enough to catch wavefronts
+
+	tbl := &Table{
+		ID:     "E9",
+		Title:  "TreeSync (master/slave echo) vs FTGCS under the hidden-skew reveal adversary",
+		Claim:  "§1/[15]: master-slave compresses global skew onto one edge (local skew Θ(D·U)); GCS keeps O(κ log D)",
+		Header: []string{"D", "TreeSync steady", "TreeSync reveal", "FTGCS reveal", "tree reveal/steady"},
+	}
+	var ds, tree, ftgcs []float64
+	for _, d := range diameters {
+		steadySys, err := baseline.NewSystem(baseline.Config{
+			Base: graph.Line(d + 1), Root: 0, K: 4, F: 1, Params: p, Seed: rc.Seed + 90,
+			Drift:          core.DriftSpec{Kind: core.DriftGradient},
+			Delay:          core.DelaySpec{Kind: core.DelayExtremal},
+			SampleInterval: fine,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := steadySys.Run(horizon); err != nil {
+			return nil, err
+		}
+		steady := steadySys.MaxLocalClusterSkew(horizon / 3)
+
+		revealSys, err := baseline.NewSystem(baseline.Config{
+			Base: graph.Line(d + 1), Root: 0, K: 4, F: 1, Params: p, Seed: rc.Seed + 90,
+			Drift:          core.DriftSpec{Kind: core.DriftGradient},
+			Delay:          core.DelaySpec{Kind: core.DelayPhasedReveal, SwitchAt: horizon / 2},
+			SampleInterval: fine,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := revealSys.Run(horizon); err != nil {
+			return nil, err
+		}
+		reveal := revealSys.MaxLocalClusterSkew(horizon / 3)
+
+		gcsSys, err := core.NewSystem(core.Config{
+			Base: graph.Line(d + 1), K: 4, F: 1, Params: p, Seed: rc.Seed + 90,
+			Drift:          core.DriftSpec{Kind: core.DriftGradient},
+			Delay:          core.DelaySpec{Kind: core.DelayPhasedReveal, SwitchAt: horizon / 2},
+			SampleInterval: fine,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := gcsSys.Run(horizon); err != nil {
+			return nil, err
+		}
+		gcsSkew := gcsSys.Summarize(horizon / 3).MaxLocalCluster
+
+		ds = append(ds, float64(d))
+		tree = append(tree, reveal)
+		ftgcs = append(ftgcs, gcsSkew)
+		tbl.AddRow(fmt.Sprintf("%d", d), f3(steady), f3(reveal), f3(gcsSkew),
+			fmt.Sprintf("%.1f×", reveal/steady))
+		rc.progressf("  E9 D=%d: tree steady=%.3g reveal=%.3g gcs=%.3g", d, steady, reveal, gcsSkew)
+	}
+	if len(ds) >= 3 {
+		if expTree, err := metrics.GrowthExponent(ds, tree); err == nil {
+			tbl.AddNote("TreeSync reveal growth exponent: %.2f (linear compression expected: ≈ 1)", expTree)
+		}
+		if expG, err := metrics.GrowthExponent(ds, ftgcs); err == nil {
+			tbl.AddNote("FTGCS reveal growth exponent: %.2f (flat/logarithmic expected: ≈ 0)", expG)
+		}
+	}
+	tbl.AddNote("adversary: delays biased parent→slow for the first half of the run, then flipped — the hidden per-hop estimate bias (±U/2) is revealed as a correction wavefront")
+	tbl.AddNote("at small D the baseline's absolute skew can be lower (constants); the claim is about growth shape")
+	return tbl, nil
+}
+
+// runE12 — resilience boundary: k ≥ 3f+1 is necessary [3,12]. Within the
+// configured budget (≤ f equivocators) the intra-cluster bound holds; one
+// extra equivocator destroys it.
+func runE12(rc RunConfig) (*Table, error) {
+	p := mustParams()
+	rounds := 400.0
+	if rc.Quick {
+		rounds = 150
+	}
+	type scenario struct {
+		k, f, actual int
+	}
+	scenarios := []scenario{
+		{4, 1, 0}, {4, 1, 1}, {4, 1, 2},
+		{7, 2, 2}, {7, 2, 3},
+	}
+	if rc.Quick {
+		scenarios = scenarios[:3]
+	}
+	tbl := &Table{
+		ID:     "E12",
+		Title:  "Resilience boundary: equivocating coalitions around the f budget (single cluster)",
+		Claim:  "[3,12] via Theorem 1.1's k ≥ 3f+1: ≤ f Byzantine ⇒ bound holds; > f ⇒ no guarantee",
+		Header: []string{"k", "f (budget)", "actual byz", "intra skew", "bound", "within", "expected"},
+	}
+	for _, sc := range scenarios {
+		var faults []core.FaultSpec
+		for i := 0; i < sc.actual; i++ {
+			faults = append(faults, core.FaultSpec{
+				Node:     sc.k - 1 - i,
+				Strategy: byzantine.AdaptiveTwoFaced{},
+			})
+		}
+		sys, err := core.NewSystem(core.Config{
+			Base: graph.Line(1), K: sc.k, F: sc.f, Params: p,
+			Seed:   rc.Seed + 120 + int64(sc.k*10+sc.actual),
+			Drift:  core.DriftSpec{Kind: core.DriftSpread},
+			Faults: faults,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := sys.Run(rounds * p.T); err != nil {
+			return nil, err
+		}
+		sum := sys.Summarize(rounds * p.T / 10)
+		bound := p.ClusterSkewBound()
+		within := sum.MaxIntraSkew <= bound
+		expected := "hold"
+		if sc.actual > sc.f {
+			expected = "may break"
+		}
+		tbl.AddRow(fmt.Sprintf("%d", sc.k), fmt.Sprintf("%d", sc.f), fmt.Sprintf("%d", sc.actual),
+			f3(sum.MaxIntraSkew), f3(bound), okFail(within), expected)
+		rc.progressf("  E12 k=%d f=%d actual=%d: intra=%.3g within=%v", sc.k, sc.f, sc.actual, sum.MaxIntraSkew, within)
+	}
+	tbl.AddNote("attack: adaptive two-faced equivocation (per-round drag ϕτ₃/2 anchored to victims' pulses); a coalition of f+1 drags correct members apart without limit")
+	return tbl, nil
+}

@@ -1,0 +1,124 @@
+package harness
+
+import (
+	"fmt"
+
+	"ftgcs/internal/graph"
+	"ftgcs/internal/params"
+	"ftgcs/internal/sim"
+)
+
+// runE7 — Inequality (1): with k = 3f+1 nodes failing independently with
+// probability p, Pr[> f failures in a cluster] ≤ (3ep)^{f+1}. We compare
+// the closed-form bound against the exact binomial tail and a Monte Carlo
+// estimate.
+func runE7(rc RunConfig) (*Table, error) {
+	trials := 400000
+	if rc.Quick {
+		trials = 40000
+	}
+	tbl := &Table{
+		ID:     "E7",
+		Title:  "Cluster failure probability: Monte Carlo vs exact vs paper bound",
+		Claim:  "Inequality (1): Pr[>f faults | k=3f+1, iid p] ≤ (3ep)^{f+1}",
+		Header: []string{"f", "k", "p", "monte carlo", "exact", "bound (3ep)^{f+1}", "bound holds"},
+	}
+	rng := sim.NewRNG(rc.Seed+70, 0)
+	for _, f := range []int{1, 2, 3} {
+		k := 3*f + 1
+		for _, pf := range []float64{0.01, 0.05, 0.1} {
+			bad := 0
+			for i := 0; i < trials; i++ {
+				failures := 0
+				for j := 0; j < k; j++ {
+					if rng.Bernoulli(pf) {
+						failures++
+					}
+				}
+				if failures > f {
+					bad++
+				}
+			}
+			mc := float64(bad) / float64(trials)
+			exact := params.ExactClusterFailureProb(f, pf)
+			bound := params.ClusterFailureProbBound(f, pf)
+			tbl.AddRow(fmt.Sprintf("%d", f), fmt.Sprintf("%d", k), f3(pf),
+				f3(mc), f3(exact), f3(bound), okFail(exact <= bound))
+		}
+	}
+	tbl.AddNote("with f = Θ(log n) the whole system survives constant per-node failure probability w.h.p. (paper §1)")
+	return tbl, nil
+}
+
+// runE11 — Theorem 1.1 overheads: the augmentation multiplies nodes by
+// k = 3f+1 = O(f) and replaces each base edge by k² = O(f²) physical edges
+// (plus k(k−1)/2 cluster edges per node).
+func runE11(rc RunConfig) (*Table, error) {
+	tbl := &Table{
+		ID:     "E11",
+		Title:  "Augmentation overhead accounting across topology families",
+		Claim:  "Theorem 1.1: O(f) node and O(f²) edge overheads (k = 3f+1)",
+		Header: []string{"base graph", "f", "k", "|𝒞|→|V|", "|ℰ|→|E|", "node ×", "edge ×/edge"},
+	}
+	bases := []*graph.Graph{
+		graph.Line(8), graph.Ring(8), graph.Grid(4, 4), graph.BalancedTree(2, 3), graph.Hypercube(3),
+	}
+	for _, base := range bases {
+		for _, f := range []int{1, 2, 3} {
+			k := 3*f + 1
+			a, err := graph.Augment(base, k)
+			if err != nil {
+				return nil, err
+			}
+			o := a.Overhead()
+			perEdge := 0.0
+			if o.BaseEdges > 0 {
+				perEdge = float64(o.InterclusterEdges) / float64(o.BaseEdges)
+			}
+			tbl.AddRow(base.Name(), fmt.Sprintf("%d", f), fmt.Sprintf("%d", k),
+				fmt.Sprintf("%d→%d", o.BaseNodes, o.Nodes),
+				fmt.Sprintf("%d→%d", o.BaseEdges, o.Edges),
+				f3(o.NodeFactor), f3(perEdge))
+		}
+	}
+	tbl.AddNote("node factor is exactly k = 3f+1 ∈ O(f); intercluster edge factor is exactly k² ∈ O(f²)")
+	tbl.AddNote("tolerating f faulty neighbors requires degree > f, so both overheads are asymptotically optimal (paper abstract)")
+	return tbl, nil
+}
+
+// runE14 — Eq. (5)/(12) feasibility: the contraction α_g < 1 bounds the
+// admissible drift ρ for each (c₂, ε) choice. The paper's constants demand
+// "sufficiently small ρ"; this experiment maps the region.
+func runE14(rc RunConfig) (*Table, error) {
+	tbl := &Table{
+		ID:     "E14",
+		Title:  "Feasible drift region per analysis-constant choice (d=1ms, U=0.1ms)",
+		Claim:  "Eq. (5)/(11)/(12): α_g < 1 requires ρ small; paper constants ⇒ ρ ≲ 2·10⁻⁶",
+		Header: []string{"c₂", "ε", "max feasible ρ", "α_g @ ρ/2", "E @ ρ/2", "T @ ρ/2"},
+	}
+	configs := []struct {
+		c2, eps float64
+	}{
+		{32, 1.0 / 4096}, // the paper's Eq. (5)
+		{32, 1.0 / 64},
+		{8, 1.0 / 8}, // Practical preset
+		{4, 1.0 / 4}, // experiment preset
+	}
+	for _, c := range configs {
+		rhoMax := params.FeasibleRhoMax(c.c2, c.eps, 1e-3, 1e-4)
+		if rhoMax == 0 {
+			tbl.AddRow(f3(c.c2), f3(c.eps), "0 (infeasible)", "-", "-", "-")
+			continue
+		}
+		p, err := params.Derive(params.Config{
+			Rho: rhoMax / 2, Delay: 1e-3, Uncertainty: 1e-4, C2: c.c2, Eps: c.eps,
+		})
+		if err != nil {
+			return nil, err
+		}
+		tbl.AddRow(f3(c.c2), f3(c.eps), f3(rhoMax), f3(p.AlphaG), f3(p.EG), f3(p.T))
+	}
+	tbl.AddNote("paper row: feasibility ends near ρ ≈ 2·10⁻⁶, matching the 'sufficiently small ρ' hypothesis of Lemma 3.6 / Claim B.16")
+	tbl.AddNote("E and T grow as 1/ε·(ρd+U) and c₁·E: the proof constants trade enormous rounds for provable margins")
+	return tbl, nil
+}

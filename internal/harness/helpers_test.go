@@ -1,0 +1,96 @@
+package harness
+
+import (
+	"math"
+	"testing"
+
+	"ftgcs/internal/byzantine"
+)
+
+func TestDiameterSequence(t *testing.T) {
+	diams := map[int]float64{3: 0.3, 1: 0.1, 2: 0.2, 9: 0.9}
+	seq := diameterSequence(diams, 5)
+	want := []float64{0.1, 0.2, 0.3}
+	if len(seq) != len(want) {
+		t.Fatalf("len = %d, want %d", len(seq), len(want))
+	}
+	for i := range want {
+		if seq[i] != want[i] {
+			t.Errorf("seq[%d] = %v, want %v", i, seq[i], want[i])
+		}
+	}
+	if got := diameterSequence(nil, 10); len(got) != 0 {
+		t.Errorf("empty map should give empty sequence, got %v", got)
+	}
+}
+
+func TestWindowedRateRange(t *testing.T) {
+	// Constant rate 2: values = 2·times.
+	times := []float64{0, 1, 2, 3, 4, 5}
+	values := []float64{0, 2, 4, 6, 8, 10}
+	lo, hi := windowedRateRange(times, values, 2, 0)
+	if math.Abs(lo-2) > 1e-12 || math.Abs(hi-2) > 1e-12 {
+		t.Errorf("constant rate: [%v, %v], want [2, 2]", lo, hi)
+	}
+	// Rate changes from 1 to 3 halfway.
+	times2 := []float64{0, 1, 2, 3, 4}
+	values2 := []float64{0, 1, 2, 5, 8}
+	lo, hi = windowedRateRange(times2, values2, 1, 0)
+	if lo != 1 || hi != 3 {
+		t.Errorf("varying rate: [%v, %v], want [1, 3]", lo, hi)
+	}
+	// Warmup skips the early samples.
+	lo, _ = windowedRateRange(times2, values2, 1, 2)
+	if lo != 3 {
+		t.Errorf("warmup skip: lo = %v, want 3", lo)
+	}
+	// Degenerate input.
+	lo, hi = windowedRateRange([]float64{1}, []float64{1}, 1, 0)
+	if !math.IsInf(lo, 1) || !math.IsInf(hi, -1) {
+		t.Errorf("degenerate: [%v, %v]", lo, hi)
+	}
+}
+
+func TestLineWithFaults(t *testing.T) {
+	base, faults := lineWithFaults(4, 5, func() byzantine.Strategy { return byzantine.Silent{} })
+	if base.N() != 4 {
+		t.Errorf("base N = %d", base.N())
+	}
+	if len(faults) != 4 {
+		t.Fatalf("faults = %d, want 4", len(faults))
+	}
+	for c, f := range faults {
+		if f.Node != c*5+4 {
+			t.Errorf("fault %d at node %d, want %d (last member)", c, f.Node, c*5+4)
+		}
+		if f.Strategy == nil {
+			t.Errorf("fault %d has no strategy", c)
+		}
+	}
+}
+
+func TestPhysicalDefaultFeasible(t *testing.T) {
+	p := mustParams()
+	if p.AlphaG >= 1 || p.T <= 0 || p.Kappa <= 0 {
+		t.Errorf("default harness parameters infeasible: %+v", p)
+	}
+	// The fast preset must keep the GCS base > 1 (axiom A4).
+	if p.SigmaBase() <= 1 {
+		t.Errorf("σ = %v, want > 1", p.SigmaBase())
+	}
+}
+
+func TestAblationsRegistry(t *testing.T) {
+	abl := Ablations()
+	if len(abl) != 3 {
+		t.Fatalf("ablations = %d, want 3", len(abl))
+	}
+	for _, e := range abl {
+		if e.ID == "" || e.Title == "" || e.Run == nil {
+			t.Errorf("malformed ablation %+v", e)
+		}
+		if _, err := ByID(e.ID); err != nil {
+			t.Errorf("ByID(%s): %v", e.ID, err)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+// Package harness defines the experiment suite that reproduces every
+// quantitative claim of the FTGCS paper (the paper is theory-only, so each
+// theorem/lemma/claim becomes one experiment; see DESIGN.md §4 for the
+// index). Each experiment produces a Table comparing the paper's bound or
+// prediction against measured values.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a rendered experiment result.
+type Table struct {
+	ID     string // "E1" … "E14"
+	Title  string
+	Claim  string // the paper reference being reproduced
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends a row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// AddNote appends a free-form note below the table.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Render writes the table as aligned ASCII.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "── %s: %s\n", t.ID, t.Title)
+	if t.Claim != "" {
+		fmt.Fprintf(w, "   claim: %s\n", t.Claim)
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		var b strings.Builder
+		b.WriteString("   ")
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			if i < len(widths) {
+				b.WriteString(pad(c, widths[i]))
+			} else {
+				b.WriteString(c)
+			}
+		}
+		fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "   note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// f3 formats a float with 3 significant-ish decimals in engineering style.
+func f3(v float64) string { return fmt.Sprintf("%.3g", v) }
+
+// okFail renders a boolean as a check/cross marker.
+func okFail(ok bool) string {
+	if ok {
+		return "ok"
+	}
+	return "VIOLATED"
+}

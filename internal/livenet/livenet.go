@@ -1,0 +1,290 @@
+// Package livenet runs the ClusterSync algorithm (Algorithm 1 of the FTGCS
+// paper) on real goroutines communicating over channels with genuine
+// wall-clock delays — one goroutine per node, time.Timer-driven phases,
+// and per-node simulated oscillator skew on top of the host clock.
+//
+// The deterministic discrete-event simulator (internal/sim + internal/core)
+// remains the substrate for all quantitative experiments; livenet exists to
+// demonstrate that the algorithm maps directly onto a concurrent runtime
+// (the examples/live-goroutines demo) and to smoke-test the protocol logic
+// against real scheduling jitter. Wall-clock tests are inherently
+// non-deterministic, so assertions in this package's tests use generous
+// tolerances.
+package livenet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"ftgcs/internal/approxagree"
+	"ftgcs/internal/params"
+	"ftgcs/internal/sim"
+)
+
+// Config describes a live cluster.
+type Config struct {
+	// K is the cluster size; F the fault budget (k ≥ 3f+1).
+	K, F int
+	// Params carries the phase durations (τ₁, τ₂, τ₃ in logical seconds).
+	Params params.Params
+	// TimeScale maps logical seconds to wall seconds (e.g. 0.01 runs a
+	// 0.1 s round in 1 ms of wall time). 0 selects 1.
+	TimeScale float64
+	// Seed drives delay jitter and per-node oscillator skew.
+	Seed int64
+	// Byzantine marks members that send no pulses (crash faults). Live
+	// equivocation attacks are exercised in the DES; the live runtime
+	// keeps the benign end of the spectrum.
+	Byzantine map[int]bool
+}
+
+// pulse is a content-less message carrying only its sender.
+type pulse struct {
+	from int
+}
+
+// Node is one live cluster member.
+type Node struct {
+	id      int
+	cfg     Config
+	inbox   chan pulse
+	outs    []chan<- pulse // k channels (including own loopback)
+	rng     *sim.RNG
+	skew    float64 // oscillator rate multiplier in [1, 1+ρ]
+	started time.Time
+
+	mu     sync.Mutex
+	offset float64 // logical clock correction accumulated (logical seconds)
+	round  int
+}
+
+// Cluster wires k live nodes.
+type Cluster struct {
+	cfg   Config
+	nodes []*Node
+}
+
+// NewCluster validates and constructs the live cluster (not yet running).
+func NewCluster(cfg Config) (*Cluster, error) {
+	if cfg.K < 3*cfg.F+1 {
+		return nil, fmt.Errorf("livenet: k=%d cannot tolerate f=%d", cfg.K, cfg.F)
+	}
+	if cfg.Params.T <= 0 {
+		return nil, errors.New("livenet: parameters not derived")
+	}
+	if cfg.TimeScale <= 0 {
+		cfg.TimeScale = 1
+	}
+	c := &Cluster{cfg: cfg}
+	inboxes := make([]chan pulse, cfg.K)
+	for i := range inboxes {
+		inboxes[i] = make(chan pulse, cfg.K*8)
+	}
+	for i := 0; i < cfg.K; i++ {
+		rng := sim.NewRNG(cfg.Seed, uint64(i))
+		outs := make([]chan<- pulse, cfg.K)
+		for j := range inboxes {
+			outs[j] = inboxes[j]
+		}
+		c.nodes = append(c.nodes, &Node{
+			id:    i,
+			cfg:   cfg,
+			inbox: inboxes[i],
+			outs:  outs,
+			rng:   rng,
+			skew:  1 + rng.Float64()*cfg.Params.Rho,
+		})
+	}
+	return c, nil
+}
+
+// Run executes rounds until the context is canceled, then returns. It
+// blocks; run it in a goroutine if concurrent access is needed.
+func (c *Cluster) Run(ctx context.Context) {
+	var wg sync.WaitGroup
+	start := time.Now()
+	for _, n := range c.nodes {
+		if c.cfg.Byzantine[n.id] {
+			continue // crash fault: never even starts
+		}
+		n.started = start
+		wg.Add(1)
+		go func(n *Node) {
+			defer wg.Done()
+			n.run(ctx)
+		}(n)
+	}
+	wg.Wait()
+}
+
+// Logical returns node i's logical clock in logical seconds.
+func (c *Cluster) Logical(i int) float64 {
+	return c.nodes[i].logicalNow()
+}
+
+// Skew returns the max minus min logical clock over correct nodes.
+func (c *Cluster) Skew() float64 {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for i, n := range c.nodes {
+		if c.cfg.Byzantine[i] {
+			continue
+		}
+		v := n.logicalNow()
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	return hi - lo
+}
+
+// Rounds returns the minimum completed round over correct nodes.
+func (c *Cluster) Rounds() int {
+	min := math.MaxInt32
+	for i, n := range c.nodes {
+		if c.cfg.Byzantine[i] {
+			continue
+		}
+		n.mu.Lock()
+		r := n.round
+		n.mu.Unlock()
+		if r < min {
+			min = r
+		}
+	}
+	return min
+}
+
+// logicalNow computes offset + skewed elapsed logical time.
+func (n *Node) logicalNow() float64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.started.IsZero() {
+		return 0
+	}
+	elapsed := time.Since(n.started).Seconds() / n.cfg.TimeScale
+	return n.offset + n.skew*elapsed
+}
+
+// sleepLogical sleeps until the node's logical clock reaches target,
+// respecting ctx.
+func (n *Node) sleepLogical(ctx context.Context, target float64) bool {
+	for {
+		now := n.logicalNow()
+		if now >= target {
+			return true
+		}
+		wall := (target - now) / n.skew * n.cfg.TimeScale
+		t := time.NewTimer(time.Duration(wall * float64(time.Second)))
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return false
+		case <-t.C:
+		}
+	}
+}
+
+// send delivers a pulse to every member (including self) after a random
+// wall delay in [d−U, d] (scaled).
+func (n *Node) send() {
+	d, u := n.cfg.Params.Delay, n.cfg.Params.Uncertainty
+	for j, out := range n.outs {
+		delay := n.rng.UniformIn(d-u, d) * n.cfg.TimeScale
+		out := out
+		_ = j
+		time.AfterFunc(time.Duration(delay*float64(time.Second)), func() {
+			select {
+			case out <- pulse{from: n.id}:
+			default: // receiver wedged or shut down; adversarial drop
+			}
+		})
+	}
+}
+
+// run executes the three-phase round loop.
+func (n *Node) run(ctx context.Context) {
+	p := n.cfg.Params
+	for r := 1; ; r++ {
+		base := float64(r-1) * p.T
+		// Phase 1: wait, then pulse.
+		if !n.sleepLogical(ctx, base+p.Tau1) {
+			return
+		}
+		drainInbox(n.inbox) // discard stale pulses from the previous round
+		n.send()
+		// Phase 2: collect pulses until logical τ₁+τ₂.
+		arrivals := map[int]float64{}
+		deadline := base + p.Tau1 + p.Tau2
+		for n.logicalNow() < deadline {
+			remaining := (deadline - n.logicalNow()) / n.skew * n.cfg.TimeScale
+			t := time.NewTimer(time.Duration(remaining * float64(time.Second)))
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return
+			case pu := <-n.inbox:
+				if _, dup := arrivals[pu.from]; !dup {
+					arrivals[pu.from] = n.logicalNow()
+				}
+				t.Stop()
+			case <-t.C:
+			}
+		}
+		// Approximate agreement on offsets (Algorithm 1, line 12).
+		selfArrival, ok := arrivals[n.id]
+		delta := 0.0
+		if ok {
+			offsets := make([]float64, n.cfg.K)
+			for i := 0; i < n.cfg.K; i++ {
+				if a, seen := arrivals[i]; seen {
+					offsets[i] = a - selfArrival
+				} else {
+					offsets[i] = math.Inf(1)
+				}
+			}
+			if m, err := approxagree.Midpoint(offsets, n.cfg.F); err == nil {
+				delta = m
+			}
+		}
+		if limit := p.Phi * p.Tau3; math.Abs(delta) > limit {
+			delta = math.Copysign(limit, delta)
+		}
+		// Phase 3: here the correction is applied as a single offset jump
+		// at the end of the phase — equivalent to the paper's amortized
+		// δ_v by Lemma 3.1, and simpler under wall-clock jitter.
+		if !n.sleepLogical(ctx, base+p.T) {
+			return
+		}
+		n.mu.Lock()
+		n.offset -= delta
+		n.round = r
+		n.mu.Unlock()
+	}
+}
+
+func drainInbox(ch chan pulse) {
+	for {
+		select {
+		case <-ch:
+		default:
+			return
+		}
+	}
+}
+
+// SortedClocks returns the correct nodes' logical clocks, ascending
+// (diagnostics for demos).
+func (c *Cluster) SortedClocks() []float64 {
+	var out []float64
+	for i, n := range c.nodes {
+		if !c.cfg.Byzantine[i] {
+			out = append(out, n.logicalNow())
+		}
+	}
+	sort.Float64s(out)
+	return out
+}

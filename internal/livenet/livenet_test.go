@@ -1,0 +1,133 @@
+package livenet
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"ftgcs/internal/params"
+)
+
+// liveParams derives parameters honest for a wall-clock runtime: Go timer
+// jitter (~0.1–1 ms) acts as extra delay uncertainty, so the model's U must
+// dominate it — U = 1 ms wall at time scale 1. Rounds then last ~230 ms.
+func liveParams(t testing.TB) params.Params {
+	t.Helper()
+	p, err := params.Derive(params.Config{
+		Rho: 3e-3, Delay: 2e-3, Uncertainty: 1e-3, C2: 4, Eps: 0.25, KStable: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestNewClusterValidation(t *testing.T) {
+	p := liveParams(t)
+	if _, err := NewCluster(Config{K: 3, F: 1, Params: p}); err == nil {
+		t.Error("k < 3f+1 accepted")
+	}
+	if _, err := NewCluster(Config{K: 4, F: 1}); err == nil {
+		t.Error("underived params accepted")
+	}
+	if _, err := NewCluster(Config{K: 4, F: 1, Params: p}); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+func TestLiveClusterSynchronizes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock test")
+	}
+	p := liveParams(t)
+	c, err := NewCluster(Config{K: 4, F: 1, Params: p, TimeScale: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 6*time.Second)
+	defer cancel()
+	done := make(chan struct{})
+	go func() {
+		c.Run(ctx)
+		close(done)
+	}()
+	// Let it run a while, then sample skew repeatedly.
+	time.Sleep(2 * time.Second)
+	worst := 0.0
+	for i := 0; i < 30; i++ {
+		if s := c.Skew(); s > worst {
+			worst = s
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	cancel()
+	<-done
+	if c.Rounds() < 10 {
+		t.Fatalf("only %d rounds completed", c.Rounds())
+	}
+	// Generous tolerance: scheduling jitter adds to the model's E. The
+	// point is that clocks stay coupled — with ρ=3e-3, free-running
+	// clocks would spread without bound.
+	if worst > 4*p.EG {
+		t.Errorf("live skew %v exceeds 4·E = %v", worst, 4*p.EG)
+	}
+	if worst == 0 {
+		t.Error("zero skew is implausible under real jitter")
+	}
+}
+
+func TestLiveClusterToleratesCrash(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock test")
+	}
+	p := liveParams(t)
+	c, err := NewCluster(Config{
+		K: 4, F: 1, Params: p, TimeScale: 1, Seed: 2,
+		Byzantine: map[int]bool{3: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	done := make(chan struct{})
+	go func() { c.Run(ctx); close(done) }()
+	time.Sleep(2 * time.Second)
+	worst := 0.0
+	for i := 0; i < 20; i++ {
+		if s := c.Skew(); s > worst {
+			worst = s
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	cancel()
+	<-done
+	if c.Rounds() < 10 {
+		t.Fatalf("only %d rounds completed with crash fault", c.Rounds())
+	}
+	if worst > 4*p.EG {
+		t.Errorf("live skew %v with crash fault exceeds 4·E = %v", worst, 4*p.EG)
+	}
+	clocks := c.SortedClocks()
+	if len(clocks) != 3 {
+		t.Errorf("expected 3 correct clocks, got %d", len(clocks))
+	}
+}
+
+func TestContextCancelStopsCluster(t *testing.T) {
+	p := liveParams(t)
+	c, err := NewCluster(Config{K: 4, F: 1, Params: p, TimeScale: 0.5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { c.Run(ctx); close(done) }()
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("cluster did not stop after cancel")
+	}
+}

@@ -1,0 +1,72 @@
+package metrics
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// WriteCSV renders the named series (all of them when names is empty) as a
+// single CSV with one row per distinct sample time and one column per
+// series; cells are empty where a series has no sample at that time.
+// Suitable for plotting the skew traces recorded by a run.
+func (r *Recorder) WriteCSV(w io.Writer, names ...string) error {
+	if len(names) == 0 {
+		names = r.Names()
+	}
+	series := make([]*Series, 0, len(names))
+	for _, n := range names {
+		s := r.Series(n)
+		if s == nil {
+			return fmt.Errorf("metrics: unknown series %q", n)
+		}
+		series = append(series, s)
+	}
+
+	// Collect the union of sample times.
+	timeSet := make(map[float64]struct{})
+	for _, s := range series {
+		for _, t := range s.Times {
+			timeSet[t] = struct{}{}
+		}
+	}
+	times := make([]float64, 0, len(timeSet))
+	for t := range timeSet {
+		times = append(times, t)
+	}
+	sort.Float64s(times)
+
+	// Index each series by time (later samples win on exact duplicates).
+	indexes := make([]map[float64]float64, len(series))
+	for i, s := range series {
+		m := make(map[float64]float64, len(s.Times))
+		for j, t := range s.Times {
+			m[t] = s.Values[j]
+		}
+		indexes[i] = m
+	}
+
+	cw := csv.NewWriter(w)
+	header := append([]string{"time"}, names...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	row := make([]string, len(header))
+	for _, t := range times {
+		row[0] = strconv.FormatFloat(t, 'g', -1, 64)
+		for i := range series {
+			if v, ok := indexes[i][t]; ok {
+				row[i+1] = strconv.FormatFloat(v, 'g', -1, 64)
+			} else {
+				row[i+1] = ""
+			}
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

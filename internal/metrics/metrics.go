@@ -1,0 +1,256 @@
+// Package metrics records time series produced by simulation runs and
+// provides the statistics the experiment harness reports: maxima, means,
+// quantiles, and the regression fits used to check the paper's scaling
+// claims (logarithmic local skew in D, geometric convergence of the
+// intra-cluster error, linear scaling in ρd+U).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Series is an append-only time series.
+type Series struct {
+	Name   string
+	Times  []float64
+	Values []float64
+}
+
+// Append adds a sample. Times should be non-decreasing.
+func (s *Series) Append(t, v float64) {
+	s.Times = append(s.Times, t)
+	s.Values = append(s.Values, v)
+}
+
+// Len returns the number of samples.
+func (s *Series) Len() int { return len(s.Values) }
+
+// Max returns the maximum value (−Inf when empty).
+func (s *Series) Max() float64 {
+	max := math.Inf(-1)
+	for _, v := range s.Values {
+		max = math.Max(max, v)
+	}
+	return max
+}
+
+// Min returns the minimum value (+Inf when empty).
+func (s *Series) Min() float64 {
+	min := math.Inf(1)
+	for _, v := range s.Values {
+		min = math.Min(min, v)
+	}
+	return min
+}
+
+// Mean returns the arithmetic mean (NaN when empty).
+func (s *Series) Mean() float64 {
+	if len(s.Values) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, v := range s.Values {
+		sum += v
+	}
+	return sum / float64(len(s.Values))
+}
+
+// Final returns the last value (NaN when empty).
+func (s *Series) Final() float64 {
+	if len(s.Values) == 0 {
+		return math.NaN()
+	}
+	return s.Values[len(s.Values)-1]
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) by linear interpolation over
+// the sorted values; NaN when empty.
+func (s *Series) Quantile(q float64) float64 {
+	n := len(s.Values)
+	if n == 0 {
+		return math.NaN()
+	}
+	sorted := make([]float64, n)
+	copy(sorted, s.Values)
+	sort.Float64s(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[n-1]
+	}
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	if lo+1 >= n {
+		return sorted[n-1]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// MaxAfter returns the maximum over samples with t ≥ start; −Inf when none.
+// Used to exclude transient start-up phases from steady-state claims.
+func (s *Series) MaxAfter(start float64) float64 {
+	max := math.Inf(-1)
+	for i, t := range s.Times {
+		if t >= start {
+			max = math.Max(max, s.Values[i])
+		}
+	}
+	return max
+}
+
+// Recorder is a bag of named series.
+type Recorder struct {
+	series map[string]*Series
+	order  []string
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{series: make(map[string]*Series)}
+}
+
+// Observe appends a sample to the named series, creating it if needed.
+func (r *Recorder) Observe(name string, t, v float64) {
+	s, ok := r.series[name]
+	if !ok {
+		s = &Series{Name: name}
+		r.series[name] = s
+		r.order = append(r.order, name)
+	}
+	s.Append(t, v)
+}
+
+// Series returns the named series, or nil.
+func (r *Recorder) Series(name string) *Series { return r.series[name] }
+
+// Names returns the series names in creation order.
+func (r *Recorder) Names() []string {
+	out := make([]string, len(r.order))
+	copy(out, r.order)
+	return out
+}
+
+// Max is shorthand for Series(name).Max(); −Inf when the series is absent.
+func (r *Recorder) Max(name string) float64 {
+	if s := r.series[name]; s != nil {
+		return s.Max()
+	}
+	return math.Inf(-1)
+}
+
+// --- Regression helpers ---
+
+// FitLinear returns the least-squares fit y = a·x + b and the coefficient
+// of determination R².
+func FitLinear(xs, ys []float64) (a, b, r2 float64, err error) {
+	n := len(xs)
+	if n != len(ys) || n < 2 {
+		return 0, 0, 0, fmt.Errorf("metrics: need ≥ 2 paired samples, have %d/%d", len(xs), len(ys))
+	}
+	var sx, sy float64
+	for i := 0; i < n; i++ {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/float64(n), sy/float64(n)
+	var sxx, sxy, syy float64
+	for i := 0; i < n; i++ {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return 0, 0, 0, fmt.Errorf("metrics: degenerate x values")
+	}
+	a = sxy / sxx
+	b = my - a*mx
+	if syy == 0 {
+		r2 = 1
+	} else {
+		r2 = sxy * sxy / (sxx * syy)
+	}
+	return a, b, r2, nil
+}
+
+// FitLogarithm fits y = a·log₂(x) + b; used for the E1 claim that local
+// skew grows logarithmically in the diameter.
+func FitLogarithm(xs, ys []float64) (a, b, r2 float64, err error) {
+	lx := make([]float64, len(xs))
+	for i, x := range xs {
+		if x <= 0 {
+			return 0, 0, 0, fmt.Errorf("metrics: non-positive x for log fit: %v", x)
+		}
+		lx[i] = math.Log2(x)
+	}
+	return FitLinear(lx, ys)
+}
+
+// FitGeometricDecay estimates the contraction factor α of a sequence
+// e(r+1) ≈ α·e(r) + β by least squares on consecutive pairs. It returns
+// α̂ and β̂. Used in E3 to compare the measured pulse-diameter convergence
+// against the paper's Eq. (9)/(12).
+func FitGeometricDecay(seq []float64) (alpha, beta float64, err error) {
+	if len(seq) < 3 {
+		return 0, 0, fmt.Errorf("metrics: need ≥ 3 values, have %d", len(seq))
+	}
+	xs := seq[:len(seq)-1]
+	ys := seq[1:]
+	alpha, beta, _, err = FitLinear(xs, ys)
+	return alpha, beta, err
+}
+
+// GrowthExponent fits y = c·x^p (power law) via log-log regression and
+// returns p. Distinguishes linear (p≈1) from logarithmic (p≈0…0.3) growth
+// in the D-sweep experiments.
+func GrowthExponent(xs, ys []float64) (p float64, err error) {
+	lx := make([]float64, len(xs))
+	ly := make([]float64, len(ys))
+	for i := range xs {
+		if xs[i] <= 0 || ys[i] <= 0 {
+			return 0, fmt.Errorf("metrics: non-positive sample for power fit")
+		}
+		lx[i] = math.Log(xs[i])
+		ly[i] = math.Log(ys[i])
+	}
+	p, _, _, err = FitLinear(lx, ly)
+	return p, err
+}
+
+// Welford accumulates streaming mean and variance.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add incorporates a sample.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the number of samples.
+func (w *Welford) N() int { return w.n }
+
+// Mean returns the running mean (NaN when empty).
+func (w *Welford) Mean() float64 {
+	if w.n == 0 {
+		return math.NaN()
+	}
+	return w.mean
+}
+
+// Std returns the sample standard deviation (NaN when n < 2).
+func (w *Welford) Std() float64 {
+	if w.n < 2 {
+		return math.NaN()
+	}
+	return math.Sqrt(w.m2 / float64(w.n-1))
+}

@@ -1,0 +1,45 @@
+package sim
+
+import "math/rand"
+
+// RNG wraps a deterministic random source. Every simulation component draws
+// from its own stream derived from the master seed, so adding or removing a
+// component does not perturb the randomness seen by others.
+type RNG struct {
+	*rand.Rand
+}
+
+// splitMix64 advances a 64-bit state and returns a well-mixed output. It is
+// the standard SplitMix64 generator, used here only to derive independent
+// stream seeds from (masterSeed, streamID) pairs.
+func splitMix64(state uint64) uint64 {
+	state += 0x9e3779b97f4a7c15
+	z := state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// DeriveSeed deterministically mixes a master seed with a stream identifier.
+func DeriveSeed(master int64, stream uint64) int64 {
+	mixed := splitMix64(uint64(master) ^ splitMix64(stream))
+	return int64(mixed)
+}
+
+// NewRNG returns an independent random stream for the given component.
+func NewRNG(master int64, stream uint64) *RNG {
+	return &RNG{Rand: rand.New(rand.NewSource(DeriveSeed(master, stream)))}
+}
+
+// UniformIn returns a sample uniformly distributed in [lo, hi].
+func (r *RNG) UniformIn(lo, hi float64) float64 {
+	if hi <= lo {
+		return lo
+	}
+	return lo + r.Float64()*(hi-lo)
+}
+
+// Bernoulli returns true with probability p.
+func (r *RNG) Bernoulli(p float64) bool {
+	return r.Float64() < p
+}

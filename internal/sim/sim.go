@@ -1,0 +1,213 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine maintains a priority queue of timed events over a continuous
+// (float64) Newtonian timeline. Events scheduled for the same instant are
+// executed in insertion order, which — together with seeded random number
+// streams (see rng.go) — makes every simulation run bit-for-bit
+// reproducible for a given seed.
+//
+// All clock synchronization experiments in this repository run on top of
+// this engine: node pulses, phase transitions, drift-model rate changes and
+// metric samplers are all events.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Time is a point on the simulated Newtonian timeline, in seconds.
+type Time = float64
+
+// Event is a scheduled callback. The callback receives the engine so it can
+// schedule follow-up events.
+type Event struct {
+	// At is the Newtonian time the event fires.
+	At Time
+	// Fn is invoked when the event fires. It must not be nil.
+	Fn func(*Engine)
+	// Label is an optional human-readable tag used in traces and error
+	// messages.
+	Label string
+
+	seq   uint64 // insertion order, breaks time ties deterministically
+	index int    // heap index; -1 once removed
+}
+
+// Handle identifies a scheduled event so it can be canceled.
+type Handle struct {
+	ev *Event
+}
+
+// Canceled reports whether the underlying event was canceled or already
+// fired.
+func (h Handle) Canceled() bool { return h.ev == nil || h.ev.index < 0 }
+
+// eventQueue is a min-heap ordered by (At, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].At != q[j].At {
+		return q[i].At < q[j].At
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}
+
+// Engine is a deterministic discrete-event scheduler. The zero value is not
+// usable; construct with NewEngine.
+type Engine struct {
+	now     Time
+	queue   eventQueue
+	seq     uint64
+	stopped bool
+
+	// processed counts events executed so far.
+	processed uint64
+	// maxEvents aborts runaway simulations; 0 means no limit.
+	maxEvents uint64
+}
+
+// NewEngine returns an engine with the clock at time 0.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Processed returns the number of events executed so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// SetEventLimit aborts Run with ErrEventLimit after n events (0 = unlimited).
+func (e *Engine) SetEventLimit(n uint64) { e.maxEvents = n }
+
+// Pending returns the number of events currently scheduled.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// ErrEventLimit is returned by Run when the configured event limit is hit.
+var ErrEventLimit = errors.New("sim: event limit exceeded")
+
+// ErrPast is returned when an event is scheduled before the current time.
+var ErrPast = errors.New("sim: schedule time is in the past")
+
+// Schedule enqueues fn to run at time at. Scheduling in the past is an
+// error; scheduling exactly at the current time is allowed and runs after
+// all previously scheduled events for this instant.
+func (e *Engine) Schedule(at Time, label string, fn func(*Engine)) (Handle, error) {
+	if fn == nil {
+		return Handle{}, errors.New("sim: nil event function")
+	}
+	if math.IsNaN(at) || math.IsInf(at, 0) {
+		return Handle{}, fmt.Errorf("sim: invalid event time %v (%s)", at, label)
+	}
+	if at < e.now {
+		return Handle{}, fmt.Errorf("%w: at=%v now=%v (%s)", ErrPast, at, e.now, label)
+	}
+	ev := &Event{At: at, Fn: fn, Label: label, seq: e.seq}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return Handle{ev: ev}, nil
+}
+
+// MustSchedule is Schedule but panics on error. It is intended for internal
+// scheduling where the time argument is known to be valid by construction;
+// an error here indicates a bug in the caller, not a runtime condition.
+func (e *Engine) MustSchedule(at Time, label string, fn func(*Engine)) Handle {
+	h, err := e.Schedule(at, label, fn)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// After schedules fn to run d seconds from now.
+func (e *Engine) After(d float64, label string, fn func(*Engine)) (Handle, error) {
+	return e.Schedule(e.now+d, label, fn)
+}
+
+// Cancel removes a scheduled event. Canceling an already-fired or
+// already-canceled event is a no-op returning false.
+func (e *Engine) Cancel(h Handle) bool {
+	if h.ev == nil || h.ev.index < 0 {
+		return false
+	}
+	heap.Remove(&e.queue, h.ev.index)
+	h.ev.index = -1
+	return true
+}
+
+// Stop makes the current Run return after the in-flight event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events in timestamp order until the queue is empty, the
+// horizon is passed, Stop is called, or the event limit is exceeded. The
+// engine time is left at min(horizon, last event time); events scheduled
+// after the horizon remain queued.
+func (e *Engine) Run(horizon Time) error {
+	e.stopped = false
+	for len(e.queue) > 0 && !e.stopped {
+		next := e.queue[0]
+		if next.At > horizon {
+			break
+		}
+		heap.Pop(&e.queue)
+		e.now = next.At
+		e.processed++
+		if e.maxEvents > 0 && e.processed > e.maxEvents {
+			return fmt.Errorf("%w: %d events", ErrEventLimit, e.processed)
+		}
+		next.Fn(e)
+	}
+	if e.now < horizon {
+		e.now = horizon
+	}
+	return nil
+}
+
+// Step executes exactly one event if one is pending, returning whether an
+// event ran.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	next := heap.Pop(&e.queue).(*Event)
+	e.now = next.At
+	e.processed++
+	next.Fn(e)
+	return true
+}
+
+// PeekTime returns the firing time of the next pending event, or +Inf when
+// the queue is empty.
+func (e *Engine) PeekTime() Time {
+	if len(e.queue) == 0 {
+		return math.Inf(1)
+	}
+	return e.queue[0].At
+}

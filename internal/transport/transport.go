@@ -1,0 +1,273 @@
+// Package transport delivers content-less pulses over the augmented
+// network with per-message delays in [d−U, d] (FTGCS paper, Section 2,
+// "Communication and computation").
+//
+// Correct nodes broadcast: one send reaches every neighbor, each with an
+// independently sampled delay. Byzantine nodes are not bound to broadcast —
+// the adversary uses SendTo to equivocate (different pulses, or none, per
+// neighbor). Both paths go through the same DelayModel so delay adversaries
+// compose with behavioral ones.
+package transport
+
+import (
+	"fmt"
+
+	"ftgcs/internal/graph"
+	"ftgcs/internal/sim"
+)
+
+// Kind distinguishes the two pulse types of the paper.
+type Kind int
+
+const (
+	// PulseClock is a ClusterSync round pulse (Algorithm 1, line 6).
+	PulseClock Kind = iota + 1
+	// PulseMax is a global-skew level pulse (Appendix C, Lemma C.2):
+	// sent whenever M_v reaches the next multiple of d−U.
+	PulseMax
+)
+
+func (k Kind) String() string {
+	switch k {
+	case PulseClock:
+		return "clock"
+	case PulseMax:
+		return "max"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Pulse is a content-less message; receivers learn only the sender
+// identity, the kind, and their own local reception time.
+type Pulse struct {
+	From graph.NodeID
+	Kind Kind
+}
+
+// Handler consumes a pulse at its delivery time.
+type Handler func(at float64, p Pulse)
+
+// DelayModel samples per-message delays. Implementations must return
+// values in [d−U, d]; Network validates every sample.
+type DelayModel interface {
+	// Sample returns the delay for a message from → to sent at time t.
+	Sample(from, to graph.NodeID, t float64) float64
+	// Bounds returns (d, U).
+	Bounds() (d, u float64)
+}
+
+// UniformDelay draws delays uniformly from [d−U, d].
+type UniformDelay struct {
+	D, U float64
+	Rng  *sim.RNG
+}
+
+// Sample implements DelayModel.
+func (m UniformDelay) Sample(from, to graph.NodeID, t float64) float64 {
+	return m.Rng.UniformIn(m.D-m.U, m.D)
+}
+
+// Bounds implements DelayModel.
+func (m UniformDelay) Bounds() (float64, float64) { return m.D, m.U }
+
+// FixedDelay always delivers after exactly D−Frac·U (Frac ∈ [0,1]).
+type FixedDelay struct {
+	D, U float64
+	// Frac selects the point within the uncertainty window: 0 → delay d,
+	// 1 → delay d−U.
+	Frac float64
+}
+
+// Sample implements DelayModel.
+func (m FixedDelay) Sample(from, to graph.NodeID, t float64) float64 {
+	return m.D - m.Frac*m.U
+}
+
+// Bounds implements DelayModel.
+func (m FixedDelay) Bounds() (float64, float64) { return m.D, m.U }
+
+// ExtremalDelay is the delay adversary used in skew lower-bound
+// constructions: messages from lower-ID to higher-ID nodes take the
+// maximum delay d while messages in the other direction take the minimum
+// d−U (or vice versa when Invert is set). It maximizes the systematic
+// offset-estimation error between node pairs.
+type ExtremalDelay struct {
+	D, U   float64
+	Invert bool
+}
+
+// Sample implements DelayModel.
+func (m ExtremalDelay) Sample(from, to graph.NodeID, t float64) float64 {
+	slow := from < to
+	if m.Invert {
+		slow = !slow
+	}
+	if slow {
+		return m.D
+	}
+	return m.D - m.U
+}
+
+// Bounds implements DelayModel.
+func (m ExtremalDelay) Bounds() (float64, float64) { return m.D, m.U }
+
+// PhasedDelay switches between two delay models at time SwitchAt. It
+// realizes the classic skew-compression adversary: one systematic bias
+// while skew silently accumulates, then the opposite bias to reveal it
+// (cf. the paper's discussion of [15] in the introduction).
+type PhasedDelay struct {
+	Before, After DelayModel
+	SwitchAt      float64
+}
+
+// Sample implements DelayModel.
+func (m PhasedDelay) Sample(from, to graph.NodeID, t float64) float64 {
+	if t < m.SwitchAt {
+		return m.Before.Sample(from, to, t)
+	}
+	return m.After.Sample(from, to, t)
+}
+
+// Bounds implements DelayModel; both phases must share (d, U).
+func (m PhasedDelay) Bounds() (float64, float64) { return m.Before.Bounds() }
+
+// FuncDelay adapts an arbitrary function as a DelayModel.
+type FuncDelay struct {
+	D, U float64
+	Fn   func(from, to graph.NodeID, t float64) float64
+}
+
+// Sample implements DelayModel.
+func (m FuncDelay) Sample(from, to graph.NodeID, t float64) float64 {
+	return m.Fn(from, to, t)
+}
+
+// Bounds implements DelayModel.
+func (m FuncDelay) Bounds() (float64, float64) { return m.D, m.U }
+
+// Stats counts transport activity.
+type Stats struct {
+	Broadcasts uint64
+	Sends      uint64 // individual point-to-point deliveries scheduled
+	Loopbacks  uint64
+	Delivered  uint64
+}
+
+// Network schedules pulse deliveries on the simulation engine.
+type Network struct {
+	eng      *sim.Engine
+	g        *graph.Graph
+	delays   DelayModel
+	handlers []Handler
+	stats    Stats
+}
+
+// NewNetwork constructs a network over g using the given delay model.
+func NewNetwork(eng *sim.Engine, g *graph.Graph, delays DelayModel) *Network {
+	return &Network{
+		eng:      eng,
+		g:        g,
+		delays:   delays,
+		handlers: make([]Handler, g.N()),
+	}
+}
+
+// OnPulse registers the pulse handler of node v (overwriting any previous
+// one).
+func (n *Network) OnPulse(v graph.NodeID, h Handler) {
+	n.handlers[v] = h
+}
+
+// Stats returns a copy of the transport counters.
+func (n *Network) Stats() Stats { return n.stats }
+
+// Graph returns the underlying physical graph.
+func (n *Network) Graph() *graph.Graph { return n.g }
+
+// Bounds returns the delay parameters (d, U).
+func (n *Network) Bounds() (float64, float64) { return n.delays.Bounds() }
+
+func (n *Network) validateDelay(delay float64, from, to graph.NodeID) error {
+	d, u := n.delays.Bounds()
+	const eps = 1e-12
+	if delay < d-u-eps || delay > d+eps {
+		return fmt.Errorf("transport: delay %v for %d→%d outside [d−U, d] = [%v, %v]",
+			delay, from, to, d-u, d)
+	}
+	return nil
+}
+
+func (n *Network) deliver(at float64, from, to graph.NodeID, kind Kind) {
+	h := n.handlers[to]
+	if h == nil {
+		return
+	}
+	n.stats.Delivered++
+	h(at, Pulse{From: from, Kind: kind})
+}
+
+// Broadcast sends a pulse from v to all its neighbors (not to itself; use
+// Loopback for the sender's own observation of its pulse). This is the only
+// send primitive available to correct nodes.
+func (n *Network) Broadcast(t float64, from graph.NodeID, kind Kind) error {
+	n.stats.Broadcasts++
+	for _, to := range n.g.Neighbors(from) {
+		if err := n.SendTo(t, from, to, kind); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SendTo schedules a single point-to-point pulse delivery. Correct nodes
+// never call this directly; it exists for the Byzantine adversary, which is
+// "not required to communicate by broadcast" (paper, Section 2, Faults).
+func (n *Network) SendTo(t float64, from, to graph.NodeID, kind Kind) error {
+	if !n.g.HasEdge(from, to) {
+		return fmt.Errorf("transport: no edge %d→%d", from, to)
+	}
+	delay := n.delays.Sample(from, to, t)
+	if err := n.validateDelay(delay, from, to); err != nil {
+		return err
+	}
+	n.stats.Sends++
+	_, err := n.eng.Schedule(t+delay, "pulse", func(e *sim.Engine) {
+		n.deliver(e.Now(), from, to, kind)
+	})
+	return err
+}
+
+// LoopbackFunc schedules fn to run after a sampled self-delivery delay.
+// Nodes running several ClusterSync instances (their own cluster plus one
+// observer per neighboring cluster) use this to route each instance's
+// virtual own-pulse to that instance directly — they would be
+// indistinguishable if they all went through the node's single pulse
+// handler.
+func (n *Network) LoopbackFunc(t float64, v graph.NodeID, fn func(at float64)) error {
+	delay := n.delays.Sample(v, v, t)
+	if err := n.validateDelay(delay, v, v); err != nil {
+		return err
+	}
+	n.stats.Loopbacks++
+	_, err := n.eng.Schedule(t+delay, "loopback-fn", func(e *sim.Engine) {
+		fn(e.Now())
+	})
+	return err
+}
+
+// Loopback schedules delivery of v's own pulse to itself through the same
+// delay model (ClusterSync's τ_vv term needs the reception time of the
+// node's own pulse). The pulse is delivered via the node's handler like any
+// other.
+func (n *Network) Loopback(t float64, v graph.NodeID, kind Kind) error {
+	delay := n.delays.Sample(v, v, t)
+	if err := n.validateDelay(delay, v, v); err != nil {
+		return err
+	}
+	n.stats.Loopbacks++
+	_, err := n.eng.Schedule(t+delay, "loopback", func(e *sim.Engine) {
+		n.deliver(e.Now(), v, v, kind)
+	})
+	return err
+}

@@ -1,0 +1,196 @@
+package transport
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ftgcs/internal/graph"
+	"ftgcs/internal/sim"
+)
+
+func TestBroadcastReachesAllNeighbors(t *testing.T) {
+	eng := sim.NewEngine()
+	g := graph.Clique(4)
+	net := NewNetwork(eng, g, FixedDelay{D: 1e-3, U: 1e-4, Frac: 0.5})
+	got := make(map[graph.NodeID][]Pulse)
+	for v := 0; v < 4; v++ {
+		v := v
+		net.OnPulse(v, func(at float64, p Pulse) {
+			got[v] = append(got[v], p)
+		})
+	}
+	if err := net.Broadcast(0, 0, PulseClock); err != nil {
+		t.Fatalf("Broadcast: %v", err)
+	}
+	if err := eng.Run(1); err != nil {
+		t.Fatal(err)
+	}
+	for v := 1; v < 4; v++ {
+		if len(got[v]) != 1 || got[v][0].From != 0 || got[v][0].Kind != PulseClock {
+			t.Errorf("node %d got %v", v, got[v])
+		}
+	}
+	if len(got[0]) != 0 {
+		t.Error("broadcast must not self-deliver")
+	}
+	st := net.Stats()
+	if st.Broadcasts != 1 || st.Sends != 3 || st.Delivered != 3 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestDeliveryTimeWithinBounds(t *testing.T) {
+	eng := sim.NewEngine()
+	g := graph.Line(2)
+	d, u := 1e-3, 4e-4
+	net := NewNetwork(eng, g, UniformDelay{D: d, U: u, Rng: sim.NewRNG(1, 0)})
+	var times []float64
+	net.OnPulse(1, func(at float64, p Pulse) { times = append(times, at) })
+	sendAt := 5.0
+	eng.MustSchedule(sendAt, "send", func(*sim.Engine) {
+		for i := 0; i < 200; i++ {
+			if err := net.SendTo(sendAt, 0, 1, PulseClock); err != nil {
+				t.Errorf("SendTo: %v", err)
+			}
+		}
+	})
+	if err := eng.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if len(times) != 200 {
+		t.Fatalf("delivered %d, want 200", len(times))
+	}
+	for _, at := range times {
+		delay := at - sendAt
+		if delay < d-u-1e-12 || delay > d+1e-12 {
+			t.Fatalf("delay %v outside [%v, %v]", delay, d-u, d)
+		}
+	}
+}
+
+func TestSendToRequiresEdge(t *testing.T) {
+	eng := sim.NewEngine()
+	g := graph.Line(3) // 0-1-2; no 0-2 edge
+	net := NewNetwork(eng, g, FixedDelay{D: 1, U: 0})
+	if err := net.SendTo(0, 0, 2, PulseClock); err == nil {
+		t.Error("send along non-edge should fail")
+	}
+}
+
+func TestLoopback(t *testing.T) {
+	eng := sim.NewEngine()
+	g := graph.Line(2)
+	net := NewNetwork(eng, g, FixedDelay{D: 1e-3, U: 0})
+	var got []Pulse
+	var at float64
+	net.OnPulse(0, func(t float64, p Pulse) { got = append(got, p); at = t })
+	if err := net.Loopback(0, 0, PulseClock); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(1); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].From != 0 {
+		t.Fatalf("got %v", got)
+	}
+	if at != 1e-3 {
+		t.Errorf("loopback delivery at %v, want 1e-3", at)
+	}
+}
+
+func TestDelayModelValidation(t *testing.T) {
+	eng := sim.NewEngine()
+	g := graph.Line(2)
+	// A buggy model returning out-of-bounds delays must be caught.
+	bad := FuncDelay{D: 1e-3, U: 1e-4, Fn: func(_, _ graph.NodeID, _ float64) float64 { return 5e-3 }}
+	net := NewNetwork(eng, g, bad)
+	if err := net.SendTo(0, 0, 1, PulseClock); err == nil {
+		t.Error("out-of-bounds delay should be rejected")
+	}
+}
+
+func TestExtremalDelay(t *testing.T) {
+	m := ExtremalDelay{D: 1e-3, U: 2e-4}
+	if got := m.Sample(0, 1, 0); got != 1e-3 {
+		t.Errorf("low→high = %v, want d", got)
+	}
+	if got := m.Sample(1, 0, 0); got != 8e-4 {
+		t.Errorf("high→low = %v, want d−U", got)
+	}
+	inv := ExtremalDelay{D: 1e-3, U: 2e-4, Invert: true}
+	if got := inv.Sample(0, 1, 0); got != 8e-4 {
+		t.Errorf("inverted low→high = %v, want d−U", got)
+	}
+}
+
+func TestFixedDelayFrac(t *testing.T) {
+	m := FixedDelay{D: 1, U: 0.5, Frac: 1}
+	if got := m.Sample(0, 1, 0); got != 0.5 {
+		t.Errorf("Frac=1 should give d−U = 0.5, got %v", got)
+	}
+	d, u := m.Bounds()
+	if d != 1 || u != 0.5 {
+		t.Error("Bounds wrong")
+	}
+}
+
+func TestUnhandledPulseIgnored(t *testing.T) {
+	eng := sim.NewEngine()
+	g := graph.Line(2)
+	net := NewNetwork(eng, g, FixedDelay{D: 1, U: 0})
+	// No handler registered for node 1; must not panic.
+	if err := net.SendTo(0, 0, 1, PulseClock); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(2); err != nil {
+		t.Fatal(err)
+	}
+	if net.Stats().Delivered != 0 {
+		t.Error("delivery to handler-less node should not count")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if PulseClock.String() != "clock" || PulseMax.String() != "max" {
+		t.Error("kind strings")
+	}
+	if Kind(9).String() == "" {
+		t.Error("unknown kind should format")
+	}
+}
+
+func TestUniformDelayPropertyInBounds(t *testing.T) {
+	f := func(seed int64, rawD, rawU uint16) bool {
+		d := 1e-4 + float64(rawD)/65535
+		u := float64(rawU) / 65535 * d
+		m := UniformDelay{D: d, U: u, Rng: sim.NewRNG(seed, 0)}
+		for i := 0; i < 50; i++ {
+			s := m.Sample(0, 1, 0)
+			if s < d-u-1e-12 || s > d+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkBroadcastClique(b *testing.B) {
+	eng := sim.NewEngine()
+	g := graph.Clique(16)
+	net := NewNetwork(eng, g, UniformDelay{D: 1e-3, U: 1e-4, Rng: sim.NewRNG(1, 0)})
+	for v := 0; v < 16; v++ {
+		net.OnPulse(v, func(float64, Pulse) {})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := net.Broadcast(eng.Now(), 0, PulseClock); err != nil {
+			b.Fatal(err)
+		}
+		if err := eng.Run(eng.PeekTime() + 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
