@@ -1,0 +1,91 @@
+package ftgcs
+
+import (
+	"ftgcs/internal/byzantine"
+	"ftgcs/internal/clockwork"
+	"ftgcs/internal/core"
+	"ftgcs/internal/graph"
+	"ftgcs/internal/sim"
+	"ftgcs/internal/transport"
+)
+
+// Adversary extension points. A scenario is defined by three pluggable
+// interfaces — how hardware clocks drift (DriftModel), how message delays
+// are chosen (DelayModel), and what Byzantine nodes do (Attack) — plus a
+// topology. Implement any of them in one file, register it by name (see
+// RegisterDrift, RegisterDelay, RegisterAttack, RegisterTopology), and
+// every CLI and the Sweep runner can resolve it with no further wiring.
+type (
+	// DriftModel assigns hardware clock rate behavior per node. The
+	// built-in implementations are SpreadDrift, GradientDrift,
+	// HalvesDrift, AlternatingHalvesDrift, RandomWalkDrift, SineDrift and
+	// NoDrift.
+	DriftModel = core.DriftModel
+	// DriftContext is the per-node build context handed to a DriftModel:
+	// position in the augmented topology, derived constants, and a
+	// deterministic per-node RNG stream.
+	DriftContext = core.DriftCtx
+	// RateModel is the piecewise-constant hardware clock rate h(t) a
+	// DriftModel produces for one node.
+	RateModel = clockwork.RateModel
+
+	// DelayModel builds the message-delay adversary for a run. Built-ins:
+	// UniformDelayModel, ExtremalDelayModel, FixedMidDelayModel,
+	// PhasedRevealDelayModel.
+	DelayModel = core.DelayModel
+	// MessageDelays is the transport-level sampler a DelayModel builds:
+	// per-message delays in [d−U, d].
+	MessageDelays = transport.DelayModel
+
+	// Attack is a Byzantine node behavior, armed at simulation start. The
+	// built-ins are the byzantine package's strategies (Silent, Spam,
+	// TwoFaced, AdaptiveTwoFaced, CadenceTwoFaced, Oscillate, Lie,
+	// MaxSpam).
+	Attack = byzantine.Strategy
+	// AttackContext gives an Attack everything it may use: the engine,
+	// the network, its own identity and neighbors, the derived constants,
+	// and a deterministic RNG stream.
+	AttackContext = byzantine.Ctx
+	// PulseHandler receives the pulses delivered to a faulty node,
+	// letting adaptive attacks react to their victims.
+	PulseHandler = transport.Handler
+
+	// RNG is the deterministic random stream used throughout (see
+	// DriftContext.Rng and AttackContext.Rng).
+	RNG = sim.RNG
+	// NodeID identifies a physical node; ClusterID a cluster of the base
+	// graph.
+	NodeID = graph.NodeID
+	// ClusterID identifies a cluster (a node of the base graph 𝒢).
+	ClusterID = graph.ClusterID
+)
+
+// Built-in drift models, re-exported for embedding and composition.
+type (
+	// SpreadDrift runs member i of every cluster at 1 + ρ·i/(k−1).
+	SpreadDrift = core.SpreadDrift
+	// GradientDrift runs cluster c's members at 1 + ρ·c/(|𝒞|−1).
+	GradientDrift = core.GradientDrift
+	// HalvesDrift runs the lower index half at 1, the upper at 1+ρ.
+	HalvesDrift = core.HalvesDrift
+	// AlternatingHalvesDrift swaps the halves' rates every Period.
+	AlternatingHalvesDrift = core.AlternatingHalvesDrift
+	// RandomWalkDrift redraws rates from [1, 1+ρ] every Step.
+	RandomWalkDrift = core.RandomWalkDrift
+	// SineDrift is slow sinusoidal wander with per-node phase.
+	SineDrift = core.SineDrift
+	// NoDrift runs every clock at exactly rate 1.
+	NoDrift = core.NoDrift
+)
+
+// Built-in delay models, re-exported for embedding and composition.
+type (
+	// UniformDelayModel draws uniformly from [d−U, d].
+	UniformDelayModel = core.UniformDelayModel
+	// ExtremalDelayModel biases delays by direction (skew-maximizing).
+	ExtremalDelayModel = core.ExtremalDelayModel
+	// FixedMidDelayModel always uses d−U/2.
+	FixedMidDelayModel = core.FixedMidDelayModel
+	// PhasedRevealDelayModel flips an extremal bias at SwitchAt.
+	PhasedRevealDelayModel = core.PhasedRevealDelayModel
+)

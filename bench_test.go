@@ -1,17 +1,21 @@
 // Benchmarks regenerating every reproduction experiment (E1–E14, one per
-// quantitative claim of the paper — see DESIGN.md §4). Each benchmark
-// executes the experiment in quick mode per iteration and logs the result
-// table (visible with `go test -bench=E -v`); cmd/ftgcs-experiments
-// produces the full-sweep versions recorded in EXPERIMENTS.md.
+// quantitative claim of the paper). Each benchmark executes the experiment
+// in quick mode per iteration and logs the result table (visible with
+// `go test -bench=E -v`); cmd/ftgcs-experiments produces the full-sweep
+// versions.
 //
 // The trailing micro-benchmarks measure the simulation substrate itself.
-package ftgcs
+// This file is an external test package: the harness imports ftgcs (the
+// experiments are Sweep consumers), so an in-package benchmark would be an
+// import cycle.
+package ftgcs_test
 
 import (
 	"bytes"
 	"strings"
 	"testing"
 
+	"ftgcs"
 	"ftgcs/internal/harness"
 )
 
@@ -55,7 +59,7 @@ func BenchmarkE12_ResilienceBoundary(b *testing.B)     { benchExperiment(b, "E12
 func BenchmarkE13_SkewVsDelayUncertainty(b *testing.B) { benchExperiment(b, "E13", false) }
 func BenchmarkE14_ParameterFeasibility(b *testing.B)   { benchExperiment(b, "E14", false) }
 
-// Ablation studies (DESIGN.md §5): design-choice probes, not paper claims.
+// Ablation studies: design-choice probes, not paper claims.
 func BenchmarkA1_TransientFaultRecovery(b *testing.B) { benchExperiment(b, "A1", true) } // beyond-window rows partition by design
 func BenchmarkA2_KappaSensitivity(b *testing.B)       { benchExperiment(b, "A2", false) }
 func BenchmarkA3_GlobalSkewAblation(b *testing.B)     { benchExperiment(b, "A3", false) }
@@ -66,8 +70,8 @@ func BenchmarkA3_GlobalSkewAblation(b *testing.B)     { benchExperiment(b, "A3",
 // 5-cluster line (k=4, f=1, one Byzantine per cluster) including the
 // global-skew machinery.
 func BenchmarkSystemSimSecond(b *testing.B) {
-	cfg := Config{
-		Topology:    Line(5),
+	cfg := ftgcs.Config{
+		Topology:    ftgcs.Line(5),
 		ClusterSize: 4,
 		FaultBudget: 1,
 		Rho:         3e-3,
@@ -76,9 +80,9 @@ func BenchmarkSystemSimSecond(b *testing.B) {
 		C2:          4,
 		Eps:         0.25,
 		Seed:        1,
-		Drift:       DriftSpec{Kind: DriftGradient},
+		Drift:       ftgcs.DriftSpec{Kind: ftgcs.DriftGradient},
 	}
-	sys, err := New(cfg)
+	sys, err := ftgcs.New(cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -93,8 +97,8 @@ func BenchmarkSystemSimSecond(b *testing.B) {
 // BenchmarkSystemBuild measures system wiring cost for a 4×4 grid of
 // clusters (112 nodes at k=7).
 func BenchmarkSystemBuild(b *testing.B) {
-	cfg := Config{
-		Topology:    Grid(4, 4),
+	cfg := ftgcs.Config{
+		Topology:    ftgcs.Grid(4, 4),
 		ClusterSize: 7,
 		FaultBudget: 2,
 		Rho:         3e-3,
@@ -105,7 +109,7 @@ func BenchmarkSystemBuild(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := New(cfg); err != nil {
+		if _, err := ftgcs.New(cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -114,7 +118,7 @@ func BenchmarkSystemBuild(b *testing.B) {
 // BenchmarkDeriveParams measures the full constant derivation.
 func BenchmarkDeriveParams(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := DeriveParams(PresetPractical, 1e-4, 1e-3, 1e-4); err != nil {
+		if _, err := ftgcs.DeriveParams(ftgcs.PresetPractical, 1e-4, 1e-3, 1e-4); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,10 +1,10 @@
-// ftgcs-experiments regenerates the paper-reproduction tables (see
-// DESIGN.md §4 for the experiment index and EXPERIMENTS.md for recorded
-// results).
+// ftgcs-experiments regenerates the paper-reproduction tables (one per
+// theorem/lemma/claim of the paper; see the README for the index).
 //
 //	ftgcs-experiments             # run all 14 experiments, full sweeps
 //	ftgcs-experiments -quick      # reduced sweeps (CI-sized)
 //	ftgcs-experiments -only E5,E7 # a subset
+//	ftgcs-experiments -workers 1  # force sequential scenario execution
 package main
 
 import (
@@ -27,6 +27,7 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("ftgcs-experiments", flag.ContinueOnError)
 	quick := fs.Bool("quick", false, "reduced sweeps and horizons")
 	seed := fs.Int64("seed", 1, "master random seed")
+	workers := fs.Int("workers", 0, "parallel scenario workers (0 = GOMAXPROCS); tables are identical for any value")
 	only := fs.String("only", "", "comma-separated experiment IDs (e.g. E1,E5,A1); empty = all E*")
 	ablations := fs.Bool("ablations", false, "run the ablation studies (A1–A3) instead of the claim experiments")
 	verbose := fs.Bool("v", false, "print per-run progress")
@@ -34,7 +35,7 @@ func run(args []string) error {
 		return err
 	}
 
-	rc := harness.RunConfig{Quick: *quick, Seed: *seed}
+	rc := harness.RunConfig{Quick: *quick, Seed: *seed, Workers: *workers}
 	if *verbose {
 		rc.Progress = os.Stderr
 	}

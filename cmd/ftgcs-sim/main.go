@@ -1,15 +1,24 @@
-// ftgcs-sim runs one FTGCS scenario and reports the measured skews against
+// ftgcs-sim runs FTGCS scenarios and reports the measured skews against
 // the paper's bounds.
+//
+// Topologies, drift models, delay models and Byzantine attacks are all
+// resolved by name through the shared ftgcs registry, so a new adversary
+// registered from any file in this program (see burstdelay.go) is
+// immediately available to every flag with no parsing changes here.
 //
 //	ftgcs-sim -topology line -size 5 -k 4 -f 1 -duration 60
 //	ftgcs-sim -topology grid -size 4 -attack adaptive -attack-count 4
 //	ftgcs-sim -topology ring -size 8 -k 1 -f 0 -attack cadence -attack-count 1
+//	ftgcs-sim -topology torus -size 3 -delay burst -drift sine
+//	ftgcs-sim -topology line -size 5 -seeds 8      # parallel seed sweep
+//	ftgcs-sim -list                                # registered names
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"ftgcs"
 )
@@ -23,7 +32,8 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("ftgcs-sim", flag.ContinueOnError)
-	topo := fs.String("topology", "line", "line|ring|grid|torus|tree|clique|star|hypercube|random")
+	reg := ftgcs.DefaultRegistry
+	topo := fs.String("topology", "line", strings.Join(reg.TopologyNames(), "|"))
 	size := fs.Int("size", 4, "topology size parameter (clusters, or side length for grid/torus, depth for tree/hypercube)")
 	k := fs.Int("k", 4, "cluster size (≥ 3f+1)")
 	f := fs.Int("f", 1, "per-cluster fault budget")
@@ -34,90 +44,64 @@ func run(args []string) error {
 	eps := fs.Float64("eps", 0.25, "contraction margin ε")
 	duration := fs.Float64("duration", 30, "simulated seconds")
 	seed := fs.Int64("seed", 1, "random seed")
-	drift := fs.String("drift", "spread", "spread|gradient|halves|alternating|randomwalk|sine|none")
-	attack := fs.String("attack", "", "Byzantine strategy (silent|spam|two-faced|adaptive|cadence|oscillate|lie-early|lie-late|max-spam)")
+	drift := fs.String("drift", "spread", strings.Join(reg.DriftNames(), "|"))
+	delayModel := fs.String("delay", "uniform", strings.Join(reg.DelayNames(), "|"))
+	attack := fs.String("attack", "", "Byzantine strategy ("+strings.Join(reg.AttackNames(), "|")+")")
 	attackCount := fs.Int("attack-count", 0, "number of clusters that get one Byzantine member (0 = all when -attack is set)")
-	csvPath := fs.String("csv", "", "write the skew time series to this CSV file")
+	seeds := fs.Int("seeds", 1, "run this many seeds (seed, seed+1, …) as a parallel sweep")
+	workers := fs.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS)")
+	csvPath := fs.String("csv", "", "write the skew time series to this CSV file (single-seed runs)")
+	list := fs.Bool("list", false, "list registered topologies, drift/delay models and attacks, then exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-
-	var base *ftgcs.Topology
-	switch *topo {
-	case "line":
-		base = ftgcs.Line(*size)
-	case "ring":
-		base = ftgcs.Ring(*size)
-	case "grid":
-		base = ftgcs.Grid(*size, *size)
-	case "torus":
-		base = ftgcs.Torus(*size, *size)
-	case "tree":
-		base = ftgcs.Tree(2, *size)
-	case "clique":
-		base = ftgcs.Clique(*size)
-	case "star":
-		base = ftgcs.Star(*size)
-	case "hypercube":
-		base = ftgcs.Hypercube(*size)
-	case "random":
-		base = ftgcs.Random(*size, *size/2, *seed)
-	default:
-		return fmt.Errorf("unknown topology %q", *topo)
+	if *list {
+		fmt.Println("topologies:  " + strings.Join(reg.TopologyNames(), ", "))
+		fmt.Println("drift models:" + " " + strings.Join(reg.DriftNames(), ", "))
+		fmt.Println("delay models:" + " " + strings.Join(reg.DelayNames(), ", "))
+		fmt.Println("attacks:     " + strings.Join(reg.AttackNames(), ", "))
+		return nil
 	}
 
-	driftKinds := map[string]ftgcs.DriftSpec{
-		"spread":      {Kind: ftgcs.DriftSpread},
-		"gradient":    {Kind: ftgcs.DriftGradient},
-		"halves":      {Kind: ftgcs.DriftHalves},
-		"alternating": {Kind: ftgcs.DriftAlternatingHalves},
-		"randomwalk":  {Kind: ftgcs.DriftRandomWalk},
-		"sine":        {Kind: ftgcs.DriftSine},
-		"none":        {Kind: ftgcs.DriftNone},
+	// Resolve the topology once, up front: a -seeds sweep must compare the
+	// same graph across seeds even for randomized families (whose builder
+	// would otherwise re-draw per scenario seed).
+	base, err := ftgcs.TopologyByName(*topo, *size, *seed)
+	if err != nil {
+		return err
 	}
-	driftSpec, ok := driftKinds[*drift]
-	if !ok {
-		return fmt.Errorf("unknown drift %q", *drift)
+	opts := []ftgcs.Option{
+		ftgcs.WithTopology(base),
+		ftgcs.WithClusters(*k, *f),
+		ftgcs.WithPhysical(*rho, *delay, *uncertainty),
+		ftgcs.WithConstants(*c2, *eps),
+		ftgcs.WithSeed(*seed),
+		ftgcs.WithDriftName(*drift),
+		ftgcs.WithDelayName(*delayModel),
+		ftgcs.WithHorizon(*duration),
 	}
-
-	var faults []ftgcs.FaultSpec
 	if *attack != "" {
-		strat, err := ftgcs.StrategyByName(*attack)
+		strat, err := ftgcs.AttackByName(*attack)
 		if err != nil {
 			return err
 		}
-		count := *attackCount
-		if count <= 0 || count > base.N() {
-			count = base.N()
-		}
-		for c := 0; c < count; c++ {
-			faults = append(faults, ftgcs.FaultSpec{
-				Node:     c**k + *k - 1,
-				Strategy: strat,
-			})
-		}
+		opts = append(opts, ftgcs.WithAttackPerCluster(func() ftgcs.Attack { return strat }, *attackCount))
+	}
+	sc := ftgcs.NewScenario(opts...)
+
+	if *seeds > 1 {
+		return runSeedSweep(sc, *seed, *seeds, *workers)
 	}
 
-	sys, err := ftgcs.New(ftgcs.Config{
-		Topology:    base,
-		ClusterSize: *k,
-		FaultBudget: *f,
-		Rho:         *rho,
-		Delay:       *delay,
-		Uncertainty: *uncertainty,
-		C2:          *c2,
-		Eps:         *eps,
-		Seed:        *seed,
-		Drift:       driftSpec,
-		Faults:      faults,
-	})
+	sys, err := sc.Build()
 	if err != nil {
 		return err
 	}
 
 	p := sys.Params()
-	fmt.Printf("topology %s: %d clusters × k=%d (%d nodes), diameter %d, %d Byzantine\n",
-		base.Name(), sys.Clusters(), *k, sys.Nodes(), sys.Diameter(), len(faults))
+	fmt.Printf("topology %s: %d clusters × k=%d (%d nodes), diameter %d\n",
+		*topo, sys.Clusters(), *k, sys.Nodes(), sys.Diameter())
+	fmt.Printf("adversaries: drift=%s delay=%s attack=%s\n", *drift, *delayModel, attackName(*attack))
 	fmt.Printf("parameters: T=%.3gs τ=(%.3g, %.3g, %.3g) E=%.3gs κ=%.3gs µ=%.3g ϕ=%.3g\n\n",
 		p.T, p.Tau1, p.Tau2, p.Tau3, p.EG, p.Kappa, p.Mu, p.Phi)
 
@@ -139,5 +123,55 @@ func run(args []string) error {
 		}
 		fmt.Printf("skew series written to %s\n", *csvPath)
 	}
+	return nil
+}
+
+func attackName(a string) string {
+	if a == "" {
+		return "none"
+	}
+	return a
+}
+
+// runSeedSweep executes the scenario across n consecutive seeds on the
+// Sweep worker pool and prints one row per seed plus aggregate maxima.
+func runSeedSweep(base *ftgcs.Scenario, seed int64, n, workers int) error {
+	scenarios := make([]*ftgcs.Scenario, 0, n)
+	for i := 0; i < n; i++ {
+		scenarios = append(scenarios, base.With(
+			ftgcs.WithName("seed=%d", seed+int64(i)),
+			ftgcs.WithSeed(seed+int64(i)),
+		))
+	}
+	results := ftgcs.Sweep{Workers: workers}.Run(scenarios)
+
+	fmt.Printf("%-10s %-12s %-12s %-12s %-8s\n", "seed", "intra skew", "local skew", "global skew", "bounds")
+	var worst ftgcs.Report
+	for _, r := range results {
+		if r.Err != nil {
+			return fmt.Errorf("%s: %w", r.Name, r.Err)
+		}
+		rep := r.Report
+		status := "ok"
+		if !rep.AllWithinBounds() {
+			status = "VIOLATED"
+		}
+		fmt.Printf("%-10s %-12.3g %-12.3g %-12.3g %-8s\n",
+			strings.TrimPrefix(r.Name, "seed="), rep.MaxIntraClusterSkew, rep.MaxLocalSkew, rep.MaxGlobalSkew, status)
+		if rep.MaxIntraClusterSkew > worst.MaxIntraClusterSkew {
+			worst.MaxIntraClusterSkew = rep.MaxIntraClusterSkew
+		}
+		if rep.MaxLocalSkew > worst.MaxLocalSkew {
+			worst.MaxLocalSkew = rep.MaxLocalSkew
+		}
+		if rep.MaxGlobalSkew > worst.MaxGlobalSkew {
+			worst.MaxGlobalSkew = rep.MaxGlobalSkew
+		}
+	}
+	rep0 := results[0].Report
+	fmt.Printf("\nworst-case over %d seeds: intra %.3g (bound %.3g), local %.3g (bound %.3g), global %.3g (bound %.3g)\n",
+		n, worst.MaxIntraClusterSkew, rep0.IntraClusterBound,
+		worst.MaxLocalSkew, rep0.LocalSkewBound,
+		worst.MaxGlobalSkew, rep0.GlobalSkewBound)
 	return nil
 }

@@ -16,6 +16,10 @@ func TestRunScenarios(t *testing.T) {
 		{"-topology", "random", "-size", "5", "-duration", "2"},
 		{"-topology", "grid", "-size", "2", "-duration", "2", "-attack", "adaptive"},
 		{"-topology", "torus", "-size", "3", "-duration", "2", "-k", "1", "-f", "0"},
+		{"-topology", "ring", "-size", "3", "-duration", "2", "-delay", "burst"},
+		{"-topology", "line", "-size", "3", "-duration", "2", "-delay", "extremal"},
+		{"-topology", "line", "-size", "3", "-duration", "2", "-seeds", "3", "-workers", "2"},
+		{"-list"},
 	}
 	for _, args := range tests {
 		if err := run(args); err != nil {
@@ -29,6 +33,7 @@ func TestRunErrors(t *testing.T) {
 		{"-topology", "nonsense"},
 		{"-drift", "nonsense"},
 		{"-attack", "nonsense"},
+		{"-delay", "nonsense"},
 		{"-k", "2", "-f", "1"}, // k < 3f+1
 		{"-rho", "0"},          // invalid physical params
 		{"-u", "1"},            // U > d

@@ -25,33 +25,17 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("ftgcs-topo", flag.ContinueOnError)
-	topo := fs.String("topology", "line", "line|ring|grid|torus|tree|clique|star|hypercube")
+	topo := fs.String("topology", "line", strings.Join(ftgcs.DefaultRegistry.TopologyNames(), "|"))
 	size := fs.Int("size", 8, "topology size parameter")
+	seed := fs.Int64("seed", 1, "seed for randomized topology families")
 	budgets := fs.String("f", "1,2,3", "comma-separated fault budgets")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	var base *ftgcs.Topology
-	switch *topo {
-	case "line":
-		base = ftgcs.Line(*size)
-	case "ring":
-		base = ftgcs.Ring(*size)
-	case "grid":
-		base = ftgcs.Grid(*size, *size)
-	case "torus":
-		base = ftgcs.Torus(*size, *size)
-	case "tree":
-		base = ftgcs.Tree(2, *size)
-	case "clique":
-		base = ftgcs.Clique(*size)
-	case "star":
-		base = ftgcs.Star(*size)
-	case "hypercube":
-		base = ftgcs.Hypercube(*size)
-	default:
-		return fmt.Errorf("unknown topology %q", *topo)
+	base, err := ftgcs.TopologyByName(*topo, *size, *seed)
+	if err != nil {
+		return err
 	}
 
 	fmt.Printf("base graph %s: %d nodes, %d edges, diameter %d\n\n",

@@ -4,6 +4,9 @@
 // construction — same attack, same topology — keeps every correct pair
 // within its proven bound.
 //
+// The three variants are built as scenario sweep inputs and executed in
+// parallel by the ftgcs.Sweep worker pool.
+//
 //	go run ./examples/byzantine-line
 package main
 
@@ -14,48 +17,49 @@ import (
 	"ftgcs"
 )
 
-func run(name string, k, f int, faults []ftgcs.FaultSpec) ftgcs.Report {
-	sys, err := ftgcs.New(ftgcs.Config{
-		Topology:    ftgcs.Ring(8),
-		ClusterSize: k,
-		FaultBudget: f,
-		Rho:         3e-3,
-		Delay:       1e-3,
-		Uncertainty: 1e-4,
-		C2:          4,
-		Eps:         0.25,
-		Seed:        7,
-		Drift:       ftgcs.DriftSpec{Kind: ftgcs.DriftSpread},
-		Faults:      faults,
-	})
-	if err != nil {
-		log.Fatalf("%s: %v", name, err)
-	}
-	if err := sys.Run(25); err != nil {
-		log.Fatalf("%s: %v", name, err)
-	}
-	r := sys.Report()
-	fmt.Printf("%-42s local skew %.3gs  (bound %.3gs)\n", name, r.MaxLocalSkew, r.LocalSkewBound)
-	return r
-}
-
 func main() {
 	fmt.Println("ring of 8 clusters; attack: cadence equivocation (the paper's")
 	fmt.Println("'sub-nominal clock speed' Byzantine example)")
 	fmt.Println()
 
-	clean := run("plain GCS (k=1), fault-free", 1, 0, nil)
-
-	attacked := run("plain GCS (k=1), ONE Byzantine node", 1, 0,
-		[]ftgcs.FaultSpec{{Node: 0, Strategy: ftgcs.CadenceTwoFaced()}})
-
-	// FTGCS: one Byzantine per cluster — 8 attackers, not 1.
-	var faults []ftgcs.FaultSpec
-	for c := 0; c < 8; c++ {
-		faults = append(faults, ftgcs.FaultSpec{Node: c*4 + 3, Strategy: ftgcs.CadenceTwoFaced()})
+	base := ftgcs.NewScenario(
+		ftgcs.WithTopology(ftgcs.Ring(8)),
+		ftgcs.WithPhysical(3e-3, 1e-3, 1e-4),
+		ftgcs.WithConstants(4, 0.25),
+		ftgcs.WithSeed(7),
+		ftgcs.WithDrift(ftgcs.SpreadDrift{}),
+		ftgcs.WithHorizon(25),
+	)
+	scenarios := []*ftgcs.Scenario{
+		base.With(
+			ftgcs.WithName("plain GCS (k=1), fault-free"),
+			ftgcs.WithClusters(1, 0),
+		),
+		base.With(
+			ftgcs.WithName("plain GCS (k=1), ONE Byzantine node"),
+			ftgcs.WithClusters(1, 0),
+			ftgcs.WithAttack(ftgcs.CadenceTwoFaced(), 0),
+		),
+		// FTGCS: one Byzantine per cluster — 8 attackers, not 1.
+		base.With(
+			ftgcs.WithName("FTGCS (k=4, f=1), one Byzantine PER cluster"),
+			ftgcs.WithClusters(4, 1),
+			ftgcs.WithAttackPerCluster(ftgcs.CadenceTwoFaced, 0),
+		),
 	}
-	protected := run("FTGCS (k=4, f=1), one Byzantine PER cluster", 4, 1, faults)
 
+	results, err := ftgcs.RunSweep(scenarios...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range results {
+		fmt.Printf("%-42s local skew %.3gs  (bound %.3gs)\n",
+			r.Name, r.Report.MaxLocalSkew, r.Report.LocalSkewBound)
+	}
+
+	clean := results[0].Report
+	attacked := results[1].Report
+	protected := results[2].Report
 	fmt.Println()
 	fmt.Printf("degradation of plain GCS under one fault: %.0f×\n",
 		attacked.MaxLocalSkew/max(clean.MaxLocalSkew, 1e-12))

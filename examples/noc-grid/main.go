@@ -16,28 +16,19 @@ import (
 )
 
 func main() {
-	var faults []ftgcs.FaultSpec
-	// Tile (1,1) has a dead clock node, tile (2,3) a flaky (spamming) one,
-	// tile (3,0) one whose oscillator is out of spec by 4×.
-	faults = append(faults,
-		ftgcs.FaultSpec{Node: tile(1, 1)*4 + 2, Strategy: ftgcs.Silent()},
-		ftgcs.FaultSpec{Node: tile(2, 3)*4 + 1, Strategy: ftgcs.Spam()},
-		ftgcs.FaultSpec{Node: tile(3, 0)*4 + 0, OffSpecRate: 1 + 4*3e-3},
-	)
-
-	sys, err := ftgcs.New(ftgcs.Config{
-		Topology:    ftgcs.Grid(4, 4),
-		ClusterSize: 4,
-		FaultBudget: 1,
-		Rho:         3e-3, // cheap on-chip ring oscillators
-		Delay:       1e-3,
-		Uncertainty: 1e-4,
-		C2:          4,
-		Eps:         0.25,
-		Seed:        2026,
-		Drift:       ftgcs.DriftSpec{Kind: ftgcs.DriftSine}, // thermal wander
-		Faults:      faults,
-	})
+	sys, err := ftgcs.NewScenario(
+		ftgcs.WithTopologyName("grid", 4),
+		ftgcs.WithClusters(4, 1),
+		ftgcs.WithPhysical(3e-3, 1e-3, 1e-4), // cheap on-chip ring oscillators
+		ftgcs.WithConstants(4, 0.25),
+		ftgcs.WithSeed(2026),
+		ftgcs.WithDriftName("sine"), // thermal wander
+		// Tile (1,1) has a dead clock node, tile (2,3) a flaky (spamming)
+		// one, tile (3,0) one whose oscillator is out of spec by 4×.
+		ftgcs.WithAttackName("silent", tile(1, 1)*4+2),
+		ftgcs.WithAttackName("spam", tile(2, 3)*4+1),
+		ftgcs.WithFaults(ftgcs.FaultSpec{Node: tile(3, 0)*4 + 0, OffSpecRate: 1 + 4*3e-3}),
+	).Build()
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -2,6 +2,9 @@
 // silent Byzantine node, run for 60 simulated seconds, and check every
 // skew bound the paper proves.
 //
+// The scenario is assembled with the functional-options API; the legacy
+// ftgcs.Config struct remains available and builds through the same path.
+//
 //	go run ./examples/quickstart
 package main
 
@@ -13,21 +16,16 @@ import (
 )
 
 func main() {
-	cfg := ftgcs.Config{
-		Topology:    ftgcs.Line(3), // clusters 0–1–2
-		ClusterSize: 4,             // k = 3f+1
-		FaultBudget: 1,             // tolerate one Byzantine node per cluster
-		Rho:         1e-3,          // hardware clocks drift up to 0.1%
-		Delay:       1e-3,          // messages take up to 1 ms
-		Uncertainty: 1e-4,          // …with 0.1 ms uncertainty
-		Seed:        42,
-		Drift:       ftgcs.DriftSpec{Kind: ftgcs.DriftGradient},
-		Faults: []ftgcs.FaultSpec{
-			{Node: 5, Strategy: ftgcs.Silent()}, // node 5 (cluster 1) crashed
-		},
-	}
+	sc := ftgcs.NewScenario(
+		ftgcs.WithTopology(ftgcs.Line(3)), // clusters 0–1–2
+		ftgcs.WithClusters(4, 1),          // k = 3f+1, one Byzantine tolerated per cluster
+		ftgcs.WithPhysical(1e-3, 1e-3, 1e-4),
+		ftgcs.WithSeed(42),
+		ftgcs.WithDrift(ftgcs.GradientDrift{}),
+		ftgcs.WithAttackName("silent", 5), // node 5 (cluster 1) crashed
+	)
 
-	sys, err := ftgcs.New(cfg)
+	sys, err := sc.Build()
 	if err != nil {
 		log.Fatalf("build: %v", err)
 	}

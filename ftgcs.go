@@ -20,8 +20,8 @@
 // The package runs complete systems on a deterministic discrete-event
 // simulator: hardware clocks with adversarial drift, message delays in
 // [d−U, d], Byzantine attack strategies, and instrumentation for every
-// bound the paper proves. See DESIGN.md for the architecture and
-// EXPERIMENTS.md for the reproduction results.
+// bound the paper proves. See the top-level README.md for a tour of the
+// CLIs, the experiment harness, and how to register custom adversaries.
 //
 // # Quick start
 //
@@ -39,6 +39,17 @@
 //	if err := sys.Run(60); err != nil { ... }  // 60 simulated seconds
 //	report := sys.Report()
 //	fmt.Println(report)
+//
+// The equivalent options-based form (see Scenario for the full catalog,
+// Registry for name-based resolution, and Sweep for parallel batches):
+//
+//	rep, err := ftgcs.NewScenario(
+//		ftgcs.WithTopology(ftgcs.Line(3)),
+//		ftgcs.WithClusters(4, 1),
+//		ftgcs.WithPhysical(1e-3, 1e-3, 1e-4),
+//		ftgcs.WithSeed(1),
+//		ftgcs.WithHorizon(60),
+//	).Run()
 package ftgcs
 
 import (
@@ -130,46 +141,17 @@ type Config struct {
 type System struct {
 	sys *core.System
 	p   params.Params
-	cfg Config
 }
 
 // New derives the algorithm parameters and wires the complete system
 // (clusters, observers, GCS controllers, global-skew estimators, fault
-// injections) without running it.
+// injections) without running it. It is the legacy entry point; it builds
+// through the same Scenario path as the options API.
 func New(cfg Config) (*System, error) {
 	if cfg.Topology == nil {
 		return nil, fmt.Errorf("ftgcs: nil topology")
 	}
-	pcfg := params.PresetConfig(cfg.Preset, cfg.Rho, cfg.Delay, cfg.Uncertainty)
-	if cfg.Preset == 0 {
-		pcfg = params.PresetConfig(params.Practical, cfg.Rho, cfg.Delay, cfg.Uncertainty)
-	}
-	if cfg.C2 != 0 {
-		pcfg.C2 = cfg.C2
-	}
-	if cfg.Eps != 0 {
-		pcfg.Eps = cfg.Eps
-	}
-	p, err := params.Derive(pcfg)
-	if err != nil {
-		return nil, fmt.Errorf("ftgcs: %w", err)
-	}
-	sys, err := core.NewSystem(core.Config{
-		Base:             cfg.Topology,
-		K:                cfg.ClusterSize,
-		F:                cfg.FaultBudget,
-		Params:           p,
-		Seed:             cfg.Seed,
-		Drift:            cfg.Drift,
-		Delay:            cfg.DelayModel,
-		Faults:           cfg.Faults,
-		EnableGlobalSkew: !cfg.DisableGlobalSkew,
-		SampleInterval:   cfg.SampleInterval,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("ftgcs: %w", err)
-	}
-	return &System{sys: sys, p: p, cfg: cfg}, nil
+	return cfg.Scenario().Build()
 }
 
 // Params returns the derived algorithm constants.
@@ -210,6 +192,32 @@ func (s *System) Series(name string) *metrics.Series { return s.sys.Recorder().S
 // plotting; one row per sample time, one column per series.
 func (s *System) WriteCSV(w io.Writer, names ...string) error {
 	return s.sys.Recorder().WriteCSV(w, names...)
+}
+
+// Summary condenses a finished run: maxima of every recorded skew series
+// after the warmup prefix.
+type Summary = core.Summary
+
+// Summary computes the run summary, excluding samples before warmup
+// (pass 0 to include everything).
+func (s *System) Summary(warmup float64) Summary { return s.sys.Summarize(warmup) }
+
+// PulseDiameters returns ‖p(r)‖ for cluster c indexed by round, for rounds
+// where every correct member pulsed (see the pulse-diameter convergence
+// experiment).
+func (s *System) PulseDiameters(c ClusterID) map[int]float64 { return s.sys.PulseDiameters(c) }
+
+// RoundTrace returns node v's recorded round boundaries (times, logical
+// values, modes). Empty unless the scenario enabled WithRoundTracking.
+func (s *System) RoundTrace(v NodeID) (times, values []float64, modes []int8) {
+	return s.sys.RoundTrace(v)
+}
+
+// InjectClockFault discontinuously shifts node v's logical clock by delta
+// at the current simulation time — a transient fault outside the
+// algorithm's fault model (see the self-stabilization ablation).
+func (s *System) InjectClockFault(v NodeID, delta float64) error {
+	return s.sys.InjectClockFault(v, delta)
 }
 
 // Metric series names.
@@ -289,7 +297,8 @@ func (s *System) Report() Report {
 }
 
 // DeriveParams computes the algorithm constants for the given physical
-// parameters and preset without building a system.
+// parameters and preset without building a system. The zero Preset means
+// PresetPractical.
 func DeriveParams(preset Preset, rho, delay, uncertainty float64) (Params, error) {
-	return params.Derive(params.PresetConfig(preset, rho, delay, uncertainty))
+	return deriveParams(preset, rho, delay, uncertainty, 0, 0)
 }

@@ -1,0 +1,3 @@
+module ftgcs
+
+go 1.24

@@ -42,8 +42,10 @@ type Config struct {
 	K, F   int
 	Params params.Params
 	Seed   int64
-	Drift  core.DriftSpec
-	Delay  core.DelaySpec
+	// Drift selects the rate adversary; nil means SpreadDrift.
+	Drift core.DriftModel
+	// Delay selects the delay adversary; nil means UniformDelayModel.
+	Delay core.DelayModel
 	// SampleInterval for metrics; 0 selects T/2.
 	SampleInterval float64
 }

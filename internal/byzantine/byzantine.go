@@ -374,31 +374,31 @@ func (s MaxSpam) Install(ctx Ctx) (transport.Handler, error) {
 	return nil, err
 }
 
-// ByName constructs a strategy from a CLI-friendly name. Offset/amplitude
-// parameters take their defaults.
-func ByName(name string) (Strategy, error) {
-	switch name {
-	case "silent":
-		return Silent{}, nil
-	case "spam":
-		return Spam{}, nil
-	case "two-faced", "twofaced":
-		return TwoFaced{}, nil
-	case "adaptive-two-faced", "adaptive":
-		return AdaptiveTwoFaced{}, nil
-	case "cadence-two-faced", "cadence":
-		return CadenceTwoFaced{}, nil
-	case "oscillate":
-		return Oscillate{}, nil
-	case "lie-early":
-		return Lie{Early: true}, nil
-	case "lie-late":
-		return Lie{}, nil
-	case "max-spam", "maxspam":
-		return MaxSpam{}, nil
-	default:
-		return nil, fmt.Errorf("byzantine: unknown strategy %q", name)
+// Aliases returns the historical CLI spellings, alias → canonical
+// strategy name. It is the single source of truth for attack aliases:
+// both ByName and the public ftgcs registry consume it.
+func Aliases() map[string]string {
+	return map[string]string{
+		"twofaced": "two-faced",
+		"adaptive": "adaptive-two-faced",
+		"cadence":  "cadence-two-faced",
+		"maxspam":  "max-spam",
 	}
+}
+
+// ByName constructs a strategy from a CLI-friendly name (a strategy's
+// self-reported Name or an alias). Offset/amplitude parameters take their
+// defaults.
+func ByName(name string) (Strategy, error) {
+	if canonical, ok := Aliases()[name]; ok {
+		name = canonical
+	}
+	for _, s := range All() {
+		if s.Name() == name {
+			return s, nil
+		}
+	}
+	return nil, fmt.Errorf("byzantine: unknown strategy %q", name)
 }
 
 // All returns one instance of every strategy (defaults), for sweep

@@ -5,11 +5,15 @@
 // boundaries (Algorithm 2 + Theorem C.3 rules), and the Appendix C
 // global-skew estimate machinery — all running on the deterministic
 // discrete-event engine, instrumented for the experiments.
+//
+// Adversaries are pluggable: drift schedules implement DriftModel, message
+// delay strategies implement DelayModel, and Byzantine behaviors implement
+// byzantine.Strategy. The legacy DriftSpec/DelaySpec enums survive as thin
+// shims over the model types.
 package core
 
 import (
 	"fmt"
-	"math"
 
 	"ftgcs/internal/byzantine"
 	"ftgcs/internal/clockwork"
@@ -19,32 +23,30 @@ import (
 	"ftgcs/internal/transport"
 )
 
-// DriftKind selects how hardware clock rates are assigned across nodes.
+// DriftKind selects one of the built-in drift models (legacy enum; new
+// code passes a DriftModel directly).
 type DriftKind int
 
 const (
-	// DriftSpread: member i of every cluster runs at 1 + ρ·i/(k−1) —
-	// maximal constant intra-cluster drift.
+	// DriftSpread selects SpreadDrift.
 	DriftSpread DriftKind = iota + 1
-	// DriftGradient: all members of cluster c run at 1 + ρ·c/(|𝒞|−1) —
-	// constant inter-cluster gradient along the cluster index.
+	// DriftGradient selects GradientDrift.
 	DriftGradient
-	// DriftHalves: clusters in the lower index half run at 1, the upper
-	// half at 1+ρ — maximal persistent rate difference at the boundary.
+	// DriftHalves selects HalvesDrift.
 	DriftHalves
-	// DriftAlternatingHalves: like DriftHalves but the halves swap rates
-	// every Period seconds — the classic skew-pumping adversary.
+	// DriftAlternatingHalves selects AlternatingHalvesDrift.
 	DriftAlternatingHalves
-	// DriftRandomWalk: every node redraws its rate from [1, 1+ρ] every
-	// Step seconds.
+	// DriftRandomWalk selects RandomWalkDrift.
 	DriftRandomWalk
-	// DriftSine: slow sinusoidal wander with per-node phase.
+	// DriftSine selects SineDrift.
 	DriftSine
-	// DriftNone: every clock runs at exactly rate 1 (debug/reference).
+	// DriftNone selects NoDrift.
 	DriftNone
 )
 
-// DriftSpec configures the drift assignment.
+// DriftSpec is the legacy enum-style drift configuration. It implements
+// DriftModel by delegating to the corresponding model type, so existing
+// `Drift: DriftSpec{Kind: …}` call sites keep working unchanged.
 type DriftSpec struct {
 	Kind DriftKind
 	// Period applies to DriftAlternatingHalves and DriftSine. 0 selects
@@ -54,26 +56,77 @@ type DriftSpec struct {
 	Step float64
 }
 
-// DelayKind selects the message delay model.
+// Model resolves the spec to its model implementation. The zero Kind means
+// DriftSpread (the historical default).
+func (s DriftSpec) Model() DriftModel {
+	switch s.Kind {
+	case DriftGradient:
+		return GradientDrift{}
+	case DriftHalves:
+		return HalvesDrift{}
+	case DriftAlternatingHalves:
+		return AlternatingHalvesDrift{Period: s.Period}
+	case DriftRandomWalk:
+		return RandomWalkDrift{Step: s.Step}
+	case DriftSine:
+		return SineDrift{Period: s.Period}
+	case DriftNone:
+		return NoDrift{}
+	default:
+		return SpreadDrift{}
+	}
+}
+
+// Name implements DriftModel.
+func (s DriftSpec) Name() string { return s.Model().Name() }
+
+// Rate implements DriftModel.
+func (s DriftSpec) Rate(ctx DriftCtx) clockwork.RateModel { return s.Model().Rate(ctx) }
+
+// DelayKind selects one of the built-in delay models (legacy enum; new
+// code passes a DelayModel directly).
 type DelayKind int
 
 const (
-	// DelayUniform draws uniformly from [d−U, d].
+	// DelayUniform selects UniformDelayModel.
 	DelayUniform DelayKind = iota + 1
-	// DelayExtremal biases delays by direction (skew-maximizing).
+	// DelayExtremal selects ExtremalDelayModel.
 	DelayExtremal
-	// DelayFixedMid always uses d−U/2.
+	// DelayFixedMid selects FixedMidDelayModel.
 	DelayFixedMid
-	// DelayPhasedReveal uses one extremal bias before SwitchAt and the
-	// opposite after — the hidden-skew reveal adversary of experiment E9.
+	// DelayPhasedReveal selects PhasedRevealDelayModel.
 	DelayPhasedReveal
 )
 
-// DelaySpec configures the delay model.
+// DelaySpec is the legacy enum-style delay configuration. It implements
+// DelayModel by delegating to the corresponding model type.
 type DelaySpec struct {
 	Kind DelayKind
 	// SwitchAt applies to DelayPhasedReveal.
 	SwitchAt float64
+}
+
+// Model resolves the spec to its model implementation. The zero Kind means
+// DelayUniform (the historical default).
+func (s DelaySpec) Model() DelayModel {
+	switch s.Kind {
+	case DelayExtremal:
+		return ExtremalDelayModel{}
+	case DelayFixedMid:
+		return FixedMidDelayModel{}
+	case DelayPhasedReveal:
+		return PhasedRevealDelayModel{SwitchAt: s.SwitchAt}
+	default:
+		return UniformDelayModel{}
+	}
+}
+
+// Name implements DelayModel.
+func (s DelaySpec) Name() string { return s.Model().Name() }
+
+// Build implements DelayModel.
+func (s DelaySpec) Build(p params.Params, rng *sim.RNG) transport.DelayModel {
+	return s.Model().Build(p, rng)
 }
 
 // FaultSpec marks one physical node faulty.
@@ -103,8 +156,10 @@ type Config struct {
 	// Seed drives all randomness (delays, drift, adversaries).
 	Seed int64
 
-	Drift DriftSpec
-	Delay DelaySpec
+	// Drift selects the rate adversary; nil means SpreadDrift.
+	Drift DriftModel
+	// Delay selects the delay adversary; nil means UniformDelayModel.
+	Delay DelayModel
 
 	// Faults lists the faulty nodes. At most F per cluster for the
 	// paper's guarantees to apply (experiments exceed it deliberately).
@@ -137,6 +192,22 @@ type Config struct {
 	StaggerStart float64
 }
 
+// driftModel returns the configured drift model or the default.
+func (c *Config) driftModel() DriftModel {
+	if c.Drift == nil {
+		return SpreadDrift{}
+	}
+	return c.Drift
+}
+
+// delayModel returns the configured delay model or the default.
+func (c *Config) delayModel() DelayModel {
+	if c.Delay == nil {
+		return UniformDelayModel{}
+	}
+	return c.Delay
+}
+
 // validate checks structural requirements.
 func (c *Config) validate() error {
 	if c.Base == nil || c.Base.N() == 0 {
@@ -164,79 +235,16 @@ func (c *Config) validate() error {
 	return nil
 }
 
-// buildDrift constructs the rate model for one node.
-func buildDrift(spec DriftSpec, p params.Params, aug *graph.Augmented, v graph.NodeID, rng *sim.RNG) clockwork.RateModel {
-	rho := p.Rho
-	c := aug.ClusterOf(v)
-	i := aug.IndexIn(v)
-	nClusters := aug.Clusters()
-	switch spec.Kind {
-	case DriftGradient:
-		frac := 0.0
-		if nClusters > 1 {
-			frac = float64(c) / float64(nClusters-1)
-		}
-		return clockwork.Constant{Rate: 1 + rho*frac}
-	case DriftHalves:
-		if c >= nClusters/2 {
-			return clockwork.Constant{Rate: 1 + rho}
-		}
-		return clockwork.Constant{Rate: 1}
-	case DriftAlternatingHalves:
-		period := spec.Period
-		if period <= 0 {
-			period = 40 * p.T
-		}
-		phase := 0.0
-		if c >= nClusters/2 {
-			phase = -period // upper half starts at the high rate
-		}
-		return clockwork.Alternating{Lo: 1, Hi: 1 + rho, Period: period, Phase: phase}
-	case DriftRandomWalk:
-		step := spec.Step
-		if step <= 0 {
-			step = p.T / 3
-		}
-		return clockwork.NewRandomWalk(1, 1+rho, step, rng)
-	case DriftSine:
-		period := spec.Period
-		if period <= 0 {
-			period = 40 * p.T
-		}
-		return clockwork.Sinusoid{
-			Base: 1, Amp: rho, Period: period, StepsPerPeriod: 32,
-			Phase: period * float64(v%16) / 16,
-		}
-	case DriftNone:
-		return clockwork.Constant{Rate: 1}
-	default: // DriftSpread
-		frac := 0.0
-		if aug.K > 1 {
-			frac = float64(i) / float64(aug.K-1)
-		}
-		return clockwork.Constant{Rate: 1 + rho*frac}
-	}
-}
-
-// buildDelay constructs the delay model.
-func buildDelay(spec DelaySpec, p params.Params, rng *sim.RNG) transport.DelayModel {
-	d, u := p.Delay, p.Uncertainty
-	switch spec.Kind {
-	case DelayExtremal:
-		return transport.ExtremalDelay{D: d, U: u}
-	case DelayFixedMid:
-		return transport.FixedDelay{D: d, U: u, Frac: 0.5}
-	case DelayPhasedReveal:
-		switchAt := spec.SwitchAt
-		if switchAt <= 0 {
-			switchAt = math.Inf(1)
-		}
-		return transport.PhasedDelay{
-			Before:   transport.ExtremalDelay{D: d, U: u},
-			After:    transport.ExtremalDelay{D: d, U: u, Invert: true},
-			SwitchAt: switchAt,
-		}
-	default: // DelayUniform
-		return transport.UniformDelay{D: d, U: u, Rng: rng}
-	}
+// buildDrift constructs the rate model for one node via the configured
+// DriftModel.
+func buildDrift(m DriftModel, p params.Params, aug *graph.Augmented, v graph.NodeID, rng *sim.RNG) clockwork.RateModel {
+	return m.Rate(DriftCtx{
+		Node:     v,
+		Cluster:  aug.ClusterOf(v),
+		Index:    aug.IndexIn(v),
+		Clusters: aug.Clusters(),
+		K:        aug.K,
+		Params:   p,
+		Rng:      rng,
+	})
 }

@@ -10,12 +10,20 @@ import (
 
 // BuildDrift exposes the drift-model assignment for other packages (the
 // TreeSync baseline uses the same adversarial drift schedules as the main
-// system so comparisons are apples-to-apples).
-func BuildDrift(spec DriftSpec, p params.Params, aug *graph.Augmented, v graph.NodeID, rng *sim.RNG) clockwork.RateModel {
-	return buildDrift(spec, p, aug, v, rng)
+// system so comparisons are apples-to-apples). A nil model selects the
+// SpreadDrift default.
+func BuildDrift(m DriftModel, p params.Params, aug *graph.Augmented, v graph.NodeID, rng *sim.RNG) clockwork.RateModel {
+	if m == nil {
+		m = SpreadDrift{}
+	}
+	return buildDrift(m, p, aug, v, rng)
 }
 
-// BuildDelay exposes the delay-model assignment for other packages.
-func BuildDelay(spec DelaySpec, p params.Params, rng *sim.RNG) transport.DelayModel {
-	return buildDelay(spec, p, rng)
+// BuildDelay exposes the delay-model assignment for other packages. A nil
+// model selects the UniformDelayModel default.
+func BuildDelay(m DelayModel, p params.Params, rng *sim.RNG) transport.DelayModel {
+	if m == nil {
+		m = UniformDelayModel{}
+	}
+	return m.Build(p, rng)
 }

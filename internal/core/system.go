@@ -71,7 +71,7 @@ func NewSystem(cfg Config) (*System, error) {
 	}
 	eng := sim.NewEngine()
 	delayRng := sim.NewRNG(cfg.Seed, 1)
-	net := transport.NewNetwork(eng, aug.Net, buildDelay(cfg.Delay, cfg.Params, delayRng))
+	net := transport.NewNetwork(eng, aug.Net, cfg.delayModel().Build(cfg.Params, delayRng))
 
 	s := &System{
 		cfg:            cfg,
@@ -130,7 +130,7 @@ func (s *System) buildNode(v graph.NodeID, faults map[graph.NodeID]FaultSpec) er
 	case isFaulty && fault.OffSpecRate != 0:
 		model = clockwork.Constant{Rate: fault.OffSpecRate}
 	default:
-		model = buildDrift(cfg.Drift, p, s.aug, v, driftRng)
+		model = buildDrift(cfg.driftModel(), p, s.aug, v, driftRng)
 	}
 	n.hw = clockwork.NewHardwareClock(model)
 	n.main = clockwork.NewLogicalClock(n.hw, p.Phi, p.Mu)

@@ -4,8 +4,8 @@ import (
 	"fmt"
 	"math"
 
+	"ftgcs"
 	"ftgcs/internal/byzantine"
-	"ftgcs/internal/core"
 )
 
 // Ablations returns the ablation studies: experiments probing design
@@ -17,6 +17,12 @@ func Ablations() []Experiment {
 		{ID: "A2", Title: "Trigger unit κ sensitivity", Run: runA2},
 		{ID: "A3", Title: "Global-skew machinery ablation (Theorem C.3 rules on/off)", Run: runA3},
 	}
+}
+
+// a1meas is what one A1 scenario observes: the skew levels around the
+// injection.
+type a1meas struct {
+	peak, tail, pre float64
 }
 
 // runA1 — transient-fault recovery and its boundary. The implementation's
@@ -58,52 +64,59 @@ func runA1(rc RunConfig) (*Table, error) {
 		trials = []trial{trials[0], trials[2]}
 	}
 
+	scenarios := make([]*ftgcs.Scenario, 0, len(trials))
+	for _, tr := range trials {
+		mag := tr.mag
+		base, faults := lineWithFaults(5, 4, func() byzantine.Strategy { return byzantine.Silent{} })
+		scenarios = append(scenarios, ftgcs.NewScenario(
+			ftgcs.WithName("offset %s", tr.label),
+			ftgcs.WithTopology(base),
+			ftgcs.WithClusters(4, 1),
+			ftgcs.WithDerivedParams(p),
+			ftgcs.WithSeed(rc.Seed+200),
+			ftgcs.WithDrift(ftgcs.SpreadDrift{}),
+			ftgcs.WithFaults(faults...),
+			ftgcs.WithSampleInterval(p.T/4),
+			ftgcs.WithHorizonRounds(rounds),
+			// Corrupt node 10 (cluster 2, the middle of the line).
+			ftgcs.WithMidRunHook(injectAt, func(sys *ftgcs.System) error {
+				return sys.InjectClockFault(10, mag)
+			}),
+			ftgcs.WithObserver(func(sys *ftgcs.System) (any, error) {
+				ser := sys.Series(ftgcs.SeriesLocalNode)
+				var m a1meas
+				for i, tt := range ser.Times {
+					v := ser.Values[i]
+					switch {
+					case tt < injectAt && tt > injectAt/2:
+						m.pre = math.Max(m.pre, v) // pre-injection steady level
+					case tt >= injectAt:
+						m.peak = math.Max(m.peak, v)
+						if tt > horizon-horizon/5 {
+							m.tail = math.Max(m.tail, v)
+						}
+					}
+				}
+				return m, nil
+			}),
+		))
+	}
+	results, err := rc.runSweep(scenarios)
+	if err != nil {
+		return nil, err
+	}
+
 	tbl := &Table{
 		ID:     "A1",
 		Title:  "Recovery after corrupting one node's clock (line D=4, k=4, f=1)",
 		Claim:  "re-acquisition works within the deadline margin τ₂−d ≈ ϑ_g·E; beyond it Lynch–Welch is not self-stabilizing (paper §1, [8])",
 		Header: []string{"offset", "peak local skew", "tail local skew", "healed", "expected"},
 	}
-	for _, tr := range trials {
-		base, faults := lineWithFaults(5, 4, func() byzantine.Strategy { return byzantine.Silent{} })
-		sys, err := core.NewSystem(core.Config{
-			Base: base, K: 4, F: 1, Params: p, Seed: rc.Seed + 200,
-			Drift:            core.DriftSpec{Kind: core.DriftSpread},
-			Faults:           faults,
-			EnableGlobalSkew: true,
-			SampleInterval:   p.T / 4,
-		})
-		if err != nil {
-			return nil, err
-		}
-		if err := sys.Run(injectAt); err != nil {
-			return nil, err
-		}
-		// Corrupt node 10 (cluster 2, the middle of the line).
-		if err := sys.InjectClockFault(10, tr.mag); err != nil {
-			return nil, err
-		}
-		if err := sys.Run(horizon); err != nil {
-			return nil, err
-		}
-
-		ser := sys.Recorder().Series(core.SeriesLocalNode)
-		peak, tail, pre := 0.0, 0.0, 0.0
-		for i, tt := range ser.Times {
-			v := ser.Values[i]
-			switch {
-			case tt < injectAt && tt > injectAt/2:
-				pre = math.Max(pre, v) // pre-injection steady level
-			case tt >= injectAt:
-				peak = math.Max(peak, v)
-				if tt > horizon-horizon/5 {
-					tail = math.Max(tail, v)
-				}
-			}
-		}
-		healed := tail <= 2*pre+p.EG
-		tbl.AddRow(tr.label, f3(peak), f3(tail), okFail(healed), tr.expect)
-		rc.progressf("  A1 m=%.3g: peak=%.3g tail=%.3g pre=%.3g", tr.mag, peak, tail, pre)
+	for i, tr := range trials {
+		m := results[i].Value.(a1meas)
+		healed := m.tail <= 2*m.pre+p.EG
+		tbl.AddRow(tr.label, f3(m.peak), f3(m.tail), okFail(healed), tr.expect)
+		rc.progressf("  A1 m=%.3g: peak=%.3g tail=%.3g pre=%.3g", tr.mag, m.peak, m.tail, m.pre)
 	}
 	tbl.AddNote("fault: node 10's clock value jumps forward mid-run (transient corruption outside the Byzantine budget)")
 	tbl.AddNote("measured re-acquisition margin ≈ τ₂−d = %.3g (mates' pulses must still land before the victim's compute deadline); beyond it the victim free-runs", margin)
@@ -125,31 +138,38 @@ func runA2(rc RunConfig) (*Table, error) {
 	if rc.Quick {
 		rounds = 600
 	}
+	scenarios := make([]*ftgcs.Scenario, 0, len(factors))
+	for _, factor := range factors {
+		p := pBase
+		p.Kappa = pBase.Kappa * factor // δ unchanged: probes the κ/δ ratio
+		base, faults := lineWithFaults(5, 4, func() byzantine.Strategy { return byzantine.Silent{} })
+		scenarios = append(scenarios, ftgcs.NewScenario(
+			ftgcs.WithName("κ ×%.1f", factor),
+			ftgcs.WithTopology(base),
+			ftgcs.WithClusters(4, 1),
+			ftgcs.WithDerivedParams(p),
+			ftgcs.WithSeed(rc.Seed+210),
+			ftgcs.WithDrift(ftgcs.AlternatingHalvesDrift{Period: rounds * p.T / 2}),
+			ftgcs.WithFaults(faults...),
+			ftgcs.WithHorizonRounds(rounds),
+		))
+	}
+	results, err := rc.runSweep(scenarios)
+	if err != nil {
+		return nil, err
+	}
+
 	tbl := &Table{
 		ID:     "A2",
 		Title:  "Local skew vs trigger unit κ (line D=4, alternating-halves drift)",
 		Claim:  "design choice: κ = 3δ balances reaction threshold against estimate slack",
 		Header: []string{"κ multiplier", "κ", "local skew", "level-1 band 2κ−δ", "skew/κ"},
 	}
-	for _, factor := range factors {
-		p := pBase
-		p.Kappa = pBase.Kappa * factor // δ unchanged: probes the κ/δ ratio
-		base, faults := lineWithFaults(5, 4, func() byzantine.Strategy { return byzantine.Silent{} })
-		sys, err := core.NewSystem(core.Config{
-			Base: base, K: 4, F: 1, Params: p, Seed: rc.Seed + 210,
-			Drift:            core.DriftSpec{Kind: core.DriftAlternatingHalves, Period: rounds * p.T / 2},
-			Faults:           faults,
-			EnableGlobalSkew: true,
-		})
-		if err != nil {
-			return nil, err
-		}
-		if err := sys.Run(rounds * p.T); err != nil {
-			return nil, err
-		}
-		sum := sys.Summarize(rounds * p.T / 10)
-		tbl.AddRow(fmt.Sprintf("%.1f×", factor), f3(p.Kappa), f3(sum.MaxLocalNode),
-			f3(2*p.Kappa-p.Delta), f3(sum.MaxLocalNode/p.Kappa))
+	for i, factor := range factors {
+		kappa := pBase.Kappa * factor
+		sum := results[i].Summary
+		tbl.AddRow(fmt.Sprintf("%.1f×", factor), f3(kappa), f3(sum.MaxLocalNode),
+			f3(2*kappa-pBase.Delta), f3(sum.MaxLocalNode/kappa))
 		rc.progressf("  A2 κ×%.1f: local=%.3g", factor, sum.MaxLocalNode)
 	}
 	tbl.AddNote("measured skew tracks the level-1 band 2κ−δ: the trigger unit directly sets the steady skew")
@@ -167,27 +187,35 @@ func runA3(rc RunConfig) (*Table, error) {
 	if rc.Quick {
 		rounds = 800
 	}
+	variants := []bool{true, false}
+	scenarios := make([]*ftgcs.Scenario, 0, len(variants))
+	for _, enabled := range variants {
+		base, faults := lineWithFaults(9, 4, func() byzantine.Strategy { return byzantine.Silent{} })
+		scenarios = append(scenarios, ftgcs.NewScenario(
+			ftgcs.WithName("catch-up=%v", enabled),
+			ftgcs.WithTopology(base),
+			ftgcs.WithClusters(4, 1),
+			ftgcs.WithDerivedParams(p),
+			ftgcs.WithSeed(rc.Seed+220),
+			ftgcs.WithDrift(ftgcs.HalvesDrift{}),
+			ftgcs.WithFaults(faults...),
+			ftgcs.WithGlobalSkew(enabled),
+			ftgcs.WithHorizonRounds(rounds),
+		))
+	}
+	results, err := rc.runSweep(scenarios)
+	if err != nil {
+		return nil, err
+	}
+
 	tbl := &Table{
 		ID:     "A3",
 		Title:  "With vs without the global-skew machinery (line D=8, halves drift)",
 		Claim:  "Theorem C.3's catch-up rule is what bounds the global skew; local skew needs only the triggers",
 		Header: []string{"variant", "local skew", "global skew", "global bound O(δD)", "global within"},
 	}
-	for _, enabled := range []bool{true, false} {
-		base, faults := lineWithFaults(9, 4, func() byzantine.Strategy { return byzantine.Silent{} })
-		sys, err := core.NewSystem(core.Config{
-			Base: base, K: 4, F: 1, Params: p, Seed: rc.Seed + 220,
-			Drift:            core.DriftSpec{Kind: core.DriftHalves},
-			Faults:           faults,
-			EnableGlobalSkew: enabled,
-		})
-		if err != nil {
-			return nil, err
-		}
-		if err := sys.Run(rounds * p.T); err != nil {
-			return nil, err
-		}
-		sum := sys.Summarize(rounds * p.T / 10)
+	for i, enabled := range variants {
+		sum := results[i].Summary
 		name := "with catch-up (full algorithm)"
 		if !enabled {
 			name = "without catch-up (triggers only)"

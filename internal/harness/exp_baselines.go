@@ -3,6 +3,7 @@ package harness
 import (
 	"fmt"
 
+	"ftgcs"
 	"ftgcs/internal/baseline"
 	"ftgcs/internal/byzantine"
 	"ftgcs/internal/core"
@@ -21,13 +22,12 @@ func runE8(rc RunConfig) (*Table, error) {
 	if rc.Quick {
 		rounds = 900
 	}
-	horizon := rounds * p.T
 	ringSize := 8
 	// Cadence equivocation: independent off-nominal pulse trains per
 	// victim — the paper's "sub-nominal clock speed" example. Estimates
 	// follow the cadence without bound; every per-round innovation stays
 	// plausible.
-	attack := func() byzantine.Strategy { return byzantine.CadenceTwoFaced{} }
+	attack := func() ftgcs.Attack { return byzantine.CadenceTwoFaced{} }
 
 	type variant struct {
 		name   string
@@ -40,10 +40,29 @@ func runE8(rc RunConfig) (*Table, error) {
 			[]core.FaultSpec{{Node: 0, Strategy: attack()}}},
 		{"FTGCS (k=4, f=1), 1 Byzantine/cluster", 4, 1, nil},
 	}
-	// FTGCS variant: one two-faced node in every cluster.
-	for c := 0; c < ringSize; c++ {
-		variants[2].faults = append(variants[2].faults,
-			core.FaultSpec{Node: c*4 + 3, Strategy: attack()})
+	scenarios := make([]*ftgcs.Scenario, 0, len(variants))
+	for i, v := range variants {
+		opts := []ftgcs.Option{
+			ftgcs.WithName("%s", v.name),
+			ftgcs.WithTopology(graph.Ring(ringSize)),
+			ftgcs.WithClusters(v.k, v.f),
+			ftgcs.WithDerivedParams(p),
+			ftgcs.WithSeed(rc.Seed + 80 + int64(i)),
+			// Mild drift (intra-cluster only): the Byzantine attack, not
+			// the rate adversary, must be the dominant skew source here.
+			ftgcs.WithDrift(ftgcs.SpreadDrift{}),
+			ftgcs.WithFaults(v.faults...),
+			ftgcs.WithHorizonRounds(rounds),
+		}
+		if i == 2 {
+			// FTGCS variant: one two-faced node in every cluster.
+			opts = append(opts, ftgcs.WithAttackPerCluster(attack, 0))
+		}
+		scenarios = append(scenarios, ftgcs.NewScenario(opts...))
+	}
+	results, err := rc.runSweep(scenarios)
+	if err != nil {
+		return nil, err
 	}
 
 	tbl := &Table{
@@ -52,28 +71,10 @@ func runE8(rc RunConfig) (*Table, error) {
 		Claim:  "§1: plain GCS has no non-trivial skew bound under 1 Byzantine fault; FTGCS restores O((ρd+U)logD)",
 		Header: []string{"system", "local skew (correct pairs)", "vs fault-free", "vs FTGCS bound", "bounded"},
 	}
-	var faultFree float64
 	bound := p.NodeLocalSkewBound(ringSize / 2)
+	faultFree := results[0].Summary.MaxLocalNode
 	for i, v := range variants {
-		// Mild drift (intra-cluster only): the Byzantine attack, not the
-		// rate adversary, must be the dominant skew source here.
-		sys, err := core.NewSystem(core.Config{
-			Base: graph.Ring(ringSize), K: v.k, F: v.f, Params: p,
-			Seed:             rc.Seed + 80 + int64(i),
-			Drift:            core.DriftSpec{Kind: core.DriftSpread},
-			Faults:           v.faults,
-			EnableGlobalSkew: true,
-		})
-		if err != nil {
-			return nil, err
-		}
-		if err := sys.Run(horizon); err != nil {
-			return nil, err
-		}
-		sum := sys.Summarize(horizon / 10)
-		if i == 0 {
-			faultFree = sum.MaxLocalNode
-		}
+		sum := results[i].Summary
 		ratio := sum.MaxLocalNode / faultFree
 		tbl.AddRow(v.name, f3(sum.MaxLocalNode), fmt.Sprintf("%.1f×", ratio),
 			f3(sum.MaxLocalNode/bound), okFail(sum.MaxLocalNode <= bound))
@@ -88,6 +89,10 @@ func runE8(rc RunConfig) (*Table, error) {
 // achieves optimal global skew but compresses it onto single edges — local
 // skew grows linearly in D under the delay-bias reveal adversary, while
 // FTGCS stays flat/logarithmic.
+//
+// The TreeSync runs use the baseline package's own system type, so only
+// the FTGCS comparison runs go through the Scenario sweep; the baselines
+// execute directly.
 func runE9(rc RunConfig) (*Table, error) {
 	// Larger uncertainty makes the per-hop bias (±U/2) the dominant term.
 	cfg := params.Config{Rho: 1e-3, Delay: 1e-3, Uncertainty: 5e-4, C2: 4, Eps: 0.25, KStable: 1, CGlobal: 8}
@@ -104,18 +109,42 @@ func runE9(rc RunConfig) (*Table, error) {
 	horizon := rounds * p.T
 	fine := (p.Delay + p.EG) / 2 // sample fast enough to catch wavefronts
 
+	// The FTGCS arm of the comparison, one scenario per diameter.
+	scenarios := make([]*ftgcs.Scenario, 0, len(diameters))
+	for _, d := range diameters {
+		scenarios = append(scenarios, ftgcs.NewScenario(
+			ftgcs.WithName("FTGCS D=%d", d),
+			ftgcs.WithTopology(graph.Line(d+1)),
+			ftgcs.WithClusters(4, 1),
+			ftgcs.WithDerivedParams(p),
+			ftgcs.WithSeed(rc.Seed+90),
+			ftgcs.WithDrift(ftgcs.GradientDrift{}),
+			ftgcs.WithDelay(ftgcs.PhasedRevealDelayModel{SwitchAt: horizon / 2}),
+			ftgcs.WithGlobalSkew(false),
+			ftgcs.WithSampleInterval(fine),
+			ftgcs.WithHorizonRounds(rounds),
+			ftgcs.WithObserver(func(sys *ftgcs.System) (any, error) {
+				return sys.Summary(horizon / 3).MaxLocalCluster, nil
+			}),
+		))
+	}
+	results, err := rc.runSweep(scenarios)
+	if err != nil {
+		return nil, err
+	}
+
 	tbl := &Table{
 		ID:     "E9",
 		Title:  "TreeSync (master/slave echo) vs FTGCS under the hidden-skew reveal adversary",
 		Claim:  "§1/[15]: master-slave compresses global skew onto one edge (local skew Θ(D·U)); GCS keeps O(κ log D)",
 		Header: []string{"D", "TreeSync steady", "TreeSync reveal", "FTGCS reveal", "tree reveal/steady"},
 	}
-	var ds, tree, ftgcs []float64
-	for _, d := range diameters {
+	var ds, tree, gcsSkews []float64
+	for i, d := range diameters {
 		steadySys, err := baseline.NewSystem(baseline.Config{
 			Base: graph.Line(d + 1), Root: 0, K: 4, F: 1, Params: p, Seed: rc.Seed + 90,
-			Drift:          core.DriftSpec{Kind: core.DriftGradient},
-			Delay:          core.DelaySpec{Kind: core.DelayExtremal},
+			Drift:          core.GradientDrift{},
+			Delay:          core.ExtremalDelayModel{},
 			SampleInterval: fine,
 		})
 		if err != nil {
@@ -128,8 +157,8 @@ func runE9(rc RunConfig) (*Table, error) {
 
 		revealSys, err := baseline.NewSystem(baseline.Config{
 			Base: graph.Line(d + 1), Root: 0, K: 4, F: 1, Params: p, Seed: rc.Seed + 90,
-			Drift:          core.DriftSpec{Kind: core.DriftGradient},
-			Delay:          core.DelaySpec{Kind: core.DelayPhasedReveal, SwitchAt: horizon / 2},
+			Drift:          core.GradientDrift{},
+			Delay:          core.PhasedRevealDelayModel{SwitchAt: horizon / 2},
 			SampleInterval: fine,
 		})
 		if err != nil {
@@ -140,23 +169,11 @@ func runE9(rc RunConfig) (*Table, error) {
 		}
 		reveal := revealSys.MaxLocalClusterSkew(horizon / 3)
 
-		gcsSys, err := core.NewSystem(core.Config{
-			Base: graph.Line(d + 1), K: 4, F: 1, Params: p, Seed: rc.Seed + 90,
-			Drift:          core.DriftSpec{Kind: core.DriftGradient},
-			Delay:          core.DelaySpec{Kind: core.DelayPhasedReveal, SwitchAt: horizon / 2},
-			SampleInterval: fine,
-		})
-		if err != nil {
-			return nil, err
-		}
-		if err := gcsSys.Run(horizon); err != nil {
-			return nil, err
-		}
-		gcsSkew := gcsSys.Summarize(horizon / 3).MaxLocalCluster
+		gcsSkew := results[i].Value.(float64)
 
 		ds = append(ds, float64(d))
 		tree = append(tree, reveal)
-		ftgcs = append(ftgcs, gcsSkew)
+		gcsSkews = append(gcsSkews, gcsSkew)
 		tbl.AddRow(fmt.Sprintf("%d", d), f3(steady), f3(reveal), f3(gcsSkew),
 			fmt.Sprintf("%.1f×", reveal/steady))
 		rc.progressf("  E9 D=%d: tree steady=%.3g reveal=%.3g gcs=%.3g", d, steady, reveal, gcsSkew)
@@ -165,7 +182,7 @@ func runE9(rc RunConfig) (*Table, error) {
 		if expTree, err := metrics.GrowthExponent(ds, tree); err == nil {
 			tbl.AddNote("TreeSync reveal growth exponent: %.2f (linear compression expected: ≈ 1)", expTree)
 		}
-		if expG, err := metrics.GrowthExponent(ds, ftgcs); err == nil {
+		if expG, err := metrics.GrowthExponent(ds, gcsSkews); err == nil {
 			tbl.AddNote("FTGCS reveal growth exponent: %.2f (flat/logarithmic expected: ≈ 0)", expG)
 		}
 	}
@@ -186,20 +203,15 @@ func runE12(rc RunConfig) (*Table, error) {
 	type scenario struct {
 		k, f, actual int
 	}
-	scenarios := []scenario{
+	cases := []scenario{
 		{4, 1, 0}, {4, 1, 1}, {4, 1, 2},
 		{7, 2, 2}, {7, 2, 3},
 	}
 	if rc.Quick {
-		scenarios = scenarios[:3]
+		cases = cases[:3]
 	}
-	tbl := &Table{
-		ID:     "E12",
-		Title:  "Resilience boundary: equivocating coalitions around the f budget (single cluster)",
-		Claim:  "[3,12] via Theorem 1.1's k ≥ 3f+1: ≤ f Byzantine ⇒ bound holds; > f ⇒ no guarantee",
-		Header: []string{"k", "f (budget)", "actual byz", "intra skew", "bound", "within", "expected"},
-	}
-	for _, sc := range scenarios {
+	scenarios := make([]*ftgcs.Scenario, 0, len(cases))
+	for _, sc := range cases {
 		var faults []core.FaultSpec
 		for i := 0; i < sc.actual; i++ {
 			faults = append(faults, core.FaultSpec{
@@ -207,19 +219,31 @@ func runE12(rc RunConfig) (*Table, error) {
 				Strategy: byzantine.AdaptiveTwoFaced{},
 			})
 		}
-		sys, err := core.NewSystem(core.Config{
-			Base: graph.Line(1), K: sc.k, F: sc.f, Params: p,
-			Seed:   rc.Seed + 120 + int64(sc.k*10+sc.actual),
-			Drift:  core.DriftSpec{Kind: core.DriftSpread},
-			Faults: faults,
-		})
-		if err != nil {
-			return nil, err
-		}
-		if err := sys.Run(rounds * p.T); err != nil {
-			return nil, err
-		}
-		sum := sys.Summarize(rounds * p.T / 10)
+		scenarios = append(scenarios, ftgcs.NewScenario(
+			ftgcs.WithName("k=%d f=%d byz=%d", sc.k, sc.f, sc.actual),
+			ftgcs.WithTopology(graph.Line(1)),
+			ftgcs.WithClusters(sc.k, sc.f),
+			ftgcs.WithDerivedParams(p),
+			ftgcs.WithSeed(rc.Seed+120+int64(sc.k*10+sc.actual)),
+			ftgcs.WithDrift(ftgcs.SpreadDrift{}),
+			ftgcs.WithFaults(faults...),
+			ftgcs.WithGlobalSkew(false),
+			ftgcs.WithHorizonRounds(rounds),
+		))
+	}
+	results, err := rc.runSweep(scenarios)
+	if err != nil {
+		return nil, err
+	}
+
+	tbl := &Table{
+		ID:     "E12",
+		Title:  "Resilience boundary: equivocating coalitions around the f budget (single cluster)",
+		Claim:  "[3,12] via Theorem 1.1's k ≥ 3f+1: ≤ f Byzantine ⇒ bound holds; > f ⇒ no guarantee",
+		Header: []string{"k", "f (budget)", "actual byz", "intra skew", "bound", "within", "expected"},
+	}
+	for i, sc := range cases {
+		sum := results[i].Summary
 		bound := p.ClusterSkewBound()
 		within := sum.MaxIntraSkew <= bound
 		expected := "hold"

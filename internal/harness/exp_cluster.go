@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 
+	"ftgcs"
 	"ftgcs/internal/byzantine"
 	"ftgcs/internal/core"
 	"ftgcs/internal/graph"
@@ -29,13 +30,12 @@ func runE2(rc RunConfig) (*Table, error) {
 	}
 	strategies := append([]byzantine.Strategy{nil}, byzantine.All()...)
 
-	tbl := &Table{
-		ID:     "E2",
-		Title:  "Intra-cluster skew under Byzantine attack (single cluster)",
-		Claim:  "Corollary 3.2: |L_v − L_w| ≤ 2ϑ_g·E for correct v,w in one cluster",
-		Header: []string{"k", "f", "attack", "max intra skew", "bound 2ϑgE", "ratio", "within"},
+	type variant struct {
+		k, f int
+		name string
 	}
-	bound := p.ClusterSkewBound()
+	var variants []variant
+	var scenarios []*ftgcs.Scenario
 	for _, sz := range sizes {
 		for _, strat := range strategies {
 			name := "none"
@@ -49,24 +49,38 @@ func runE2(rc RunConfig) (*Table, error) {
 					})
 				}
 			}
-			sys, err := core.NewSystem(core.Config{
-				Base: graph.Line(1), K: sz.k, F: sz.f, Params: p,
-				Seed:   rc.Seed + int64(sz.k*100+len(name)),
-				Drift:  core.DriftSpec{Kind: core.DriftSpread},
-				Faults: faults,
-			})
-			if err != nil {
-				return nil, err
-			}
-			if err := sys.Run(rounds * p.T); err != nil {
-				return nil, err
-			}
-			sum := sys.Summarize(rounds * p.T / 10)
-			tbl.AddRow(fmt.Sprintf("%d", sz.k), fmt.Sprintf("%d", sz.f), name,
-				f3(sum.MaxIntraSkew), f3(bound), f3(sum.MaxIntraSkew/bound),
-				okFail(sum.MaxIntraSkew <= bound))
-			rc.progressf("  E2 k=%d f=%d %s: intra=%.3g", sz.k, sz.f, name, sum.MaxIntraSkew)
+			variants = append(variants, variant{sz.k, sz.f, name})
+			scenarios = append(scenarios, ftgcs.NewScenario(
+				ftgcs.WithName("k=%d f=%d %s", sz.k, sz.f, name),
+				ftgcs.WithTopology(graph.Line(1)),
+				ftgcs.WithClusters(sz.k, sz.f),
+				ftgcs.WithDerivedParams(p),
+				ftgcs.WithSeed(rc.Seed+int64(sz.k*100+len(name))),
+				ftgcs.WithDrift(ftgcs.SpreadDrift{}),
+				ftgcs.WithFaults(faults...),
+				ftgcs.WithGlobalSkew(false),
+				ftgcs.WithHorizonRounds(rounds),
+			))
 		}
+	}
+	results, err := rc.runSweep(scenarios)
+	if err != nil {
+		return nil, err
+	}
+
+	tbl := &Table{
+		ID:     "E2",
+		Title:  "Intra-cluster skew under Byzantine attack (single cluster)",
+		Claim:  "Corollary 3.2: |L_v − L_w| ≤ 2ϑ_g·E for correct v,w in one cluster",
+		Header: []string{"k", "f", "attack", "max intra skew", "bound 2ϑgE", "ratio", "within"},
+	}
+	bound := p.ClusterSkewBound()
+	for i, v := range variants {
+		sum := results[i].Summary
+		tbl.AddRow(fmt.Sprintf("%d", v.k), fmt.Sprintf("%d", v.f), v.name,
+			f3(sum.MaxIntraSkew), f3(bound), f3(sum.MaxIntraSkew/bound),
+			okFail(sum.MaxIntraSkew <= bound))
+		rc.progressf("  E2 k=%d f=%d %s: intra=%.3g", v.k, v.f, v.name, sum.MaxIntraSkew)
 	}
 	tbl.AddNote("drift: member i at constant rate 1+ρ·i/(k−1) (max intra-cluster spread)")
 	return tbl, nil
@@ -84,26 +98,38 @@ func runE3(rc RunConfig) (*Table, error) {
 		rounds = 150
 	}
 	staggers := []float64{0, p.EG, 2.5 * p.EG}
+	scenarios := make([]*ftgcs.Scenario, 0, len(staggers))
+	for _, st := range staggers {
+		base, faults := lineWithFaults(1, 4, func() byzantine.Strategy { return byzantine.Silent{} })
+		scenarios = append(scenarios, ftgcs.NewScenario(
+			ftgcs.WithName("stagger=%.3g", st),
+			ftgcs.WithTopology(base),
+			ftgcs.WithClusters(4, 1),
+			ftgcs.WithDerivedParams(p),
+			ftgcs.WithSeed(rc.Seed+30),
+			ftgcs.WithDrift(ftgcs.SpreadDrift{}),
+			ftgcs.WithFaults(faults...),
+			ftgcs.WithGlobalSkew(false),
+			ftgcs.WithStaggerStart(st),
+			ftgcs.WithHorizonRounds(float64(rounds)),
+			ftgcs.WithObserver(func(sys *ftgcs.System) (any, error) {
+				return sys.PulseDiameters(0), nil
+			}),
+		))
+	}
+	results, err := rc.runSweep(scenarios)
+	if err != nil {
+		return nil, err
+	}
+
 	tbl := &Table{
 		ID:     "E3",
 		Title:  "Pulse-diameter convergence from initial desynchronization (k=4, f=1 silent)",
 		Claim:  "Prop. B.14 / Eq. (9): ‖p(r+1)‖ ≤ α·‖p(r)‖ + β with steady state E = β/(1−α)",
 		Header: []string{"‖p(1)‖≈", "rounds→≤1.5E", "steady mean", "steady max", "E (bound)", "within"},
 	}
-	for _, st := range staggers {
-		sys, err := core.NewSystem(core.Config{
-			Base: graph.Line(1), K: 4, F: 1, Params: p, Seed: rc.Seed + 30,
-			Drift:        core.DriftSpec{Kind: core.DriftSpread},
-			Faults:       []core.FaultSpec{{Node: 3, Strategy: byzantine.Silent{}}},
-			StaggerStart: st,
-		})
-		if err != nil {
-			return nil, err
-		}
-		if err := sys.Run(float64(rounds) * p.T); err != nil {
-			return nil, err
-		}
-		diams := sys.PulseDiameters(0)
+	for i, st := range staggers {
+		diams := results[i].Value.(map[int]float64)
 		seq := diameterSequence(diams, rounds)
 		if len(seq) < rounds/2 {
 			return nil, fmt.Errorf("E3: only %d rounds of pulse data", len(seq))
@@ -148,13 +174,17 @@ func diameterSequence(diams map[int]float64, maxRound int) []float64 {
 	return out
 }
 
+// e4rates is the per-window rate measurement one E4 scenario observes.
+type e4rates struct {
+	fastMin, slowMin, slowMax float64
+}
+
 // runE4 — Lemma 3.6: after enough unanimous rounds, a fast cluster's
 // amortized rate is ≥ (1+ϕ)(1+⅞µ) and a slow cluster's sits within
 // (1+ϕ)(1±⅛µ). Per-round rates carry correction jitter ∝ (E+U)/T, so we
 // report the bounds over several averaging windows; the paper's constants
 // (c₂=32, ε=1/4096) make even W=1 work, the aggressive experiment preset
-// needs W ≳ 10 (an honest constant-size finding, recorded in
-// EXPERIMENTS.md).
+// needs W ≳ 10 (an honest constant-size finding).
 func runE4(rc RunConfig) (*Table, error) {
 	rounds := 400
 	if rc.Quick {
@@ -172,6 +202,60 @@ func runE4(rc RunConfig) (*Table, error) {
 		{"paper(ρ=8e-7,c₂=32,ε=1/4096)", params.PresetConfig(params.PaperStrict, 8e-7, 1e-3, 1e-4)},
 	}
 	windows := []int{1, 10, 30}
+
+	scenarios := make([]*ftgcs.Scenario, 0, len(presets))
+	for _, pr := range presets {
+		p, err := params.Derive(pr.cfg)
+		if err != nil {
+			return nil, err
+		}
+		scenarios = append(scenarios, ftgcs.NewScenario(
+			ftgcs.WithName("%s", pr.name),
+			ftgcs.WithTopology(graph.Line(2)),
+			ftgcs.WithClusters(4, 0),
+			ftgcs.WithDerivedParams(p),
+			ftgcs.WithSeed(rc.Seed+40),
+			ftgcs.WithDrift(ftgcs.SpreadDrift{}),
+			ftgcs.WithGlobalSkew(false),
+			ftgcs.WithModeOverride(func(v graph.NodeID, c graph.ClusterID, r int) (int, bool) {
+				if c == 0 {
+					return 1, true
+				}
+				return 0, true
+			}),
+			ftgcs.WithRoundTracking(),
+			ftgcs.WithHorizonRounds(float64(rounds)),
+			ftgcs.WithObserver(func(sys *ftgcs.System) (any, error) {
+				// Measure windowed amortized rates per window size over
+				// the fast cluster (nodes 0–3) and slow cluster (4–7).
+				out := make(map[int]e4rates, len(windows))
+				for _, w := range windows {
+					m := e4rates{
+						fastMin: math.Inf(1),
+						slowMin: math.Inf(1),
+						slowMax: math.Inf(-1),
+					}
+					for v := 0; v < 8; v++ {
+						times, values, _ := sys.RoundTrace(v)
+						lo, hi := windowedRateRange(times, values, w, len(times)/4)
+						if v < 4 {
+							m.fastMin = math.Min(m.fastMin, lo)
+						} else {
+							m.slowMin = math.Min(m.slowMin, lo)
+							m.slowMax = math.Max(m.slowMax, hi)
+						}
+					}
+					out[w] = m
+				}
+				return out, nil
+			}),
+		))
+	}
+	results, err := rc.runSweep(scenarios)
+	if err != nil {
+		return nil, err
+	}
+
 	tbl := &Table{
 		ID:    "E4",
 		Title: "Amortized logical rates of unanimously fast/slow clusters",
@@ -179,46 +263,19 @@ func runE4(rc RunConfig) (*Table, error) {
 		Header: []string{"preset", "W (rounds)", "min fast rate", "fast floor", "fast ok",
 			"slow range", "slow window", "slow ok"},
 	}
-	for _, pr := range presets {
+	for i, pr := range presets {
 		p, err := params.Derive(pr.cfg)
 		if err != nil {
 			return nil, err
 		}
-		sys, err := core.NewSystem(core.Config{
-			Base: graph.Line(2), K: 4, F: 0, Params: p, Seed: rc.Seed + 40,
-			Drift: core.DriftSpec{Kind: core.DriftSpread},
-			ModeOverride: func(v graph.NodeID, c graph.ClusterID, r int) (int, bool) {
-				if c == 0 {
-					return 1, true
-				}
-				return 0, true
-			},
-			TrackRounds: true,
-		})
-		if err != nil {
-			return nil, err
-		}
-		if err := sys.Run(float64(rounds) * p.T); err != nil {
-			return nil, err
-		}
+		rates := results[i].Value.(map[int]e4rates)
 		for _, w := range windows {
-			fastMin := math.Inf(1)
-			slowMin, slowMax := math.Inf(1), math.Inf(-1)
-			for v := 0; v < 8; v++ {
-				times, values, _ := sys.RoundTrace(v)
-				lo, hi := windowedRateRange(times, values, w, len(times)/4)
-				if v < 4 {
-					fastMin = math.Min(fastMin, lo)
-				} else {
-					slowMin = math.Min(slowMin, lo)
-					slowMax = math.Max(slowMax, hi)
-				}
-			}
-			fastOK := fastMin >= p.FastRateFloor()
-			slowOK := slowMin >= p.SlowRateFloor() && slowMax <= p.SlowRateCeil()
+			m := rates[w]
+			fastOK := m.fastMin >= p.FastRateFloor()
+			slowOK := m.slowMin >= p.SlowRateFloor() && m.slowMax <= p.SlowRateCeil()
 			tbl.AddRow(pr.name, fmt.Sprintf("%d", w),
-				f3(fastMin), f3(p.FastRateFloor()), okFail(fastOK),
-				fmt.Sprintf("[%s, %s]", f3(slowMin), f3(slowMax)),
+				f3(m.fastMin), f3(p.FastRateFloor()), okFail(fastOK),
+				fmt.Sprintf("[%s, %s]", f3(m.slowMin), f3(m.slowMax)),
 				fmt.Sprintf("[%s, %s]", f3(p.SlowRateFloor()), f3(p.SlowRateCeil())),
 				okFail(slowOK))
 		}

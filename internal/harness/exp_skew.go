@@ -3,6 +3,7 @@ package harness
 import (
 	"fmt"
 
+	"ftgcs"
 	"ftgcs/internal/byzantine"
 	"ftgcs/internal/core"
 	"ftgcs/internal/graph"
@@ -38,6 +39,29 @@ func runE1(rc RunConfig) (*Table, error) {
 		roundsFor = func(d int) float64 { return 400 + 150*float64(d) }
 	}
 
+	scenarios := make([]*ftgcs.Scenario, 0, len(diameters))
+	for _, d := range diameters {
+		// The horizon scales with D so the drift adversary can build
+		// D-proportional global pressure (global skew = Θ(κD) needs
+		// Θ(κD/ρ) time); the halves flip twice per run.
+		horizon := roundsFor(d) * p.T
+		base, faults := lineWithFaults(d+1, k, func() byzantine.Strategy { return byzantine.AdaptiveTwoFaced{} })
+		scenarios = append(scenarios, ftgcs.NewScenario(
+			ftgcs.WithName("D=%d", d),
+			ftgcs.WithTopology(base),
+			ftgcs.WithClusters(k, f),
+			ftgcs.WithDerivedParams(p),
+			ftgcs.WithSeed(rc.Seed+int64(d)),
+			ftgcs.WithDrift(ftgcs.AlternatingHalvesDrift{Period: horizon / 3}),
+			ftgcs.WithFaults(faults...),
+			ftgcs.WithHorizonRounds(roundsFor(d)),
+		))
+	}
+	results, err := rc.runSweep(scenarios)
+	if err != nil {
+		return nil, err
+	}
+
 	tbl := &Table{
 		ID:     "E1",
 		Title:  "Local skew vs diameter (line of clusters, f=1 adaptive equivocator per cluster)",
@@ -45,30 +69,13 @@ func runE1(rc RunConfig) (*Table, error) {
 		Header: []string{"D", "nodes", "local skew", "local bound", "within", "global skew", "global/local"},
 	}
 	var ds, skews, globals []float64
-	for _, d := range diameters {
-		// The horizon scales with D so the drift adversary can build
-		// D-proportional global pressure (global skew = Θ(κD) needs
-		// Θ(κD/ρ) time); the halves flip twice per run.
-		horizon := roundsFor(d) * p.T
-		base, faults := lineWithFaults(d+1, k, func() byzantine.Strategy { return byzantine.AdaptiveTwoFaced{} })
-		sys, err := core.NewSystem(core.Config{
-			Base: base, K: k, F: f, Params: p, Seed: rc.Seed + int64(d),
-			Drift:            core.DriftSpec{Kind: core.DriftAlternatingHalves, Period: horizon / 3},
-			Faults:           faults,
-			EnableGlobalSkew: true,
-		})
-		if err != nil {
-			return nil, err
-		}
-		if err := sys.Run(horizon); err != nil {
-			return nil, err
-		}
-		sum := sys.Summarize(roundsFor(d) * p.T / 10)
+	for i, d := range diameters {
+		sum := results[i].Summary
 		bound := p.NodeLocalSkewBound(d)
 		ds = append(ds, float64(d))
 		skews = append(skews, sum.MaxLocalNode)
 		globals = append(globals, sum.MaxGlobal)
-		tbl.AddRow(fmt.Sprintf("%d", d), fmt.Sprintf("%d", sys.Aug().Net.N()),
+		tbl.AddRow(fmt.Sprintf("%d", d), fmt.Sprintf("%d", (d+1)*k),
 			f3(sum.MaxLocalNode), f3(bound), okFail(sum.MaxLocalNode <= bound),
 			f3(sum.MaxGlobal), fmt.Sprintf("%.1f×", sum.MaxGlobal/sum.MaxLocalNode))
 		rc.progressf("  E1 D=%d: local=%.3g bound=%.3g global=%.3g events=%d",
@@ -97,27 +104,33 @@ func runE6(rc RunConfig) (*Table, error) {
 		diameters = []int{2, 4}
 		rounds = 900
 	}
+	scenarios := make([]*ftgcs.Scenario, 0, len(diameters))
+	for _, d := range diameters {
+		base, faults := lineWithFaults(d+1, k, func() byzantine.Strategy { return byzantine.Silent{} })
+		scenarios = append(scenarios, ftgcs.NewScenario(
+			ftgcs.WithName("D=%d", d),
+			ftgcs.WithTopology(base),
+			ftgcs.WithClusters(k, f),
+			ftgcs.WithDerivedParams(p),
+			ftgcs.WithSeed(rc.Seed+60+int64(d)),
+			ftgcs.WithDrift(ftgcs.HalvesDrift{}),
+			ftgcs.WithFaults(faults...),
+			ftgcs.WithHorizonRounds(rounds),
+		))
+	}
+	results, err := rc.runSweep(scenarios)
+	if err != nil {
+		return nil, err
+	}
+
 	tbl := &Table{
 		ID:     "E6",
 		Title:  "Global skew and max-estimate health (line, f=1 silent Byzantine per cluster)",
 		Claim:  "Theorem C.3: global skew = O(δD); Lemma C.2: L_max ≥ M_v ≥ L_max − O(δD)",
 		Header: []string{"D", "global skew", "bound O(δD)", "within", "max M_v lag", "M_v>L_max"},
 	}
-	for _, d := range diameters {
-		base, faults := lineWithFaults(d+1, k, func() byzantine.Strategy { return byzantine.Silent{} })
-		sys, err := core.NewSystem(core.Config{
-			Base: base, K: k, F: f, Params: p, Seed: rc.Seed + 60 + int64(d),
-			Drift:            core.DriftSpec{Kind: core.DriftHalves},
-			Faults:           faults,
-			EnableGlobalSkew: true,
-		})
-		if err != nil {
-			return nil, err
-		}
-		if err := sys.Run(rounds * p.T); err != nil {
-			return nil, err
-		}
-		sum := sys.Summarize(rounds * p.T / 10)
+	for i, d := range diameters {
+		sum := results[i].Summary
 		bound := p.GlobalSkewBound(d)
 		tbl.AddRow(fmt.Sprintf("%d", d), f3(sum.MaxGlobal), f3(bound),
 			okFail(sum.MaxGlobal <= bound), f3(sum.MaxMaxEstLag),
@@ -144,13 +157,8 @@ func runE13(rc RunConfig) (*Table, error) {
 		pts = []pt{{1e-3, 5e-5}, {1e-3, 3e-4}}
 		rounds = 900
 	}
-	tbl := &Table{
-		ID:     "E13",
-		Title:  "Local skew scaling in link quality (line D=4, f=1 per cluster)",
-		Claim:  "Theorem 1.1: skew prefactor ∝ (ρd+U); measured/κ ratio ≈ constant across the sweep",
-		Header: []string{"d", "U", "ρd+U", "κ", "measured", "measured/κ", "within bound"},
-	}
-	var quality, skews []float64
+	ps := make([]params.Params, 0, len(pts))
+	scenarios := make([]*ftgcs.Scenario, 0, len(pts))
 	for _, c := range pts {
 		cfg := physicalDefault()
 		cfg.Delay, cfg.Uncertainty = c.d, c.u
@@ -158,20 +166,34 @@ func runE13(rc RunConfig) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
+		ps = append(ps, p)
 		base, faults := lineWithFaults(5, 4, func() byzantine.Strategy { return byzantine.TwoFaced{} })
-		sys, err := core.NewSystem(core.Config{
-			Base: base, K: 4, F: 1, Params: p, Seed: rc.Seed + 130,
-			Drift:            core.DriftSpec{Kind: core.DriftAlternatingHalves, Period: rounds * p.T / 2},
-			Faults:           faults,
-			EnableGlobalSkew: true,
-		})
-		if err != nil {
-			return nil, err
-		}
-		if err := sys.Run(rounds * p.T); err != nil {
-			return nil, err
-		}
-		sum := sys.Summarize(rounds * p.T / 10)
+		scenarios = append(scenarios, ftgcs.NewScenario(
+			ftgcs.WithName("d=%.0e U=%.0e", c.d, c.u),
+			ftgcs.WithTopology(base),
+			ftgcs.WithClusters(4, 1),
+			ftgcs.WithDerivedParams(p),
+			ftgcs.WithSeed(rc.Seed+130),
+			ftgcs.WithDrift(ftgcs.AlternatingHalvesDrift{Period: rounds * p.T / 2}),
+			ftgcs.WithFaults(faults...),
+			ftgcs.WithHorizonRounds(rounds),
+		))
+	}
+	results, err := rc.runSweep(scenarios)
+	if err != nil {
+		return nil, err
+	}
+
+	tbl := &Table{
+		ID:     "E13",
+		Title:  "Local skew scaling in link quality (line D=4, f=1 per cluster)",
+		Claim:  "Theorem 1.1: skew prefactor ∝ (ρd+U); measured/κ ratio ≈ constant across the sweep",
+		Header: []string{"d", "U", "ρd+U", "κ", "measured", "measured/κ", "within bound"},
+	}
+	var quality, skews []float64
+	for i, c := range pts {
+		p := ps[i]
+		sum := results[i].Summary
 		bound := p.NodeLocalSkewBound(4)
 		q := p.Rho*c.d + c.u
 		quality = append(quality, q)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"ftgcs"
 	"ftgcs/internal/byzantine"
 	"ftgcs/internal/core"
 	"ftgcs/internal/gcs"
@@ -79,11 +80,16 @@ func runE10(rc RunConfig) (*Table, error) {
 	}
 	horizon := rounds * p.T
 	base, faults := lineWithFaults(5, 4, func() byzantine.Strategy { return byzantine.Silent{} })
-	sys, err := core.NewSystem(core.Config{
-		Base: base, K: 4, F: 1, Params: p, Seed: rc.Seed + 100,
-		Drift:  core.DriftSpec{Kind: core.DriftSpread},
-		Faults: faults,
-		ModeOverride: func(v graph.NodeID, c graph.ClusterID, r int) (int, bool) {
+	sys, err := ftgcs.NewScenario(
+		ftgcs.WithName("E10 build-up/release"),
+		ftgcs.WithTopology(base),
+		ftgcs.WithClusters(4, 1),
+		ftgcs.WithDerivedParams(p),
+		ftgcs.WithSeed(rc.Seed+100),
+		ftgcs.WithDrift(ftgcs.SpreadDrift{}),
+		ftgcs.WithFaults(faults...),
+		ftgcs.WithGlobalSkew(false),
+		ftgcs.WithModeOverride(func(v graph.NodeID, c graph.ClusterID, r int) (int, bool) {
 			if r >= buildRounds {
 				return 0, false // release: normal InterclusterSync
 			}
@@ -91,9 +97,9 @@ func runE10(rc RunConfig) (*Table, error) {
 				return 1, true
 			}
 			return 0, true
-		},
-		TrackClusters: true,
-	})
+		}),
+		ftgcs.WithClusterTracking(),
+	).Build()
 	if err != nil {
 		return nil, err
 	}
@@ -105,7 +111,6 @@ func runE10(rc RunConfig) (*Table, error) {
 	// Skip the forced phase (it deliberately violates faithfulness) plus
 	// a re-stabilization margin.
 	skipUntil := float64(buildRounds+20) * p.T
-	rec := sys.Recorder()
 	tbl := &Table{
 		ID:     "E10",
 		Title:  "GCS axioms on simulated cluster clocks (line D=4, forced build-up then release)",
@@ -118,9 +123,9 @@ func runE10(rc RunConfig) (*Table, error) {
 	scMax, scN := math.Inf(-1), 0
 	fcMin, fcN := math.Inf(1), 0
 	for c := 0; c < 5; c++ {
-		clock := rec.Series(core.ClusterSeriesClock(c))
-		fc := rec.Series(core.ClusterSeriesFC(c))
-		sc := rec.Series(core.ClusterSeriesSC(c))
+		clock := sys.Series(core.ClusterSeriesClock(c))
+		fc := sys.Series(core.ClusterSeriesFC(c))
+		sc := sys.Series(core.ClusterSeriesSC(c))
 		if clock == nil || fc == nil || sc == nil {
 			continue
 		}

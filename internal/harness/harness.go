@@ -10,11 +10,16 @@ import (
 
 // RunConfig tunes experiment execution.
 type RunConfig struct {
-	// Quick shrinks sweeps and horizons (CI / benchmarks). Full mode is
-	// what EXPERIMENTS.md records.
+	// Quick shrinks sweeps and horizons (CI / benchmarks); full mode is
+	// what the recorded reproduction tables use.
 	Quick bool
 	// Seed drives all randomness.
 	Seed int64
+	// Workers bounds the scenario worker pool (≤0 selects GOMAXPROCS).
+	// Results are identical for any worker count: every scenario is a
+	// self-contained deterministic simulation, and rows are aggregated in
+	// input order.
+	Workers int
 	// Progress, when non-nil, receives one line per sub-run.
 	Progress io.Writer
 }

@@ -1,7 +1,7 @@
 // Package harness defines the experiment suite that reproduces every
 // quantitative claim of the FTGCS paper (the paper is theory-only, so each
-// theorem/lemma/claim becomes one experiment; see DESIGN.md §4 for the
-// index). Each experiment produces a Table comparing the paper's bound or
+// theorem/lemma/claim becomes one experiment; see All for the index).
+// Each experiment produces a Table comparing the paper's bound or
 // prediction against measured values.
 package harness
 

@@ -1,0 +1,312 @@
+package ftgcs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"ftgcs/internal/byzantine"
+)
+
+// TopologyBuilder constructs a base cluster graph from a single size
+// parameter (clusters, side length, depth or dimension — whichever the
+// family uses) and a seed for randomized families.
+type TopologyBuilder func(size int, seed int64) (*Topology, error)
+
+// Registry is a name-indexed catalog of scenario building blocks:
+// topologies, drift models, delay models and Byzantine attacks. The CLIs
+// and the Scenario builder resolve `-topology torus`, `-drift sine`,
+// `-attack adaptive`, `-delay burst` through one shared registry instead of
+// per-tool switch statements, so a new adversary is one self-registering
+// file.
+//
+// All methods are safe for concurrent use. Registration of a duplicate
+// name panics: registries are populated from init functions, where a
+// collision is a programming error worth failing loudly on.
+type Registry struct {
+	mu         sync.RWMutex
+	topologies map[string]TopologyBuilder
+	drifts     map[string]func() DriftModel
+	delays     map[string]func() DelayModel
+	attacks    map[string]func() Attack
+	aliases    map[string]string // alias → canonical name
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		topologies: make(map[string]TopologyBuilder),
+		drifts:     make(map[string]func() DriftModel),
+		delays:     make(map[string]func() DelayModel),
+		attacks:    make(map[string]func() Attack),
+		aliases:    make(map[string]string),
+	}
+}
+
+// lookup resolves name in one catalog: an exact registration wins, then
+// the shared alias table is consulted. Callers must hold r.mu (read).
+func lookup[V any](r *Registry, m map[string]V, name string) (V, bool) {
+	if v, ok := m[name]; ok {
+		return v, true
+	}
+	if canonical, ok := r.aliases[name]; ok {
+		v, ok := m[canonical]
+		return v, ok
+	}
+	var zero V
+	return zero, false
+}
+
+// RegisterTopology adds a topology family under the given name. It panics
+// if the name is empty or already taken.
+func (r *Registry) RegisterTopology(name string, b TopologyBuilder) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if name == "" || b == nil {
+		panic("ftgcs: RegisterTopology with empty name or nil builder")
+	}
+	if _, dup := r.topologies[name]; dup {
+		panic(fmt.Sprintf("ftgcs: topology %q registered twice", name))
+	}
+	r.topologies[name] = b
+}
+
+// RegisterDrift adds a drift model constructor under the given name. It
+// panics if the name is empty or already taken.
+func (r *Registry) RegisterDrift(name string, ctor func() DriftModel) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if name == "" || ctor == nil {
+		panic("ftgcs: RegisterDrift with empty name or nil constructor")
+	}
+	if _, dup := r.drifts[name]; dup {
+		panic(fmt.Sprintf("ftgcs: drift %q registered twice", name))
+	}
+	r.drifts[name] = ctor
+}
+
+// RegisterDelay adds a delay model constructor under the given name. It
+// panics if the name is empty or already taken.
+func (r *Registry) RegisterDelay(name string, ctor func() DelayModel) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if name == "" || ctor == nil {
+		panic("ftgcs: RegisterDelay with empty name or nil constructor")
+	}
+	if _, dup := r.delays[name]; dup {
+		panic(fmt.Sprintf("ftgcs: delay %q registered twice", name))
+	}
+	r.delays[name] = ctor
+}
+
+// RegisterAttack adds a Byzantine attack constructor under the given name.
+// It panics if the name is empty or already taken.
+func (r *Registry) RegisterAttack(name string, ctor func() Attack) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if name == "" || ctor == nil {
+		panic("ftgcs: RegisterAttack with empty name or nil constructor")
+	}
+	if _, dup := r.attacks[name]; dup {
+		panic(fmt.Sprintf("ftgcs: attack %q registered twice", name))
+	}
+	r.attacks[name] = ctor
+}
+
+// RegisterAlias maps an alternative spelling to a canonical name (e.g.
+// "adaptive" → "adaptive-two-faced"). Aliases are shared across all four
+// catalogs; an exact registration under the same name always wins over an
+// alias, and an alias may not shadow an existing canonical name.
+func (r *Registry) RegisterAlias(alias, canonical string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if alias == "" || canonical == "" {
+		panic("ftgcs: RegisterAlias with empty name")
+	}
+	if _, dup := r.aliases[alias]; dup {
+		panic(fmt.Sprintf("ftgcs: alias %q registered twice", alias))
+	}
+	if r.isCanonical(alias) {
+		panic(fmt.Sprintf("ftgcs: alias %q would shadow an existing registration", alias))
+	}
+	if !r.isCanonical(canonical) {
+		panic(fmt.Sprintf("ftgcs: alias %q points at unregistered name %q (register the target first)", alias, canonical))
+	}
+	r.aliases[alias] = canonical
+}
+
+// isCanonical reports whether the name is directly registered in any
+// catalog. Callers must hold r.mu.
+func (r *Registry) isCanonical(name string) bool {
+	_, t := r.topologies[name]
+	_, dr := r.drifts[name]
+	_, de := r.delays[name]
+	_, a := r.attacks[name]
+	return t || dr || de || a
+}
+
+// unknown builds the error for a failed lookup, listing what is available.
+func unknown(kind, name string, names []string) error {
+	return fmt.Errorf("ftgcs: unknown %s %q (have: %s)", kind, name, strings.Join(names, ", "))
+}
+
+// Topology builds the named topology family at the given size. Randomized
+// families use the seed; deterministic ones ignore it.
+func (r *Registry) Topology(name string, size int, seed int64) (*Topology, error) {
+	r.mu.RLock()
+	b, ok := lookup(r, r.topologies, name)
+	r.mu.RUnlock()
+	if !ok {
+		return nil, unknown("topology", name, r.TopologyNames())
+	}
+	return b(size, seed)
+}
+
+// Drift returns a fresh instance of the named drift model.
+func (r *Registry) Drift(name string) (DriftModel, error) {
+	r.mu.RLock()
+	ctor, ok := lookup(r, r.drifts, name)
+	r.mu.RUnlock()
+	if !ok {
+		return nil, unknown("drift model", name, r.DriftNames())
+	}
+	return ctor(), nil
+}
+
+// Delay returns a fresh instance of the named delay model.
+func (r *Registry) Delay(name string) (DelayModel, error) {
+	r.mu.RLock()
+	ctor, ok := lookup(r, r.delays, name)
+	r.mu.RUnlock()
+	if !ok {
+		return nil, unknown("delay model", name, r.DelayNames())
+	}
+	return ctor(), nil
+}
+
+// Attack returns a fresh instance of the named Byzantine attack.
+func (r *Registry) Attack(name string) (Attack, error) {
+	r.mu.RLock()
+	ctor, ok := lookup(r, r.attacks, name)
+	r.mu.RUnlock()
+	if !ok {
+		return nil, unknown("attack", name, r.AttackNames())
+	}
+	return ctor(), nil
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TopologyNames lists the registered topology families, sorted.
+func (r *Registry) TopologyNames() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return sortedKeys(r.topologies)
+}
+
+// DriftNames lists the registered drift models, sorted.
+func (r *Registry) DriftNames() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return sortedKeys(r.drifts)
+}
+
+// DelayNames lists the registered delay models, sorted.
+func (r *Registry) DelayNames() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return sortedKeys(r.delays)
+}
+
+// AttackNames lists the registered attacks, sorted.
+func (r *Registry) AttackNames() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return sortedKeys(r.attacks)
+}
+
+// DefaultRegistry holds every built-in topology, drift model, delay model
+// and attack, and is where RegisterDrift et al. (the package-level
+// convenience functions) install user extensions.
+var DefaultRegistry = newBuiltinRegistry()
+
+func newBuiltinRegistry() *Registry {
+	r := NewRegistry()
+
+	r.RegisterTopology("line", func(size int, _ int64) (*Topology, error) { return Line(size), nil })
+	r.RegisterTopology("ring", func(size int, _ int64) (*Topology, error) { return Ring(size), nil })
+	r.RegisterTopology("grid", func(size int, _ int64) (*Topology, error) { return Grid(size, size), nil })
+	r.RegisterTopology("torus", func(size int, _ int64) (*Topology, error) { return Torus(size, size), nil })
+	r.RegisterTopology("tree", func(size int, _ int64) (*Topology, error) { return Tree(2, size), nil })
+	r.RegisterTopology("clique", func(size int, _ int64) (*Topology, error) { return Clique(size), nil })
+	r.RegisterTopology("star", func(size int, _ int64) (*Topology, error) { return Star(size), nil })
+	r.RegisterTopology("hypercube", func(size int, _ int64) (*Topology, error) { return Hypercube(size), nil })
+	r.RegisterTopology("random", func(size int, seed int64) (*Topology, error) {
+		return Random(size, size/2, seed), nil
+	})
+
+	r.RegisterDrift("spread", func() DriftModel { return SpreadDrift{} })
+	r.RegisterDrift("gradient", func() DriftModel { return GradientDrift{} })
+	r.RegisterDrift("halves", func() DriftModel { return HalvesDrift{} })
+	r.RegisterDrift("alternating", func() DriftModel { return AlternatingHalvesDrift{} })
+	r.RegisterDrift("randomwalk", func() DriftModel { return RandomWalkDrift{} })
+	r.RegisterDrift("sine", func() DriftModel { return SineDrift{} })
+	r.RegisterDrift("none", func() DriftModel { return NoDrift{} })
+
+	r.RegisterDelay("uniform", func() DelayModel { return UniformDelayModel{} })
+	r.RegisterDelay("extremal", func() DelayModel { return ExtremalDelayModel{} })
+	r.RegisterDelay("fixed-mid", func() DelayModel { return FixedMidDelayModel{} })
+	r.RegisterDelay("phased-reveal", func() DelayModel { return PhasedRevealDelayModel{} })
+
+	// The byzantine package's own catalog is the single source of truth
+	// for the built-in attacks; every strategy registers under its
+	// self-reported name. The strategies are stateless values (state is
+	// created per Install), so sharing the instance is safe.
+	for _, a := range byzantine.All() {
+		a := a
+		r.RegisterAttack(a.Name(), func() Attack { return a })
+	}
+
+	// Historical CLI spellings, shared with byzantine.ByName.
+	for alias, canonical := range byzantine.Aliases() {
+		r.RegisterAlias(alias, canonical)
+	}
+
+	return r
+}
+
+// Package-level convenience wrappers over DefaultRegistry.
+
+// RegisterTopology installs a topology family in the default registry.
+func RegisterTopology(name string, b TopologyBuilder) { DefaultRegistry.RegisterTopology(name, b) }
+
+// RegisterDrift installs a drift model in the default registry.
+func RegisterDrift(name string, ctor func() DriftModel) { DefaultRegistry.RegisterDrift(name, ctor) }
+
+// RegisterDelay installs a delay model in the default registry.
+func RegisterDelay(name string, ctor func() DelayModel) { DefaultRegistry.RegisterDelay(name, ctor) }
+
+// RegisterAttack installs a Byzantine attack in the default registry.
+func RegisterAttack(name string, ctor func() Attack) { DefaultRegistry.RegisterAttack(name, ctor) }
+
+// TopologyByName builds a topology from the default registry.
+func TopologyByName(name string, size int, seed int64) (*Topology, error) {
+	return DefaultRegistry.Topology(name, size, seed)
+}
+
+// DriftByName returns a drift model from the default registry.
+func DriftByName(name string) (DriftModel, error) { return DefaultRegistry.Drift(name) }
+
+// DelayByName returns a delay model from the default registry.
+func DelayByName(name string) (DelayModel, error) { return DefaultRegistry.Delay(name) }
+
+// AttackByName returns a Byzantine attack from the default registry.
+func AttackByName(name string) (Attack, error) { return DefaultRegistry.Attack(name) }

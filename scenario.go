@@ -1,0 +1,464 @@
+package ftgcs
+
+import (
+	"fmt"
+	"sort"
+
+	"ftgcs/internal/core"
+	"ftgcs/internal/params"
+)
+
+// Scenario describes one complete experiment: a topology, the cluster
+// geometry, the physical link parameters, and up to three adversaries
+// (drift, delay, Byzantine attacks). Scenarios are built with functional
+// options and executed either directly (Build/Run) or in batches by the
+// Sweep runner.
+//
+//	rep, err := ftgcs.NewScenario(
+//		ftgcs.WithTopologyName("torus", 4),
+//		ftgcs.WithClusters(4, 1),
+//		ftgcs.WithPhysical(3e-3, 1e-3, 1e-4),
+//		ftgcs.WithConstants(4, 0.25),
+//		ftgcs.WithDriftName("sine"),
+//		ftgcs.WithAttackName("adaptive-two-faced", 3, 7),
+//		ftgcs.WithSeed(1),
+//		ftgcs.WithHorizon(30),
+//	).Run()
+//
+// The legacy Config struct remains as a compatibility shim; New(cfg) is
+// equivalent to cfg.Scenario().Build().
+type Scenario struct {
+	name string
+
+	topology *Topology
+	topoName string
+	topoSize int
+
+	k, f int
+
+	rho, maxDelay, uncertainty float64
+	preset                     Preset
+	c2, eps                    float64
+	derived                    *Params // overrides derivation entirely
+
+	seed    int64
+	seedSet bool
+
+	driftModel DriftModel
+	delayModel DelayModel
+
+	faults            []FaultSpec
+	perClusterAttack  func() Attack
+	perClusterCount   int
+	disableGlobalSkew bool
+	sampleInterval    float64
+
+	// horizon in seconds, or in rounds (× derived T) when horizonRounds
+	// is set. Zero selects DefaultHorizon seconds.
+	horizon       float64
+	horizonRounds float64
+
+	// Advanced instrumentation (harness experiments).
+	staggerStart  float64
+	trackRounds   bool
+	trackClusters bool
+	modeOverride  func(node NodeID, cluster ClusterID, round int) (int, bool)
+
+	// Execution hooks.
+	observe func(sys *System) (any, error)
+	hooks   []midRunHook
+
+	err error // first option error, surfaced at Build
+}
+
+type midRunHook struct {
+	at float64
+	fn func(sys *System) error
+}
+
+// DefaultHorizon is the simulated duration (seconds) used when no
+// WithHorizon/WithHorizonRounds option is given.
+const DefaultHorizon = 30.0
+
+// Option configures a Scenario.
+type Option func(*Scenario)
+
+// NewScenario builds a scenario from options. Unset options take the same
+// defaults as the zero Config: spread drift, uniform delays, no faults,
+// global-skew machinery enabled, Practical preset.
+func NewScenario(opts ...Option) *Scenario {
+	s := &Scenario{
+		rho:         1e-3,
+		maxDelay:    1e-3,
+		uncertainty: 1e-4,
+		k:           4,
+		f:           1,
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	return s
+}
+
+// With returns a copy of the scenario with additional options applied —
+// convenient for generating sweep variants from a shared base.
+func (s *Scenario) With(opts ...Option) *Scenario {
+	c := *s
+	c.faults = append([]FaultSpec(nil), s.faults...)
+	c.hooks = append([]midRunHook(nil), s.hooks...)
+	for _, opt := range opts {
+		opt(&c)
+	}
+	return &c
+}
+
+// Name returns the scenario's display name.
+func (s *Scenario) Name() string { return s.name }
+
+// WithName sets the display name used in sweep tables.
+func WithName(format string, args ...any) Option {
+	return func(s *Scenario) { s.name = fmt.Sprintf(format, args...) }
+}
+
+// WithTopology sets the base cluster graph directly. Like every paired
+// option, the last one wins: it clears any earlier WithTopologyName.
+func WithTopology(t *Topology) Option {
+	return func(s *Scenario) { s.topology, s.topoName, s.topoSize = t, "", 0 }
+}
+
+// WithTopologyName resolves the topology family from the default registry
+// at build time (so randomized families see the scenario seed). It clears
+// any earlier WithTopology.
+func WithTopologyName(name string, size int) Option {
+	return func(s *Scenario) { s.topology, s.topoName, s.topoSize = nil, name, size }
+}
+
+// WithClusters sets the cluster size k and fault budget f (k ≥ 3f+1).
+func WithClusters(k, f int) Option {
+	return func(s *Scenario) { s.k, s.f = k, f }
+}
+
+// WithPhysical sets the drift bound ρ, max delay d, and uncertainty U.
+func WithPhysical(rho, delay, uncertainty float64) Option {
+	return func(s *Scenario) { s.rho, s.maxDelay, s.uncertainty = rho, delay, uncertainty }
+}
+
+// WithConstants overrides the preset's analysis constants (µ = c₂·ρ and
+// the contraction margin ε) when non-zero.
+func WithConstants(c2, eps float64) Option {
+	return func(s *Scenario) { s.c2, s.eps = c2, eps }
+}
+
+// WithPreset selects the analysis-constant preset (zero value means
+// PresetPractical).
+func WithPreset(p Preset) Option {
+	return func(s *Scenario) { s.preset = p }
+}
+
+// WithDerivedParams supplies fully derived algorithm constants, bypassing
+// the ρ/d/U derivation entirely (the harness uses this to share one
+// parameter set across a sweep).
+func WithDerivedParams(p Params) Option {
+	return func(s *Scenario) { s.derived = &p }
+}
+
+// WithSeed pins the scenario's random seed. Scenarios without an explicit
+// seed get a deterministic per-index seed from the Sweep runner.
+func WithSeed(seed int64) Option {
+	return func(s *Scenario) { s.seed, s.seedSet = seed, true }
+}
+
+// WithDrift sets the drift adversary.
+func WithDrift(m DriftModel) Option {
+	return func(s *Scenario) { s.driftModel = m }
+}
+
+// WithDriftName resolves the drift adversary from the default registry.
+func WithDriftName(name string) Option {
+	return func(s *Scenario) {
+		m, err := DriftByName(name)
+		if err != nil {
+			s.fail(err)
+			return
+		}
+		s.driftModel = m
+	}
+}
+
+// WithDelay sets the message-delay adversary.
+func WithDelay(m DelayModel) Option {
+	return func(s *Scenario) { s.delayModel = m }
+}
+
+// WithDelayName resolves the delay adversary from the default registry.
+func WithDelayName(name string) Option {
+	return func(s *Scenario) {
+		m, err := DelayByName(name)
+		if err != nil {
+			s.fail(err)
+			return
+		}
+		s.delayModel = m
+	}
+}
+
+// WithFaults appends fault specifications.
+func WithFaults(faults ...FaultSpec) Option {
+	return func(s *Scenario) { s.faults = append(s.faults, faults...) }
+}
+
+// WithAttack marks the given nodes Byzantine, all running the given
+// attack.
+func WithAttack(a Attack, nodes ...NodeID) Option {
+	return func(s *Scenario) {
+		for _, v := range nodes {
+			s.faults = append(s.faults, FaultSpec{Node: v, Strategy: a})
+		}
+	}
+}
+
+// WithAttackName resolves the attack by name and marks the given nodes
+// Byzantine.
+func WithAttackName(name string, nodes ...NodeID) Option {
+	return func(s *Scenario) {
+		a, err := AttackByName(name)
+		if err != nil {
+			s.fail(err)
+			return
+		}
+		WithAttack(a, nodes...)(s)
+	}
+}
+
+// WithAttackPerCluster plants one attacker — the last member — in each of
+// the first `clusters` clusters (0 = every cluster), each running a fresh
+// instance from the constructor. Resolved at build time, when the topology
+// and k are known.
+func WithAttackPerCluster(ctor func() Attack, clusters int) Option {
+	return func(s *Scenario) { s.perClusterAttack, s.perClusterCount = ctor, clusters }
+}
+
+// WithGlobalSkew enables or disables the Appendix C global-skew machinery
+// (enabled by default).
+func WithGlobalSkew(enabled bool) Option {
+	return func(s *Scenario) { s.disableGlobalSkew = !enabled }
+}
+
+// WithSampleInterval sets the metrics sampling period (0 = T/2).
+func WithSampleInterval(dt float64) Option {
+	return func(s *Scenario) { s.sampleInterval = dt }
+}
+
+// WithHorizon sets the simulated duration in seconds.
+func WithHorizon(seconds float64) Option {
+	return func(s *Scenario) { s.horizon, s.horizonRounds = seconds, 0 }
+}
+
+// WithHorizonRounds sets the simulated duration as a multiple of the
+// derived round length T.
+func WithHorizonRounds(rounds float64) Option {
+	return func(s *Scenario) { s.horizonRounds, s.horizon = rounds, 0 }
+}
+
+// WithStaggerStart staggers cluster members' protocol starts across the
+// given window (see core.Config.StaggerStart).
+func WithStaggerStart(window float64) Option {
+	return func(s *Scenario) { s.staggerStart = window }
+}
+
+// WithRoundTracking records per-node round boundaries, values and modes.
+func WithRoundTracking() Option {
+	return func(s *Scenario) { s.trackRounds = true }
+}
+
+// WithClusterTracking records per-cluster clock/FC/SC series.
+func WithClusterTracking() Option {
+	return func(s *Scenario) { s.trackClusters = true }
+}
+
+// WithModeOverride forces GCS mode decisions (experiment machinery).
+func WithModeOverride(fn func(node NodeID, cluster ClusterID, round int) (int, bool)) Option {
+	return func(s *Scenario) { s.modeOverride = fn }
+}
+
+// WithObserver attaches a measurement extracted after the run; the Sweep
+// runner stores its result in SweepResult.Value.
+func WithObserver(fn func(sys *System) (any, error)) Option {
+	return func(s *Scenario) { s.observe = fn }
+}
+
+// WithMidRunHook pauses the run at simulated time `at`, applies fn (fault
+// injection, reconfiguration), and resumes to the horizon. Hooks run in
+// time order.
+func WithMidRunHook(at float64, fn func(sys *System) error) Option {
+	return func(s *Scenario) { s.hooks = append(s.hooks, midRunHook{at: at, fn: fn}) }
+}
+
+func (s *Scenario) fail(err error) {
+	if s.err == nil {
+		s.err = err
+	}
+}
+
+// Seeded reports whether an explicit seed was set, and the seed.
+func (s *Scenario) Seeded() (int64, bool) { return s.seed, s.seedSet }
+
+// params resolves the derived algorithm constants.
+func (s *Scenario) resolveParams() (Params, error) {
+	if s.derived != nil {
+		return *s.derived, nil
+	}
+	return deriveParams(s.preset, s.rho, s.maxDelay, s.uncertainty, s.c2, s.eps)
+}
+
+// Build wires the scenario into a runnable System.
+func (s *Scenario) Build() (*System, error) {
+	if s.err != nil {
+		return nil, s.err
+	}
+	topo := s.topology
+	if s.topoName != "" {
+		t, err := TopologyByName(s.topoName, s.topoSize, s.seed)
+		if err != nil {
+			return nil, err
+		}
+		topo = t
+	}
+	if topo == nil {
+		return nil, fmt.Errorf("ftgcs: scenario %q has no topology", s.name)
+	}
+	p, err := s.resolveParams()
+	if err != nil {
+		return nil, fmt.Errorf("ftgcs: %w", err)
+	}
+	faults := append([]FaultSpec(nil), s.faults...)
+	if s.perClusterAttack != nil {
+		count := s.perClusterCount
+		if count <= 0 || count > topo.N() {
+			count = topo.N()
+		}
+		for c := 0; c < count; c++ {
+			faults = append(faults, FaultSpec{
+				Node:     c*s.k + s.k - 1,
+				Strategy: s.perClusterAttack(),
+			})
+		}
+	}
+	sys, err := core.NewSystem(core.Config{
+		Base:             topo,
+		K:                s.k,
+		F:                s.f,
+		Params:           p,
+		Seed:             s.seed,
+		Drift:            s.driftModel,
+		Delay:            s.delayModel,
+		Faults:           faults,
+		EnableGlobalSkew: !s.disableGlobalSkew,
+		SampleInterval:   s.sampleInterval,
+		StaggerStart:     s.staggerStart,
+		TrackRounds:      s.trackRounds,
+		TrackClusters:    s.trackClusters,
+		ModeOverride:     s.modeOverride,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("ftgcs: %w", err)
+	}
+	return &System{sys: sys, p: p}, nil
+}
+
+// Horizon returns the simulated duration in seconds for the given derived
+// parameters.
+func (s *Scenario) Horizon(p Params) float64 {
+	if s.horizonRounds > 0 {
+		return s.horizonRounds * p.T
+	}
+	if s.horizon > 0 {
+		return s.horizon
+	}
+	return DefaultHorizon
+}
+
+// Run builds the scenario, executes any mid-run hooks in time order,
+// advances to the horizon, and returns the report.
+func (s *Scenario) Run() (Report, error) {
+	rep, _, err := s.execute()
+	return rep, err
+}
+
+// execute is the full run path: build, hooks, horizon, observation.
+func (s *Scenario) execute() (Report, any, error) {
+	sys, err := s.Build()
+	if err != nil {
+		return Report{}, nil, err
+	}
+	return s.executeOn(sys)
+}
+
+// executeOn runs an already-built system to the horizon, applying mid-run
+// hooks in time order and extracting the observer value. Shared with the
+// Sweep runner.
+func (s *Scenario) executeOn(sys *System) (Report, any, error) {
+	horizon := s.Horizon(sys.Params())
+	hooks := append([]midRunHook(nil), s.hooks...)
+	sort.SliceStable(hooks, func(i, j int) bool { return hooks[i].at < hooks[j].at })
+	for _, h := range hooks {
+		// A hook that never fires would silently invalidate the run (e.g.
+		// a fault injection that was supposed to perturb the measurement).
+		if h.at >= horizon {
+			return Report{}, nil, fmt.Errorf("ftgcs: scenario %q: mid-run hook at %g ≥ horizon %g", s.name, h.at, horizon)
+		}
+		if err := sys.Run(h.at); err != nil {
+			return Report{}, nil, err
+		}
+		if err := h.fn(sys); err != nil {
+			return Report{}, nil, err
+		}
+	}
+	if err := sys.Run(horizon); err != nil {
+		return Report{}, nil, err
+	}
+	var value any
+	if s.observe != nil {
+		v, err := s.observe(sys)
+		if err != nil {
+			return Report{}, nil, err
+		}
+		value = v
+	}
+	return sys.Report(), value, nil
+}
+
+// deriveParams is the single place the preset → constants resolution
+// happens: the zero Preset means Practical.
+func deriveParams(preset Preset, rho, delay, uncertainty, c2, eps float64) (Params, error) {
+	if preset == 0 {
+		preset = PresetPractical
+	}
+	pcfg := params.PresetConfig(preset, rho, delay, uncertainty)
+	if c2 != 0 {
+		pcfg.C2 = c2
+	}
+	if eps != 0 {
+		pcfg.Eps = eps
+	}
+	return params.Derive(pcfg)
+}
+
+// Scenario converts the legacy Config into the options-based builder, so
+// both configuration styles share one build path.
+func (c Config) Scenario(opts ...Option) *Scenario {
+	base := []Option{
+		WithTopology(c.Topology),
+		WithClusters(c.ClusterSize, c.FaultBudget),
+		WithPhysical(c.Rho, c.Delay, c.Uncertainty),
+		WithPreset(c.Preset),
+		WithConstants(c.C2, c.Eps),
+		WithSeed(c.Seed),
+		WithDrift(c.Drift),
+		WithDelay(c.DelayModel),
+		WithFaults(c.Faults...),
+		WithGlobalSkew(!c.DisableGlobalSkew),
+		WithSampleInterval(c.SampleInterval),
+	}
+	return NewScenario(append(base, opts...)...)
+}

@@ -1,0 +1,110 @@
+package ftgcs
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// SweepResult is the outcome of one scenario within a sweep, in input
+// order.
+type SweepResult struct {
+	// Index is the scenario's position in the input slice.
+	Index int
+	// Name is the scenario's display name.
+	Name string
+	// Report is the standard bound report (10% warmup).
+	Report Report
+	// Summary carries the raw skew maxima after the same warmup.
+	Summary Summary
+	// Value is whatever the scenario's WithObserver extracted, or nil.
+	Value any
+	// Err is non-nil when the scenario failed to build or run; the other
+	// fields are then zero.
+	Err error
+}
+
+// Sweep executes a set of scenarios across a bounded worker pool of
+// goroutines. Every scenario is a self-contained deterministic simulation
+// (its own engine and RNG streams derived from its seed), so results are
+// identical for any worker count — parallelism only changes wall-clock
+// time. Scenarios without an explicit WithSeed get the deterministic seed
+// BaseSeed+Index.
+type Sweep struct {
+	// Workers bounds the pool; ≤0 selects GOMAXPROCS.
+	Workers int
+	// BaseSeed seeds scenarios that did not set WithSeed.
+	BaseSeed int64
+}
+
+// Run executes the scenarios and returns one result per scenario, in
+// input order. Individual failures are reported per result, never
+// panicking the pool.
+func (sw Sweep) Run(scenarios []*Scenario) []SweepResult {
+	out := make([]SweepResult, len(scenarios))
+	workers := sw.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(scenarios) {
+		workers = len(scenarios)
+	}
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				out[i] = sw.runOne(scenarios[i], i)
+			}
+		}()
+	}
+	for i := range scenarios {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return out
+}
+
+// runOne executes a single scenario, converting panics into errors so one
+// bad scenario cannot take down the whole sweep.
+func (sw Sweep) runOne(sc *Scenario, index int) (res SweepResult) {
+	res = SweepResult{Index: index, Name: sc.Name()}
+	defer func() {
+		if r := recover(); r != nil {
+			res.Err = fmt.Errorf("ftgcs: scenario %d (%s) panicked: %v", index, sc.Name(), r)
+		}
+	}()
+	if _, ok := sc.Seeded(); !ok {
+		sc = sc.With(WithSeed(sw.BaseSeed + int64(index)))
+	}
+	sys, err := sc.Build()
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	rep, value, err := sc.executeOn(sys)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	res.Report = rep
+	res.Summary = sys.Summary(rep.Warmup)
+	res.Value = value
+	return res
+}
+
+// RunSweep executes the scenarios with default settings (GOMAXPROCS
+// workers, base seed 0) and returns the first error encountered, if any,
+// alongside the full result set.
+func RunSweep(scenarios ...*Scenario) ([]SweepResult, error) {
+	results := Sweep{}.Run(scenarios)
+	for _, r := range results {
+		if r.Err != nil {
+			return results, fmt.Errorf("sweep scenario %d (%s): %w", r.Index, r.Name, r.Err)
+		}
+	}
+	return results, nil
+}

@@ -1,0 +1,122 @@
+package ftgcs
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// sweepFixture builds a mixed batch of scenarios: different topologies,
+// adversaries, and attack placements, all explicitly seeded.
+func sweepFixture(seedBase int64) []*Scenario {
+	mk := func(name string, opts ...Option) *Scenario {
+		return NewScenario(append([]Option{
+			WithName("%s", name),
+			WithClusters(4, 1),
+			WithHorizonRounds(60),
+		}, opts...)...)
+	}
+	return []*Scenario{
+		mk("line-silent", WithTopology(Line(3)), WithSeed(seedBase),
+			WithAttackName("silent", 3)),
+		mk("ring-spam", WithTopology(Ring(4)), WithSeed(seedBase+1),
+			WithDrift(HalvesDrift{}), WithAttackName("spam", 7)),
+		mk("grid-adaptive", WithTopologyName("grid", 2), WithSeed(seedBase+2),
+			WithAttackPerCluster(func() Attack { return AdaptiveTwoFaced() }, 2)),
+		mk("clique-extremal", WithTopology(Clique(3)), WithSeed(seedBase+3),
+			WithDelayName("extremal")),
+	}
+}
+
+// TestSweepDeterministicAcrossWorkerCounts is the core Sweep guarantee:
+// the same seeds produce identical reports regardless of the worker count.
+func TestSweepDeterministicAcrossWorkerCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full simulations")
+	}
+	var baseline []SweepResult
+	for _, workers := range []int{1, 2, 8} {
+		results := Sweep{Workers: workers}.Run(sweepFixture(100))
+		for _, r := range results {
+			if r.Err != nil {
+				t.Fatalf("workers=%d scenario %s: %v", workers, r.Name, r.Err)
+			}
+		}
+		if baseline == nil {
+			baseline = results
+			continue
+		}
+		if !reflect.DeepEqual(baseline, results) {
+			t.Errorf("workers=%d results differ from sequential:\n%+v\n%+v", workers, baseline, results)
+		}
+	}
+}
+
+// TestSweepBaseSeedAssignment checks an unseeded scenario at index i runs
+// exactly as if it had been seeded with BaseSeed+i.
+func TestSweepBaseSeedAssignment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full simulations")
+	}
+	unseeded := []*Scenario{
+		NewScenario(WithTopology(Line(2)), WithHorizonRounds(40)),
+		NewScenario(WithTopology(Line(2)), WithHorizonRounds(40)),
+	}
+	implicit := Sweep{Workers: 2, BaseSeed: 50}.Run(unseeded)
+	explicit := Sweep{Workers: 2}.Run([]*Scenario{
+		NewScenario(WithTopology(Line(2)), WithHorizonRounds(40), WithSeed(50)),
+		NewScenario(WithTopology(Line(2)), WithHorizonRounds(40), WithSeed(51)),
+	})
+	for i := range implicit {
+		if implicit[i].Err != nil || explicit[i].Err != nil {
+			t.Fatalf("errors: %v %v", implicit[i].Err, explicit[i].Err)
+		}
+		if implicit[i].Report != explicit[i].Report {
+			t.Errorf("index %d: BaseSeed-derived report differs from explicit seed:\n%+v\n%+v",
+				i, implicit[i].Report, explicit[i].Report)
+		}
+	}
+	// The original scenarios must stay unseeded (the sweep works on
+	// copies), so re-running is reproducible.
+	for i, sc := range unseeded {
+		if _, set := sc.Seeded(); set {
+			t.Errorf("scenario %d was mutated by the sweep", i)
+		}
+	}
+}
+
+// TestSweepErrorIsolation checks one failing scenario doesn't poison the
+// rest, and RunSweep surfaces the failure.
+func TestSweepErrorIsolation(t *testing.T) {
+	scs := []*Scenario{
+		NewScenario(WithName("good"), WithTopology(Line(2)), WithSeed(1), WithHorizonRounds(20)),
+		NewScenario(WithName("bad")), // no topology
+	}
+	results := Sweep{Workers: 2}.Run(scs)
+	if results[0].Err != nil {
+		t.Errorf("good scenario failed: %v", results[0].Err)
+	}
+	if results[1].Err == nil {
+		t.Error("bad scenario should fail")
+	}
+	if results[0].Report.Events == 0 {
+		t.Error("good scenario produced no events")
+	}
+	if _, err := RunSweep(scs...); err == nil {
+		t.Error("RunSweep should surface the failure")
+	}
+}
+
+// TestSweepObserverErrors checks observer failures surface as scenario
+// errors.
+func TestSweepObserverErrors(t *testing.T) {
+	boom := errors.New("boom")
+	scs := []*Scenario{NewScenario(
+		WithTopology(Line(2)), WithSeed(1), WithHorizonRounds(20),
+		WithObserver(func(*System) (any, error) { return nil, boom }),
+	)}
+	results := Sweep{}.Run(scs)
+	if !errors.Is(results[0].Err, boom) {
+		t.Errorf("observer error lost: %v", results[0].Err)
+	}
+}

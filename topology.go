@@ -66,9 +66,10 @@ func Oscillate() FaultStrategy { return byzantine.Oscillate{} }
 
 // StrategyByName resolves a CLI-friendly strategy name ("silent", "spam",
 // "two-faced", "adaptive", "cadence", "oscillate", "lie-early", "lie-late",
-// "max-spam").
+// "max-spam"). It delegates to the default registry, so attacks registered
+// there (including user extensions) resolve here too.
 func StrategyByName(name string) (FaultStrategy, error) {
-	return byzantine.ByName(name)
+	return AttackByName(name)
 }
 
 // FaultStrategy is a Byzantine behavior (see the byzantine constructors).
