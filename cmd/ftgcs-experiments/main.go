@@ -11,6 +11,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"ftgcs/internal/harness"
@@ -31,8 +33,35 @@ func run(args []string) error {
 	only := fs.String("only", "", "comma-separated experiment IDs (e.g. E1,E5,A1); empty = all E*")
 	ablations := fs.Bool("ablations", false, "run the ablation studies (A1–A3) instead of the claim experiments")
 	verbose := fs.Bool("v", false, "print per-run progress")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := fs.String("memprofile", "", "write an allocation profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			return fmt.Errorf("memprofile: %w", err)
+		}
+		defer func() {
+			runtime.GC() // flush pending frees so the profile reflects live heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "ftgcs-experiments: memprofile:", err)
+			}
+			f.Close()
+		}()
 	}
 
 	rc := harness.RunConfig{Quick: *quick, Seed: *seed, Workers: *workers}

@@ -16,7 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 )
 
 // ErrTooFewValues indicates the multiset cannot tolerate f faults.
@@ -31,6 +31,16 @@ var ErrTooManyMissing = errors.New("approxagree: more than f missing values")
 // by ClusterSync for neighbors whose pulse never arrived); NaNs are
 // rejected. The input slice is not modified.
 func Midpoint(values []float64, f int) (float64, error) {
+	s := make([]float64, len(values))
+	copy(s, values)
+	return MidpointInPlace(s, f)
+}
+
+// MidpointInPlace is Midpoint without the defensive copy: it sorts values
+// in place and allocates nothing, so hot paths (ClusterSync's per-round
+// correction) can reuse one scratch buffer across rounds. The slice is left
+// in ascending order.
+func MidpointInPlace(values []float64, f int) (float64, error) {
 	k := len(values)
 	if f < 0 {
 		return 0, fmt.Errorf("approxagree: negative f=%d", f)
@@ -38,16 +48,14 @@ func Midpoint(values []float64, f int) (float64, error) {
 	if k < 3*f+1 {
 		return 0, fmt.Errorf("%w: k=%d f=%d", ErrTooFewValues, k, f)
 	}
-	s := make([]float64, k)
-	copy(s, values)
-	for _, v := range s {
+	for _, v := range values {
 		if math.IsNaN(v) {
 			return 0, errors.New("approxagree: NaN value")
 		}
 	}
-	sort.Float64s(s)
-	lo := s[f]     // S^{f+1}, 1-based
-	hi := s[k-f-1] // S^{k−f}, 1-based
+	slices.Sort(values)
+	lo := values[f]     // S^{f+1}, 1-based
+	hi := values[k-f-1] // S^{k−f}, 1-based
 	if math.IsInf(lo, 0) || math.IsInf(hi, 0) {
 		return 0, ErrTooManyMissing
 	}
@@ -65,7 +73,7 @@ func CorrectRange(values []float64, f int) (lo, hi float64, err error) {
 	}
 	s := make([]float64, k)
 	copy(s, values)
-	sort.Float64s(s)
+	slices.Sort(s)
 	return s[f], s[k-f-1], nil
 }
 

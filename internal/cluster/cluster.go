@@ -94,17 +94,30 @@ type Stats struct {
 }
 
 // Instance is one node's ClusterSync state machine (active or observer).
+//
+// Per-round state is held in dense sender-indexed slices (the member set is
+// small and fixed for the lifetime of the instance), with a NodeID→index
+// lookup built once at construction; the steady-state round loop performs
+// no heap allocations.
 type Instance struct {
-	cfg     Config
-	eng     *sim.Engine
-	senders []graph.NodeID // Members ∪ {Self}
+	cfg       Config
+	eng       *sim.Engine
+	senders   []graph.NodeID         // Members ∪ {Self}
+	senderIdx map[graph.NodeID]int32 // NodeID → index into senders
+	selfIdx   int32                  // index of Self in senders
 
 	round       int
 	ph          phase
 	roundStartL float64 // logical time T̄(r) at which round r began
 
-	recv    map[graph.NodeID]float64 // logical reception times, this round
-	pending map[graph.NodeID]float64 // pulses that arrived in phase 3
+	// recv and pending hold logical reception times indexed by sender
+	// index; NaN marks "not received". pending buffers pulses that arrive
+	// during phase 3 and seeds recv at the next round boundary (the two
+	// buffers are swapped, never reallocated).
+	recv    []float64
+	pending []float64
+	// offsets is the scratch buffer fed to approxagree.MidpointInPlace.
+	offsets []float64
 
 	stats Stats
 }
@@ -142,13 +155,37 @@ func New(eng *sim.Engine, cfg Config) (*Instance, error) {
 	if n < 3*cfg.F+1 {
 		return nil, fmt.Errorf("cluster: %d senders cannot tolerate f=%d (need ≥ %d)", n, cfg.F, 3*cfg.F+1)
 	}
-	return &Instance{
-		cfg:     cfg,
-		eng:     eng,
-		senders: senders,
-		recv:    make(map[graph.NodeID]float64, n),
-		pending: make(map[graph.NodeID]float64, n),
-	}, nil
+	senderIdx := make(map[graph.NodeID]int32, n)
+	selfIdx := int32(-1)
+	for i, s := range senders {
+		if _, dup := senderIdx[s]; dup {
+			return nil, fmt.Errorf("cluster: duplicate member %d", s)
+		}
+		senderIdx[s] = int32(i)
+		if s == cfg.Self {
+			selfIdx = int32(i)
+		}
+	}
+	in := &Instance{
+		cfg:       cfg,
+		eng:       eng,
+		senders:   senders,
+		senderIdx: senderIdx,
+		selfIdx:   selfIdx,
+		recv:      make([]float64, n),
+		pending:   make([]float64, n),
+		offsets:   make([]float64, n),
+	}
+	clearTimes(in.recv)
+	clearTimes(in.pending)
+	return in, nil
+}
+
+// clearTimes resets a reception buffer to "nothing received".
+func clearTimes(ts []float64) {
+	for i := range ts {
+		ts[i] = math.NaN()
+	}
 }
 
 // Start begins round 1 at the engine's current time (normally 0, matching
@@ -158,7 +195,7 @@ func (in *Instance) Start() error {
 	in.roundStartL = in.cfg.Clock.Value(in.eng.Now())
 	in.ph = phaseWait
 	in.cfg.Clock.SetDelta(in.eng.Now(), 1)
-	return in.scheduleAtLogical(in.roundStartL+in.cfg.Params.Tau1, "pulse", in.pulse)
+	return in.scheduleAtLogical(in.roundStartL+in.cfg.Params.Tau1, "pulse", stepPulse)
 }
 
 // Round returns the current round number (1-based; 0 before Start).
@@ -174,16 +211,38 @@ func (in *Instance) Clock() *clockwork.LogicalClock { return in.cfg.Clock }
 // Stats returns a copy of the instance counters.
 func (in *Instance) Stats() Stats { return in.stats }
 
-// scheduleAtLogical schedules fn at the Newtonian time the instance's
-// logical clock reaches target, assuming the rate multipliers stay fixed
-// until then (which the round structure guarantees: δ and γ only change at
-// the boundaries this function schedules).
-func (in *Instance) scheduleAtLogical(target float64, label string, fn func()) error {
+// Round-boundary steps dispatched by boundaryEvent. Carrying the step as
+// event data (instead of a method-value closure) keeps the per-round
+// scheduling allocation-free.
+const (
+	stepPulse int64 = iota
+	stepCompute
+	stepRoundEnd
+)
+
+// boundaryEvent dispatches a scheduled round-boundary step.
+func boundaryEvent(_ *sim.Engine, d sim.Data) {
+	in := d.Ctx.(*Instance)
+	switch d.I0 {
+	case stepPulse:
+		in.pulse()
+	case stepCompute:
+		in.compute()
+	case stepRoundEnd:
+		in.roundEnd()
+	}
+}
+
+// scheduleAtLogical schedules the given step at the Newtonian time the
+// instance's logical clock reaches target, assuming the rate multipliers
+// stay fixed until then (which the round structure guarantees: δ and γ only
+// change at the boundaries this function schedules).
+func (in *Instance) scheduleAtLogical(target float64, label string, step int64) error {
 	at, err := in.cfg.Clock.TimeWhen(in.eng.Now(), target)
 	if err != nil {
 		return fmt.Errorf("cluster: %s: %w", label, err)
 	}
-	_, err = in.eng.Schedule(at, label, func(*sim.Engine) { fn() })
+	_, err = in.eng.ScheduleData(at, label, boundaryEvent, sim.Data{Ctx: in, I0: step})
 	return err
 }
 
@@ -199,42 +258,34 @@ func (in *Instance) pulse() {
 		in.cfg.OnPulse(in.round, t)
 	}
 	p := in.cfg.Params
-	if err := in.scheduleAtLogical(in.roundStartL+p.Tau1+p.Tau2, "compute", in.compute); err != nil {
+	if err := in.scheduleAtLogical(in.roundStartL+p.Tau1+p.Tau2, "compute", stepCompute); err != nil {
 		panic(err) // unreachable: target is ahead of the clock by construction
 	}
 }
 
 // HandlePulse records a cluster pulse received at Newtonian time t.
 func (in *Instance) HandlePulse(t float64, from graph.NodeID) {
-	if !in.isSender(from) {
+	i, ok := in.senderIdx[from]
+	if !ok {
 		return
 	}
 	switch in.ph {
 	case phaseWait, phaseCollect:
-		if _, dup := in.recv[from]; dup {
+		if !math.IsNaN(in.recv[i]) {
 			in.stats.Duplicates++
 			return
 		}
-		in.recv[from] = in.cfg.Clock.Value(t)
+		in.recv[i] = in.cfg.Clock.Value(t)
 	case phaseAdjust:
 		// Early next-round pulse (possible from a fast sender, or from a
 		// Byzantine one); buffer it for the next round.
-		if _, dup := in.pending[from]; dup {
+		if !math.IsNaN(in.pending[i]) {
 			in.stats.Duplicates++
 			return
 		}
 		in.stats.LatePulses++
-		in.pending[from] = in.cfg.Clock.Value(t)
+		in.pending[i] = in.cfg.Clock.Value(t)
 	}
-}
-
-func (in *Instance) isSender(v graph.NodeID) bool {
-	for _, s := range in.senders {
-		if s == v {
-			return true
-		}
-	}
-	return false
 }
 
 // compute fires at logical time T̄(r)+τ₁+τ₂: close the listening window,
@@ -244,9 +295,9 @@ func (in *Instance) compute() {
 	in.ph = phaseAdjust
 	p := in.cfg.Params
 
-	selfL, haveSelf := in.recv[in.cfg.Self]
+	selfL := in.recv[in.selfIdx]
 	var delta float64
-	if !haveSelf {
+	if math.IsNaN(selfL) {
 		// Own loopback missing: cannot form offsets. Proper executions
 		// exclude this (loopback delay ≤ d < τ₂); fail safe with Δ=0.
 		in.stats.MissingSelf++
@@ -260,21 +311,23 @@ func (in *Instance) compute() {
 		// them as observations would create a runaway feedback, so they
 		// are discarded as missing.
 		plausible := p.Tau1 + p.Tau2
-		offsets := make([]float64, len(in.senders))
-		for i, w := range in.senders {
-			lw, ok := in.recv[w]
+		offsets := in.offsets
+		for i := range in.senders {
+			lw := in.recv[i]
+			if math.IsNaN(lw) {
+				offsets[i] = math.Inf(1)
+				continue
+			}
 			off := lw - selfL
-			if !ok || math.Abs(off) > plausible {
-				if ok {
-					in.stats.StaleDropped++
-				}
+			if math.Abs(off) > plausible {
+				in.stats.StaleDropped++
 				offsets[i] = math.Inf(1)
 				continue
 			}
 			offsets[i] = off
 		}
 		var err error
-		delta, err = approxagree.Midpoint(offsets, in.cfg.F)
+		delta, err = approxagree.MidpointInPlace(offsets, in.cfg.F)
 		if err != nil {
 			in.stats.AgreementFailures++
 			delta = 0
@@ -300,7 +353,7 @@ func (in *Instance) compute() {
 	dv := 1 - (1+1/p.Phi)*delta/(p.Tau3+delta)
 	in.cfg.Clock.SetDelta(t, dv)
 
-	if err := in.scheduleAtLogical(in.roundStartL+p.T, "round-end", in.roundEnd); err != nil {
+	if err := in.scheduleAtLogical(in.roundStartL+p.T, "round-end", stepRoundEnd); err != nil {
 		panic(err)
 	}
 }
@@ -312,16 +365,17 @@ func (in *Instance) roundEnd() {
 	in.round++
 	in.roundStartL += in.cfg.Params.T
 	in.ph = phaseWait
-	// Reset the listening state, seeding it with early arrivals.
-	in.recv = in.pending
-	in.pending = make(map[graph.NodeID]float64, len(in.senders))
+	// Reset the listening state, seeding it with early arrivals: the two
+	// buffers swap roles and the new pending buffer is wiped in place.
+	in.recv, in.pending = in.pending, in.recv
+	clearTimes(in.pending)
 	// δ returns to 1 for phases 1–2 (Algorithm 1, line 3).
 	in.cfg.Clock.SetDelta(t, 1)
 	// GCS mode decision happens exactly at t_v(r) (Algorithm 2).
 	if in.cfg.OnRoundStart != nil {
 		in.cfg.OnRoundStart(in.round, t)
 	}
-	if err := in.scheduleAtLogical(in.roundStartL+in.cfg.Params.Tau1, "pulse", in.pulse); err != nil {
+	if err := in.scheduleAtLogical(in.roundStartL+in.cfg.Params.Tau1, "pulse", stepPulse); err != nil {
 		panic(err)
 	}
 }

@@ -55,13 +55,14 @@ func (s *System) scheduleSampler() {
 	s.eng.MustSchedule(s.eng.Now()+s.sampleInterval, "sampler", tick)
 }
 
-// sample computes all skew metrics at time t.
+// sample computes all skew metrics at time t. The per-cluster working
+// arrays are reused across ticks (see System scratch fields).
 func (s *System) sample(t float64) {
 	nc := s.aug.Clusters()
-	lows := make([]float64, nc)
-	highs := make([]float64, nc)
-	clocks := make([]float64, nc)
-	valid := make([]bool, nc)
+	lows := s.sampleLows
+	highs := s.sampleHighs
+	clocks := s.sampleClocks
+	valid := s.sampleValid
 
 	intraMax := math.Inf(-1)
 	globalLo, globalHi := math.Inf(1), math.Inf(-1)
@@ -137,7 +138,10 @@ func (s *System) sample(t float64) {
 				continue
 			}
 			nbrs := s.aug.NeighborClusters(c)
-			nbrClocks := make([]float64, 0, len(nbrs))
+			if cap(s.nbrClockScratch) < len(nbrs) {
+				s.nbrClockScratch = make([]float64, 0, len(nbrs))
+			}
+			nbrClocks := s.nbrClockScratch[:0]
 			for _, b := range nbrs {
 				if valid[b] {
 					nbrClocks = append(nbrClocks, clocks[b])

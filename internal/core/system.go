@@ -24,11 +24,16 @@ type node struct {
 	hw   *clockwork.HardwareClock
 	main *clockwork.LogicalClock
 
-	inst      *cluster.Instance                     // nil for strategy-driven Byzantine nodes
-	observers map[graph.ClusterID]*cluster.Instance // estimates of neighbor clusters
-	obsClocks map[graph.ClusterID]*clockwork.LogicalClock
-	obsOrder  []graph.ClusterID     // deterministic iteration order
-	maxEst    *globalskew.Estimator // nil unless global-skew machinery enabled
+	inst *cluster.Instance // nil for strategy-driven Byzantine nodes
+	// observers/obsClocks are parallel to obsOrder (deterministic
+	// iteration order). Lookups by cluster scan obsOrder — a node
+	// observes only its base-graph neighbors, so the scan is a handful of
+	// comparisons and the state stays O(degree) per node.
+	observers  []*cluster.Instance // estimates of neighbor clusters
+	obsClocks  []*clockwork.LogicalClock
+	obsOrder   []graph.ClusterID
+	estScratch []float64             // decideMode estimate buffer, reused per round
+	maxEst     *globalskew.Estimator // nil unless global-skew machinery enabled
 
 	gcsStats gcs.Stats
 	faulty   bool
@@ -50,11 +55,17 @@ type System struct {
 
 	nodes []*node
 
-	// pulse bookkeeping per cluster per round over correct members:
-	// round → min/max Newtonian pulse time and count.
-	pulseMin   []map[int]float64
-	pulseMax   []map[int]float64
-	pulseCount []map[int]int
+	// pulse bookkeeping per cluster per round over correct members,
+	// round-indexed (rounds are dense and 1-based): min/max Newtonian
+	// pulse time and count. Slices grow on demand as rounds advance.
+	pulseMin   [][]float64
+	pulseMax   [][]float64
+	pulseCount [][]int32
+
+	// sampler scratch, reused every tick.
+	sampleLows, sampleHighs, sampleClocks []float64
+	sampleValid                           []bool
+	nbrClockScratch                       []float64
 
 	sampleInterval float64
 	started        bool
@@ -73,6 +84,7 @@ func NewSystem(cfg Config) (*System, error) {
 	delayRng := sim.NewRNG(cfg.Seed, 1)
 	net := transport.NewNetwork(eng, aug.Net, cfg.delayModel().Build(cfg.Params, delayRng))
 
+	nc := aug.Clusters()
 	s := &System{
 		cfg:            cfg,
 		eng:            eng,
@@ -80,18 +92,17 @@ func NewSystem(cfg Config) (*System, error) {
 		net:            net,
 		rec:            metrics.NewRecorder(),
 		nodes:          make([]*node, aug.Net.N()),
-		pulseMin:       make([]map[int]float64, aug.Clusters()),
-		pulseMax:       make([]map[int]float64, aug.Clusters()),
-		pulseCount:     make([]map[int]int, aug.Clusters()),
+		pulseMin:       make([][]float64, nc),
+		pulseMax:       make([][]float64, nc),
+		pulseCount:     make([][]int32, nc),
+		sampleLows:     make([]float64, nc),
+		sampleHighs:    make([]float64, nc),
+		sampleClocks:   make([]float64, nc),
+		sampleValid:    make([]bool, nc),
 		sampleInterval: cfg.SampleInterval,
 	}
 	if s.sampleInterval <= 0 {
 		s.sampleInterval = cfg.Params.T / 2
-	}
-	for c := 0; c < aug.Clusters(); c++ {
-		s.pulseMin[c] = make(map[int]float64)
-		s.pulseMax[c] = make(map[int]float64)
-		s.pulseCount[c] = make(map[int]int)
 	}
 
 	faults := make(map[graph.NodeID]FaultSpec)
@@ -114,8 +125,6 @@ func (s *System) buildNode(v graph.NodeID, faults map[graph.NodeID]FaultSpec) er
 	n := &node{
 		id:        v,
 		clusterID: c,
-		observers: make(map[graph.ClusterID]*cluster.Instance),
-		obsClocks: make(map[graph.ClusterID]*clockwork.LogicalClock),
 		crashAt:   math.Inf(1),
 	}
 	s.nodes[v] = n
@@ -158,7 +167,10 @@ func (s *System) buildNode(v graph.NodeID, faults map[graph.NodeID]FaultSpec) er
 		n.crashAt = fault.CrashAt
 	}
 
-	// Main ClusterSync instance.
+	// Main ClusterSync instance. The loopback delivery closure is created
+	// once here (not per call) so LoopbackFunc can carry it as pooled
+	// event data without allocating.
+	mainDeliver := func(at float64) { n.inst.HandlePulse(at, v) }
 	inst, err := cluster.New(s.eng, cluster.Config{
 		Params:  p,
 		F:       cfg.F,
@@ -175,9 +187,7 @@ func (s *System) buildNode(v graph.NodeID, faults map[graph.NodeID]FaultSpec) er
 			}
 		},
 		Loopback: func(t float64) {
-			if err := s.net.LoopbackFunc(t, v, func(at float64) {
-				s.nodes[v].inst.HandlePulse(at, v)
-			}); err != nil {
+			if err := s.net.LoopbackFunc(t, v, mainDeliver); err != nil {
 				panic(err)
 			}
 		},
@@ -195,8 +205,9 @@ func (s *System) buildNode(v graph.NodeID, faults map[graph.NodeID]FaultSpec) er
 
 	// Observers for each neighboring cluster.
 	for _, b := range s.aug.NeighborClusters(c) {
-		b := b
+		idx := len(n.obsOrder)
 		obsClock := clockwork.NewLogicalClock(n.hw, p.Phi, p.Mu)
+		obsDeliver := func(at float64) { n.observers[idx].HandlePulse(at, v) }
 		// Observers track with γ̃ = 0 permanently; the Lynch–Welch error
 		// bound E covers the full nominal envelope (Corollary 3.5).
 		obs, err := cluster.New(s.eng, cluster.Config{
@@ -207,9 +218,7 @@ func (s *System) buildNode(v graph.NodeID, faults map[graph.NodeID]FaultSpec) er
 			Active:  false,
 			Clock:   obsClock,
 			Loopback: func(t float64) {
-				if err := s.net.LoopbackFunc(t, v, func(at float64) {
-					s.nodes[v].observers[b].HandlePulse(at, v)
-				}); err != nil {
+				if err := s.net.LoopbackFunc(t, v, obsDeliver); err != nil {
 					panic(err)
 				}
 			},
@@ -217,10 +226,11 @@ func (s *System) buildNode(v graph.NodeID, faults map[graph.NodeID]FaultSpec) er
 		if err != nil {
 			return fmt.Errorf("core: node %d observer of %d: %w", v, b, err)
 		}
-		n.observers[b] = obs
-		n.obsClocks[b] = obsClock
+		n.observers = append(n.observers, obs)
+		n.obsClocks = append(n.obsClocks, obsClock)
 		n.obsOrder = append(n.obsOrder, b)
 	}
+	n.estScratch = make([]float64, 0, len(n.obsOrder))
 
 	// Global-skew estimator.
 	if cfg.EnableGlobalSkew {
@@ -262,8 +272,8 @@ func (s *System) buildNode(v graph.NodeID, faults map[graph.NodeID]FaultSpec) er
 			from := s.aug.ClusterOf(pu.From)
 			if from == c {
 				n.inst.HandlePulse(at, pu.From)
-			} else if obs, ok := n.observers[from]; ok {
-				obs.HandlePulse(at, pu.From)
+			} else if i := n.obsIdx(from); i >= 0 {
+				n.observers[i].HandlePulse(at, pu.From)
 			}
 		}
 	})
@@ -271,15 +281,21 @@ func (s *System) buildNode(v graph.NodeID, faults map[graph.NodeID]FaultSpec) er
 }
 
 // recordPulse updates per-cluster pulse diameter bookkeeping (correct
-// members only).
+// members only). Rounds advance densely, so the per-cluster slices grow by
+// at most one entry per round (amortized, no per-pulse allocation).
 func (s *System) recordPulse(c graph.ClusterID, v graph.NodeID, r int, t float64) {
 	if s.nodes[v].faulty {
 		return
 	}
-	if cur, ok := s.pulseMin[c][r]; !ok || t < cur {
+	for len(s.pulseMin[c]) <= r {
+		s.pulseMin[c] = append(s.pulseMin[c], math.Inf(1))
+		s.pulseMax[c] = append(s.pulseMax[c], math.Inf(-1))
+		s.pulseCount[c] = append(s.pulseCount[c], 0)
+	}
+	if t < s.pulseMin[c][r] {
 		s.pulseMin[c][r] = t
 	}
-	if cur, ok := s.pulseMax[c][r]; !ok || t > cur {
+	if t > s.pulseMax[c][r] {
 		s.pulseMax[c][r] = t
 	}
 	s.pulseCount[c][r]++
@@ -303,9 +319,9 @@ func (s *System) decideMode(n *node, r int, t float64) {
 	}
 
 	own := n.main.Value(t)
-	estimates := make([]float64, 0, len(n.obsOrder))
-	for _, b := range n.obsOrder {
-		estimates = append(estimates, n.obsClocks[b].Value(t))
+	estimates := n.estScratch[:0]
+	for _, oc := range n.obsClocks {
+		estimates = append(estimates, oc.Value(t))
 	}
 	maxEst := math.NaN()
 	if n.maxEst != nil {
@@ -355,8 +371,8 @@ func (s *System) Start() error {
 			if err := n.inst.Start(); err != nil {
 				return err
 			}
-			for _, b := range n.obsOrder {
-				if err := n.observers[b].Start(); err != nil {
+			for _, obs := range n.observers {
+				if err := obs.Start(); err != nil {
 					return err
 				}
 			}
@@ -425,11 +441,23 @@ func (s *System) Logical(v graph.NodeID) float64 {
 	return s.nodes[v].main.Value(s.eng.Now())
 }
 
+// obsIdx returns the position of cluster b in the node's observer set, or
+// -1 when the node observes no such cluster.
+func (n *node) obsIdx(b graph.ClusterID) int {
+	for i, o := range n.obsOrder {
+		if o == b {
+			return i
+		}
+	}
+	return -1
+}
+
 // Estimate returns node v's estimate of cluster b's clock at the current
 // time, or NaN when v has no observer for b.
 func (s *System) Estimate(v graph.NodeID, b graph.ClusterID) float64 {
-	if oc, ok := s.nodes[v].obsClocks[b]; ok {
-		return oc.Value(s.eng.Now())
+	n := s.nodes[v]
+	if i := n.obsIdx(b); i >= 0 {
+		return n.obsClocks[i].Value(s.eng.Now())
 	}
 	return math.NaN()
 }
@@ -493,7 +521,7 @@ func (s *System) PulseDiameters(c graph.ClusterID) map[int]float64 {
 	}
 	out := make(map[int]float64)
 	for r, cnt := range s.pulseCount[c] {
-		if cnt == correct && correct >= 2 {
+		if int(cnt) == correct && correct >= 2 {
 			out[r] = s.pulseMax[c][r] - s.pulseMin[c][r]
 		}
 	}

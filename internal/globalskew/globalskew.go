@@ -61,6 +61,7 @@ type Estimator struct {
 	groupOf    map[graph.NodeID]graph.ClusterID
 	counts     map[graph.NodeID]int // max pulses received per sender
 	levelTimer sim.Handle
+	lvlScratch []int // confirmedLevel selection buffer, reused per pulse
 
 	stats Stats
 }
@@ -125,12 +126,17 @@ func (e *Estimator) scheduleNextLevel() error {
 	if err != nil {
 		return fmt.Errorf("globalskew: level timer: %w", err)
 	}
-	h, err := e.eng.Schedule(at, "max-level", func(*sim.Engine) { e.localLevel() })
+	h, err := e.eng.ScheduleData(at, "max-level", levelEvent, sim.Data{Ctx: e})
 	if err != nil {
 		return err
 	}
 	e.levelTimer = h
 	return nil
+}
+
+// levelEvent is the pooled level-timer callback.
+func levelEvent(_ *sim.Engine, d sim.Data) {
+	d.Ctx.(*Estimator).localLevel()
 }
 
 // localLevel fires when M grows past the next multiple of the unit.
@@ -181,7 +187,10 @@ func (e *Estimator) HandleMaxPulse(t float64, from graph.NodeID) {
 	// Confirmed level for the sender's group: the (f+1)-th largest pulse
 	// count among its members.
 	members := e.cfg.Groups[group]
-	confirmed := confirmedLevel(members, e.counts, e.cfg.F)
+	if cap(e.lvlScratch) < len(members) {
+		e.lvlScratch = make([]int, len(members))
+	}
+	confirmed := confirmedLevel(members, e.counts, e.cfg.F, e.lvlScratch[:0])
 	if confirmed == 0 {
 		return
 	}
@@ -210,12 +219,13 @@ func (e *Estimator) HandleMaxPulse(t float64, from graph.NodeID) {
 
 // confirmedLevel returns the largest ℓ such that at least f+1 members have
 // delivered ≥ ℓ pulses (0 when fewer than f+1 members have sent anything).
-func confirmedLevel(members []graph.NodeID, counts map[graph.NodeID]int, f int) int {
+// scratch is an empty slice with sufficient capacity; the caller owns it.
+func confirmedLevel(members []graph.NodeID, counts map[graph.NodeID]int, f int, scratch []int) int {
 	if len(members) < f+1 {
 		return 0
 	}
 	// Collect counts and find the (f+1)-th largest.
-	best := make([]int, 0, len(members))
+	best := scratch
 	for _, m := range members {
 		best = append(best, counts[m])
 	}

@@ -166,11 +166,11 @@ func TestConfirmedLevel(t *testing.T) {
 		{3, 0},
 	}
 	for _, tc := range tests {
-		if got := confirmedLevel(members, counts, tc.f); got != tc.want {
+		if got := confirmedLevel(members, counts, tc.f, nil); got != tc.want {
 			t.Errorf("f=%d: confirmedLevel = %d, want %d", tc.f, got, tc.want)
 		}
 	}
-	if got := confirmedLevel([]graph.NodeID{1}, counts, 1); got != 0 {
+	if got := confirmedLevel([]graph.NodeID{1}, counts, 1, nil); got != 0 {
 		t.Errorf("too few members should confirm 0, got %d", got)
 	}
 }

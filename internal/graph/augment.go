@@ -19,6 +19,12 @@ type Augmented struct {
 	Base *Graph // the base graph 𝒢
 	K    int    // cluster size k ≥ 1
 	Net  *Graph // the augmented physical network G
+
+	// members memoizes Members(c) so hot loops (the metrics sampler walks
+	// every cluster every tick) don't allocate; one backing array, one
+	// k-wide window per cluster. Callers must treat the slices as
+	// read-only.
+	members [][]NodeID
 }
 
 // Augment builds the augmented graph with cluster size k.
@@ -29,6 +35,14 @@ func Augment(base *Graph, k int) (*Augmented, error) {
 	n := base.N() * k
 	net := New(n, fmt.Sprintf("%s⊗K%d", base.Name(), k))
 	a := &Augmented{Base: base, K: k, Net: net}
+	all := make([]NodeID, n)
+	a.members = make([][]NodeID, base.N())
+	for v := 0; v < n; v++ {
+		all[v] = v
+	}
+	for c := 0; c < base.N(); c++ {
+		a.members[c] = all[c*k : (c+1)*k : (c+1)*k]
+	}
 	// Cluster edges: each cluster is a clique.
 	for c := 0; c < base.N(); c++ {
 		for i := 0; i < k; i++ {
@@ -58,13 +72,10 @@ func (a *Augmented) ClusterOf(v NodeID) ClusterID { return v / a.K }
 // IndexIn returns the member index of v within its cluster.
 func (a *Augmented) IndexIn(v NodeID) int { return v % a.K }
 
-// Members returns the physical node IDs of cluster c.
+// Members returns the physical node IDs of cluster c. The returned slice
+// is shared and must not be modified.
 func (a *Augmented) Members(c ClusterID) []NodeID {
-	out := make([]NodeID, a.K)
-	for i := 0; i < a.K; i++ {
-		out[i] = a.Member(c, i)
-	}
-	return out
+	return a.members[c]
 }
 
 // Clusters returns the number of clusters |𝒞|.

@@ -1,0 +1,67 @@
+package harness
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestExperimentTablesGolden regenerates every experiment table (E1–E14
+// and the A1–A3 ablations) in quick mode at seed 1 and requires the output
+// to be byte-identical to the committed goldens.
+//
+// The goldens were produced by the pre-optimization simulation substrate
+// (container/heap engine, closure-carrying transport, map-based cluster
+// state); byte identity is the correctness proof that the pooled
+// zero-allocation hot path preserves event ordering, RNG streams and
+// floating-point arithmetic exactly. Regenerate with:
+//
+//	go run ./cmd/ftgcs-experiments -quick -seed 1 \
+//	    > internal/harness/testdata/golden_quick_seed1_experiments.txt
+//	go run ./cmd/ftgcs-experiments -quick -seed 1 -ablations \
+//	    > internal/harness/testdata/golden_quick_seed1_ablations.txt
+//
+// but only after establishing that the behavioral change is intended.
+func TestExperimentTablesGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full quick-mode regeneration (~30s) skipped in -short")
+	}
+	rc := RunConfig{Quick: true, Seed: 1}
+
+	var got bytes.Buffer
+	if err := RunAll(rc, &got); err != nil {
+		t.Fatal(err)
+	}
+	compareGolden(t, "golden_quick_seed1_experiments.txt", got.Bytes())
+
+	var abl bytes.Buffer
+	for _, e := range Ablations() {
+		tbl, err := e.Run(rc)
+		if err != nil {
+			t.Fatalf("%s: %v", e.ID, err)
+		}
+		tbl.Render(&abl)
+	}
+	compareGolden(t, "golden_quick_seed1_ablations.txt", abl.Bytes())
+}
+
+func compareGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	want, err := os.ReadFile(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatalf("read golden: %v", err)
+	}
+	if bytes.Equal(got, want) {
+		return
+	}
+	// Point at the first differing line to keep failures readable.
+	gl := bytes.Split(got, []byte("\n"))
+	wl := bytes.Split(want, []byte("\n"))
+	for i := 0; i < len(gl) && i < len(wl); i++ {
+		if !bytes.Equal(gl[i], wl[i]) {
+			t.Fatalf("%s: line %d differs\n got: %s\nwant: %s", name, i+1, gl[i], wl[i])
+		}
+	}
+	t.Fatalf("%s: output length differs: got %d lines, want %d", name, len(gl), len(wl))
+}

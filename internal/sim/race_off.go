@@ -1,0 +1,9 @@
+//go:build !race
+
+package sim
+
+// RaceEnabled reports whether the race detector is active. Exact
+// allocation-count assertions are skipped under -race: the detector's
+// instrumentation may heap-allocate on behalf of user code, which would
+// turn the 0-allocs/event invariant tests into false failures.
+const RaceEnabled = false

@@ -1,0 +1,6 @@
+//go:build race
+
+package sim
+
+// RaceEnabled reports whether the race detector is active. See race_off.go.
+const RaceEnabled = true

@@ -9,10 +9,14 @@
 // All clock synchronization experiments in this repository run on top of
 // this engine: node pulses, phase transitions, drift-model rate changes and
 // metric samplers are all events.
+//
+// The queue is a hand-rolled indexed min-heap over a slab of pooled event
+// structs with an embedded free list: in steady state (events fired ≈
+// events scheduled) the engine performs zero heap allocations per event.
+// Handles are generation-counted so Cancel on a recycled slot is safe.
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math"
@@ -21,69 +25,56 @@ import (
 // Time is a point on the simulated Newtonian timeline, in seconds.
 type Time = float64
 
-// Event is a scheduled callback. The callback receives the engine so it can
-// schedule follow-up events.
-type Event struct {
-	// At is the Newtonian time the event fires.
-	At Time
-	// Fn is invoked when the event fires. It must not be nil.
-	Fn func(*Engine)
-	// Label is an optional human-readable tag used in traces and error
-	// messages.
-	Label string
+// Data is the payload of a data-scheduled event (see ScheduleData). It is
+// sized so the common simulation payloads — a receiver pointer plus a few
+// small integers/floats — fit without boxing: storing a pointer (or func)
+// in Ctx and calling a top-level DataFunc allocates nothing.
+type Data struct {
+	// Ctx carries the receiver (a pointer or func value; pointer-shaped
+	// values do not allocate when stored in an interface).
+	Ctx any
+	// I0, I1, I2 carry small integer payloads (node IDs, kinds, codes).
+	I0, I1, I2 int64
+	// F0 carries a float payload.
+	F0 float64
+}
 
+// DataFunc is the callback of a data-scheduled event. Implementations
+// should be top-level functions (not closures) so scheduling stays
+// allocation-free.
+type DataFunc func(e *Engine, d Data)
+
+// event is one pooled slab entry. Exactly one of fn/dfn is non-nil while
+// the slot is live.
+type event struct {
+	at    Time
 	seq   uint64 // insertion order, breaks time ties deterministically
-	index int    // heap index; -1 once removed
+	fn    func(*Engine)
+	dfn   DataFunc
+	data  Data
+	label string
+	gen   uint32 // bumped on every release; stale Handles never match
+	pos   int32  // index into Engine.heap; -1 once fired/canceled
 }
 
-// Handle identifies a scheduled event so it can be canceled.
+// Handle identifies a scheduled event so it can be canceled. The zero
+// Handle is valid and behaves as an already-canceled event.
 type Handle struct {
-	ev *Event
-}
-
-// Canceled reports whether the underlying event was canceled or already
-// fired.
-func (h Handle) Canceled() bool { return h.ev == nil || h.ev.index < 0 }
-
-// eventQueue is a min-heap ordered by (At, seq).
-type eventQueue []*Event
-
-func (q eventQueue) Len() int { return len(q) }
-
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].At != q[j].At {
-		return q[i].At < q[j].At
-	}
-	return q[i].seq < q[j].seq
-}
-
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
-
-func (q *eventQueue) Push(x any) {
-	ev := x.(*Event)
-	ev.index = len(*q)
-	*q = append(*q, ev)
-}
-
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*q = old[:n-1]
-	return ev
+	eng *Engine
+	id  int32
+	gen uint32
 }
 
 // Engine is a deterministic discrete-event scheduler. The zero value is not
 // usable; construct with NewEngine.
 type Engine struct {
-	now     Time
-	queue   eventQueue
+	now Time
+	// events is the pooled slab; heap holds slab indices ordered as a
+	// min-heap by (at, seq); free is the stack of recycled slab indices.
+	events []event
+	heap   []int32
+	free   []int32
+
 	seq     uint64
 	stopped bool
 
@@ -108,13 +99,150 @@ func (e *Engine) Processed() uint64 { return e.processed }
 func (e *Engine) SetEventLimit(n uint64) { e.maxEvents = n }
 
 // Pending returns the number of events currently scheduled.
-func (e *Engine) Pending() int { return len(e.queue) }
+func (e *Engine) Pending() int { return len(e.heap) }
 
 // ErrEventLimit is returned by Run when the configured event limit is hit.
 var ErrEventLimit = errors.New("sim: event limit exceeded")
 
 // ErrPast is returned when an event is scheduled before the current time.
 var ErrPast = errors.New("sim: schedule time is in the past")
+
+// Canceled reports whether the underlying event was canceled or already
+// fired. The zero Handle reports true. A handle to a recycled slot stays
+// canceled forever: the slot's generation count no longer matches.
+func (h Handle) Canceled() bool {
+	if h.eng == nil || h.gen == 0 {
+		return true
+	}
+	ev := &h.eng.events[h.id]
+	return ev.gen != h.gen || ev.pos < 0
+}
+
+// validate ensures a schedulable (at, fn/dfn) pair.
+func (e *Engine) validateAt(at Time, label string) error {
+	if math.IsNaN(at) || math.IsInf(at, 0) {
+		return fmt.Errorf("sim: invalid event time %v (%s)", at, label)
+	}
+	if at < e.now {
+		return fmt.Errorf("%w: at=%v now=%v (%s)", ErrPast, at, e.now, label)
+	}
+	return nil
+}
+
+// alloc takes a slot from the free list (or grows the slab) and returns its
+// index. The slot's gen is already advanced past any stale handle.
+func (e *Engine) alloc() int32 {
+	if n := len(e.free); n > 0 {
+		id := e.free[n-1]
+		e.free = e.free[:n-1]
+		return id
+	}
+	e.events = append(e.events, event{gen: 1})
+	return int32(len(e.events) - 1)
+}
+
+// release recycles a fired or canceled slot. References held by the slot
+// are dropped so pooled events cannot keep closures or receivers alive.
+func (e *Engine) release(id int32) {
+	ev := &e.events[id]
+	ev.gen++
+	if ev.gen == 0 { // skip the reserved "stale" generation on wraparound
+		ev.gen = 1
+	}
+	ev.fn = nil
+	ev.dfn = nil
+	ev.data = Data{}
+	ev.label = ""
+	ev.pos = -1
+	e.free = append(e.free, id)
+}
+
+// push inserts slot id (with at/seq already set) into the heap.
+func (e *Engine) push(id int32) {
+	e.heap = append(e.heap, id)
+	e.events[id].pos = int32(len(e.heap) - 1)
+	e.siftUp(len(e.heap) - 1)
+}
+
+// less orders heap positions by (at, seq).
+func (e *Engine) less(i, j int) bool {
+	a, b := &e.events[e.heap[i]], &e.events[e.heap[j]]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (e *Engine) swap(i, j int) {
+	e.heap[i], e.heap[j] = e.heap[j], e.heap[i]
+	e.events[e.heap[i]].pos = int32(i)
+	e.events[e.heap[j]].pos = int32(j)
+}
+
+func (e *Engine) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.less(i, parent) {
+			return
+		}
+		e.swap(i, parent)
+		i = parent
+	}
+}
+
+func (e *Engine) siftDown(i int) {
+	n := len(e.heap)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		least := l
+		if r := l + 1; r < n && e.less(r, l) {
+			least = r
+		}
+		if !e.less(least, i) {
+			return
+		}
+		e.swap(i, least)
+		i = least
+	}
+}
+
+// removeAt deletes the heap entry at position pos, marking its slot
+// off-heap (pos = -1) without releasing it.
+func (e *Engine) removeAt(pos int) int32 {
+	id := e.heap[pos]
+	last := len(e.heap) - 1
+	if pos != last {
+		e.swap(pos, last)
+	}
+	e.heap = e.heap[:last]
+	e.events[id].pos = -1
+	if pos != last {
+		e.siftDown(pos)
+		e.siftUp(pos)
+	}
+	return id
+}
+
+// schedule is the common enqueue path.
+func (e *Engine) schedule(at Time, label string, fn func(*Engine), dfn DataFunc, d Data) (Handle, error) {
+	if err := e.validateAt(at, label); err != nil {
+		return Handle{}, err
+	}
+	id := e.alloc()
+	ev := &e.events[id]
+	ev.at = at
+	ev.seq = e.seq
+	e.seq++
+	ev.fn = fn
+	ev.dfn = dfn
+	ev.data = d
+	ev.label = label
+	e.push(id)
+	return Handle{id: id, gen: ev.gen, eng: e}, nil
+}
 
 // Schedule enqueues fn to run at time at. Scheduling in the past is an
 // error; scheduling exactly at the current time is allowed and runs after
@@ -123,16 +251,18 @@ func (e *Engine) Schedule(at Time, label string, fn func(*Engine)) (Handle, erro
 	if fn == nil {
 		return Handle{}, errors.New("sim: nil event function")
 	}
-	if math.IsNaN(at) || math.IsInf(at, 0) {
-		return Handle{}, fmt.Errorf("sim: invalid event time %v (%s)", at, label)
+	return e.schedule(at, label, fn, nil, Data{})
+}
+
+// ScheduleData enqueues fn(e, d) to run at time at. With a top-level fn and
+// a pointer-shaped d.Ctx this path performs no heap allocation: the payload
+// lives inside the pooled event. Ordering is identical to Schedule (one
+// shared seq stream).
+func (e *Engine) ScheduleData(at Time, label string, fn DataFunc, d Data) (Handle, error) {
+	if fn == nil {
+		return Handle{}, errors.New("sim: nil event function")
 	}
-	if at < e.now {
-		return Handle{}, fmt.Errorf("%w: at=%v now=%v (%s)", ErrPast, at, e.now, label)
-	}
-	ev := &Event{At: at, Fn: fn, Label: label, seq: e.seq}
-	e.seq++
-	heap.Push(&e.queue, ev)
-	return Handle{ev: ev}, nil
+	return e.schedule(at, label, nil, fn, d)
 }
 
 // MustSchedule is Schedule but panics on error. It is intended for internal
@@ -146,24 +276,56 @@ func (e *Engine) MustSchedule(at Time, label string, fn func(*Engine)) Handle {
 	return h
 }
 
+// MustScheduleData is ScheduleData but panics on error.
+func (e *Engine) MustScheduleData(at Time, label string, fn DataFunc, d Data) Handle {
+	h, err := e.ScheduleData(at, label, fn, d)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
 // After schedules fn to run d seconds from now.
 func (e *Engine) After(d float64, label string, fn func(*Engine)) (Handle, error) {
 	return e.Schedule(e.now+d, label, fn)
 }
 
 // Cancel removes a scheduled event. Canceling an already-fired or
-// already-canceled event is a no-op returning false.
+// already-canceled event is a no-op returning false; the generation count
+// in the handle guarantees a recycled slot can never be canceled through a
+// stale handle.
 func (e *Engine) Cancel(h Handle) bool {
-	if h.ev == nil || h.ev.index < 0 {
+	if h.eng != e || h.gen == 0 || int(h.id) >= len(e.events) {
 		return false
 	}
-	heap.Remove(&e.queue, h.ev.index)
-	h.ev.index = -1
+	ev := &e.events[h.id]
+	if ev.gen != h.gen || ev.pos < 0 {
+		return false
+	}
+	e.removeAt(int(ev.pos))
+	e.release(h.id)
 	return true
 }
 
 // Stop makes the current Run return after the in-flight event completes.
 func (e *Engine) Stop() { e.stopped = true }
+
+// fire pops the root event and executes it. The slot is released before the
+// callback runs (the callback may reuse it for a new event; stale handles
+// are protected by the generation count).
+func (e *Engine) fire() {
+	id := e.removeAt(0)
+	ev := &e.events[id]
+	e.now = ev.at
+	fn, dfn, d := ev.fn, ev.dfn, ev.data
+	e.release(id)
+	e.processed++
+	if dfn != nil {
+		dfn(e, d)
+	} else {
+		fn(e)
+	}
+}
 
 // Run executes events in timestamp order until the queue is empty, the
 // horizon is passed, Stop is called, or the event limit is exceeded. The
@@ -171,18 +333,19 @@ func (e *Engine) Stop() { e.stopped = true }
 // after the horizon remain queued.
 func (e *Engine) Run(horizon Time) error {
 	e.stopped = false
-	for len(e.queue) > 0 && !e.stopped {
-		next := e.queue[0]
-		if next.At > horizon {
+	for len(e.heap) > 0 && !e.stopped {
+		next := &e.events[e.heap[0]]
+		if next.at > horizon {
 			break
 		}
-		heap.Pop(&e.queue)
-		e.now = next.At
-		e.processed++
-		if e.maxEvents > 0 && e.processed > e.maxEvents {
+		if e.maxEvents > 0 && e.processed+1 > e.maxEvents {
+			id := e.removeAt(0)
+			e.now = e.events[id].at
+			e.release(id)
+			e.processed++
 			return fmt.Errorf("%w: %d events", ErrEventLimit, e.processed)
 		}
-		next.Fn(e)
+		e.fire()
 	}
 	if e.now < horizon {
 		e.now = horizon
@@ -191,23 +354,24 @@ func (e *Engine) Run(horizon Time) error {
 }
 
 // Step executes exactly one event if one is pending, returning whether an
-// event ran.
+// event ran. Like Run, it honors Stop (no event runs after Stop until the
+// next Run resets it) and the configured event limit.
 func (e *Engine) Step() bool {
-	if len(e.queue) == 0 {
+	if e.stopped || len(e.heap) == 0 {
 		return false
 	}
-	next := heap.Pop(&e.queue).(*Event)
-	e.now = next.At
-	e.processed++
-	next.Fn(e)
+	if e.maxEvents > 0 && e.processed >= e.maxEvents {
+		return false
+	}
+	e.fire()
 	return true
 }
 
 // PeekTime returns the firing time of the next pending event, or +Inf when
 // the queue is empty.
 func (e *Engine) PeekTime() Time {
-	if len(e.queue) == 0 {
+	if len(e.heap) == 0 {
 		return math.Inf(1)
 	}
-	return e.queue[0].At
+	return e.events[e.heap[0]].at
 }

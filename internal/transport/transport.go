@@ -53,7 +53,10 @@ type Handler func(at float64, p Pulse)
 type DelayModel interface {
 	// Sample returns the delay for a message from → to sent at time t.
 	Sample(from, to graph.NodeID, t float64) float64
-	// Bounds returns (d, U).
+	// Bounds returns (d, U). The bounds must be constant for the model's
+	// lifetime — they are the network's fixed physical parameters, and
+	// Network caches them at construction. Adversarial variation belongs
+	// in Sample (within the fixed envelope), not in Bounds.
 	Bounds() (d, u float64)
 }
 
@@ -161,15 +164,25 @@ type Network struct {
 	delays   DelayModel
 	handlers []Handler
 	stats    Stats
+
+	// d, u cache delays.Bounds() — the bounds are fixed parameters of the
+	// model, and validateDelay runs once per point-to-point send.
+	d, u float64
+	// delayScratch buffers sampled per-neighbor delays so Broadcast can
+	// validate the whole pulse before scheduling any delivery.
+	delayScratch []float64
 }
 
 // NewNetwork constructs a network over g using the given delay model.
 func NewNetwork(eng *sim.Engine, g *graph.Graph, delays DelayModel) *Network {
+	d, u := delays.Bounds()
 	return &Network{
 		eng:      eng,
 		g:        g,
 		delays:   delays,
 		handlers: make([]Handler, g.N()),
+		d:        d,
+		u:        u,
 	}
 }
 
@@ -186,14 +199,13 @@ func (n *Network) Stats() Stats { return n.stats }
 func (n *Network) Graph() *graph.Graph { return n.g }
 
 // Bounds returns the delay parameters (d, U).
-func (n *Network) Bounds() (float64, float64) { return n.delays.Bounds() }
+func (n *Network) Bounds() (float64, float64) { return n.d, n.u }
 
 func (n *Network) validateDelay(delay float64, from, to graph.NodeID) error {
-	d, u := n.delays.Bounds()
 	const eps = 1e-12
-	if delay < d-u-eps || delay > d+eps {
+	if delay < n.d-n.u-eps || delay > n.d+eps {
 		return fmt.Errorf("transport: delay %v for %d→%d outside [d−U, d] = [%v, %v]",
-			delay, from, to, d-u, d)
+			delay, from, to, n.d-n.u, n.d)
 	}
 	return nil
 }
@@ -207,13 +219,53 @@ func (n *Network) deliver(at float64, from, to graph.NodeID, kind Kind) {
 	h(at, Pulse{From: from, Kind: kind})
 }
 
+// deliverEvent is the pooled delivery callback: the pulse identity travels
+// as event data (from=I0, to=I1, kind=I2) instead of a per-send closure.
+func deliverEvent(e *sim.Engine, d sim.Data) {
+	n := d.Ctx.(*Network)
+	n.deliver(e.Now(), graph.NodeID(d.I0), graph.NodeID(d.I1), Kind(d.I2))
+}
+
+// loopbackFnEvent invokes a stored func(at float64) at delivery time. The
+// func value itself is pointer-shaped, so carrying it in Data.Ctx does not
+// allocate; callers keep the func alive across calls (see core's per-node
+// loopback closures).
+func loopbackFnEvent(e *sim.Engine, d sim.Data) {
+	d.Ctx.(func(at float64))(e.Now())
+}
+
+// scheduleDelivery enqueues one pooled point-to-point delivery.
+func (n *Network) scheduleDelivery(t, delay float64, from, to graph.NodeID, kind Kind) error {
+	n.stats.Sends++
+	_, err := n.eng.ScheduleData(t+delay, "pulse", deliverEvent, sim.Data{
+		Ctx: n, I0: int64(from), I1: int64(to), I2: int64(kind),
+	})
+	return err
+}
+
 // Broadcast sends a pulse from v to all its neighbors (not to itself; use
 // Loopback for the sender's own observation of its pulse). This is the only
 // send primitive available to correct nodes.
+//
+// A broadcast is atomic with respect to delay-model failures: every
+// neighbor's delay is sampled and validated before any delivery is
+// scheduled, so a misbehaving DelayModel cannot leave a half-sent pulse.
 func (n *Network) Broadcast(t float64, from graph.NodeID, kind Kind) error {
 	n.stats.Broadcasts++
-	for _, to := range n.g.Neighbors(from) {
-		if err := n.SendTo(t, from, to, kind); err != nil {
+	nbrs := n.g.Neighbors(from)
+	if cap(n.delayScratch) < len(nbrs) {
+		n.delayScratch = make([]float64, len(nbrs))
+	}
+	delays := n.delayScratch[:len(nbrs)]
+	for i, to := range nbrs {
+		delay := n.delays.Sample(from, to, t)
+		if err := n.validateDelay(delay, from, to); err != nil {
+			return err
+		}
+		delays[i] = delay
+	}
+	for i, to := range nbrs {
+		if err := n.scheduleDelivery(t, delays[i], from, to, kind); err != nil {
 			return err
 		}
 	}
@@ -231,11 +283,7 @@ func (n *Network) SendTo(t float64, from, to graph.NodeID, kind Kind) error {
 	if err := n.validateDelay(delay, from, to); err != nil {
 		return err
 	}
-	n.stats.Sends++
-	_, err := n.eng.Schedule(t+delay, "pulse", func(e *sim.Engine) {
-		n.deliver(e.Now(), from, to, kind)
-	})
-	return err
+	return n.scheduleDelivery(t, delay, from, to, kind)
 }
 
 // LoopbackFunc schedules fn to run after a sampled self-delivery delay.
@@ -250,9 +298,7 @@ func (n *Network) LoopbackFunc(t float64, v graph.NodeID, fn func(at float64)) e
 		return err
 	}
 	n.stats.Loopbacks++
-	_, err := n.eng.Schedule(t+delay, "loopback-fn", func(e *sim.Engine) {
-		fn(e.Now())
-	})
+	_, err := n.eng.ScheduleData(t+delay, "loopback-fn", loopbackFnEvent, sim.Data{Ctx: fn})
 	return err
 }
 
@@ -266,8 +312,8 @@ func (n *Network) Loopback(t float64, v graph.NodeID, kind Kind) error {
 		return err
 	}
 	n.stats.Loopbacks++
-	_, err := n.eng.Schedule(t+delay, "loopback", func(e *sim.Engine) {
-		n.deliver(e.Now(), v, v, kind)
+	_, err := n.eng.ScheduleData(t+delay, "loopback", deliverEvent, sim.Data{
+		Ctx: n, I0: int64(v), I1: int64(v), I2: int64(kind),
 	})
 	return err
 }

@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# bench.sh — run the simulation-substrate micro-benchmarks and emit a
+# machine-readable snapshot of the perf trajectory (BENCH_<n>.json).
+#
+#   scripts/bench.sh              # writes BENCH_1.json in the repo root
+#   scripts/bench.sh out.json     # writes out.json
+#   COUNT=10 scripts/bench.sh     # more repetitions (default 5)
+#
+# Each benchmark runs COUNT times; the JSON records the best (minimum)
+# ns/op — the least-noisy estimate of the true cost — plus B/op and
+# allocs/op, which are deterministic. The raw `go test` output is echoed so
+# CI logs keep the full series.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_1.json}"
+COUNT="${COUNT:-5}"
+BENCH='BenchmarkSystemSimSecond|BenchmarkSystemBuild|BenchmarkDeriveParams|BenchmarkEngine|BenchmarkBroadcast'
+PKGS=". ./internal/sim ./internal/transport"
+
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+# shellcheck disable=SC2086
+go test -run '^$' -bench "$BENCH" -benchmem -count="$COUNT" $PKGS | tee "$RAW"
+
+awk -v out="$OUT" -v count="$COUNT" '
+/^cpu:/ { sub(/^cpu: /, ""); cpu = $0 }
+/^goos:/ { goos = $2 }
+/^Benchmark/ && / ns\/op/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)           # strip GOMAXPROCS suffix
+    ns = $3; bytes = ""; allocs = ""
+    for (i = 1; i <= NF; i++) {
+        if ($i == "B/op")      bytes  = $(i-1)
+        if ($i == "allocs/op") allocs = $(i-1)
+    }
+    if (!(name in best) || ns + 0 < best[name] + 0) {
+        best[name] = ns; b[name] = bytes; a[name] = allocs
+    }
+    if (!(name in seen)) { order[++n] = name; seen[name] = 1 }
+}
+END {
+    printf "{\n" > out
+    printf "  \"schema\": \"ftgcs-bench-v1\",\n" >> out
+    printf "  \"count\": %d,\n", count >> out
+    printf "  \"goos\": \"%s\",\n", goos >> out
+    printf "  \"cpu\": \"%s\",\n", cpu >> out
+    printf "  \"benchmarks\": {\n" >> out
+    for (i = 1; i <= n; i++) {
+        name = order[i]
+        printf "    \"%s\": {\"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}%s\n", \
+            name, best[name], b[name], a[name], (i < n ? "," : "") >> out
+    }
+    printf "  }\n}\n" >> out
+}' "$RAW"
+
+echo "wrote $OUT"
