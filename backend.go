@@ -1,0 +1,69 @@
+package ftgcs
+
+import (
+	"fmt"
+
+	"ftgcs/internal/core"
+	"ftgcs/internal/metrics"
+)
+
+// Backend is the minimal simulation surface a Scenario needs to run to a
+// horizon and be measured. The standard backend is the core FTGCS system;
+// WithBackend substitutes an alternative implementation — the hook that
+// lets comparison baselines (internal/baseline's TreeSync) run through
+// the same Sweep machinery, job manager and result pipeline as
+// first-class scenarios instead of hand-rolled sequential loops.
+type Backend interface {
+	// Run advances simulated time to the given horizon (seconds).
+	Run(until float64) error
+	// Now returns the current simulated time.
+	Now() float64
+	// Summarize condenses the run: maxima of every recorded skew series
+	// after the warmup prefix.
+	Summarize(warmup float64) Summary
+	// Recorder exposes the recorded metric series.
+	Recorder() *metrics.Recorder
+	// Diameter returns the hop diameter of the base graph (bound
+	// denominators in Report).
+	Diameter() int
+}
+
+// coreBackend adapts the standard core system to the Backend interface
+// (Run, Summarize and Recorder are promoted from core.System).
+type coreBackend struct {
+	*core.System
+}
+
+func (cb coreBackend) Now() float64  { return cb.Engine().Now() }
+func (cb coreBackend) Diameter() int { return cb.Aug().Base.Diameter() }
+
+// BackendBuilder constructs a custom simulation backend from the
+// scenario's resolved seed and derived algorithm constants.
+type BackendBuilder func(seed int64, p Params) (Backend, error)
+
+// WithBackend routes the scenario through a custom simulation backend
+// instead of the standard core system build. The scenario's topology
+// options are ignored (the backend wires its own network); physical
+// parameters, preset/constants, seed and horizon apply as usual. On the
+// resulting System, core-specific accessors (Logical, Estimate,
+// PulseDiameters, …) are inert — Run, Report, Summary, Series and
+// WriteCSV are the supported surface.
+func WithBackend(build BackendBuilder) Option {
+	return func(s *Scenario) { s.backend = build }
+}
+
+// buildBackend resolves parameters and constructs the custom backend.
+func (s *Scenario) buildBackend() (*System, error) {
+	p, err := s.resolveParams()
+	if err != nil {
+		return nil, fmt.Errorf("ftgcs: %w", err)
+	}
+	b, err := s.backend(s.seed, p)
+	if err != nil {
+		return nil, err
+	}
+	if b == nil {
+		return nil, fmt.Errorf("ftgcs: scenario %q backend builder returned nil", s.name)
+	}
+	return &System{b: b, p: p}, nil
+}

@@ -1,0 +1,89 @@
+// ftgcs-serve fronts the FTGCS sweep engine with a JSON-over-HTTP
+// experiment service. Scenarios arrive as declarative specs (the same
+// codec as `ftgcs-sim -spec`), are content-addressed by the SHA-256 of
+// their canonical encoding, and run through an async job manager that
+// dedupes identical submissions, caches results in an LRU, and can fan a
+// spec across N seeds with aggregated statistics.
+//
+//	ftgcs-serve -addr :8080
+//
+//	# submit, blocking until done
+//	curl -X POST 'localhost:8080/v1/experiments?wait=true' \
+//	     -d '{"spec": {"topology": {"name": "line", "size": 3}, "seed": 1}}'
+//
+//	# the same submission again: served from cache, byte-identical result
+//	curl -X POST 'localhost:8080/v1/experiments?wait=true' -d @same.json
+//
+//	# poll by content-addressed job ID
+//	curl localhost:8080/v1/experiments/sha256:...
+//
+//	# what the registry knows
+//	curl localhost:8080/v1/registry
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ftgcs"
+	"ftgcs/internal/jobs"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ftgcs-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("ftgcs-serve", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address (use :0 for an ephemeral port)")
+	workers := fs.Int("workers", 2, "concurrent job executors")
+	queue := fs.Int("queue", 64, "pending-job queue depth (full queue → 503)")
+	cache := fs.Int("cache", 128, "result LRU capacity (entries)")
+	sweepWorkers := fs.Int("sweep-workers", 0, "per-job sweep pool size for replicated specs (0 = GOMAXPROCS)")
+	waitLimit := fs.Duration("wait-limit", 2*time.Minute, "maximum blocking time for ?wait=true requests")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	mgr := jobs.NewManager(jobs.Options{
+		Registry:     ftgcs.DefaultRegistry,
+		Workers:      *workers,
+		QueueDepth:   *queue,
+		CacheSize:    *cache,
+		SweepWorkers: *sweepWorkers,
+	})
+	defer mgr.Close()
+
+	handler := newHandler(&server{mgr: mgr, reg: ftgcs.DefaultRegistry, waitLimit: *waitLimit})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	// The resolved address line is machine-readable on purpose: the CI
+	// smoke script boots on :0 and scrapes the port from here.
+	fmt.Printf("ftgcs-serve listening on %s\n", ln.Addr())
+
+	srv := &http.Server{Handler: handler}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		return srv.Shutdown(shutdownCtx)
+	}
+}

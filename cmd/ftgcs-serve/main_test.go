@@ -1,0 +1,337 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ftgcs"
+	"ftgcs/internal/jobs"
+)
+
+func newTestServer(t *testing.T, o jobs.Options) (*httptest.Server, *jobs.Manager) {
+	t.Helper()
+	if o.Workers == 0 {
+		o.Workers = 2
+	}
+	mgr := jobs.NewManager(o)
+	t.Cleanup(mgr.Close)
+	ts := httptest.NewServer(newHandler(&server{mgr: mgr, reg: ftgcs.DefaultRegistry, waitLimit: time.Minute}))
+	t.Cleanup(ts.Close)
+	return ts, mgr
+}
+
+const lineSpec = `{"spec": {"topology": {"name": "line", "size": 2}, "seed": 1, "horizon": {"seconds": 3}}}`
+
+func post(t *testing.T, ts *httptest.Server, path, body string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, b
+}
+
+func get(t *testing.T, ts *httptest.Server, path string) (int, []byte) {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, b
+}
+
+// statusView decodes only the envelope fields; result stays raw so byte
+// identity can be asserted exactly.
+type statusView struct {
+	ID       string          `json:"id"`
+	SpecHash string          `json:"specHash"`
+	State    string          `json:"state"`
+	Cached   bool            `json:"cached"`
+	Result   json.RawMessage `json:"result"`
+	Error    string          `json:"error"`
+}
+
+// TestSubmitTwiceIsCacheHitByteIdentical is the acceptance test:
+// submitting the same spec twice runs the simulation once — the second
+// POST returns a cache-hit marker and byte-identical result JSON.
+func TestSubmitTwiceIsCacheHitByteIdentical(t *testing.T) {
+	ts, mgr := newTestServer(t, jobs.Options{})
+
+	code1, body1 := post(t, ts, "/v1/experiments?wait=true", lineSpec)
+	if code1 != http.StatusOK {
+		t.Fatalf("first POST: %d %s", code1, body1)
+	}
+	var st1 statusView
+	if err := json.Unmarshal(body1, &st1); err != nil {
+		t.Fatal(err)
+	}
+	if st1.State != "done" || st1.Cached || len(st1.Result) == 0 {
+		t.Fatalf("first POST should complete fresh: %+v", st1)
+	}
+
+	code2, body2 := post(t, ts, "/v1/experiments?wait=true", lineSpec)
+	if code2 != http.StatusOK {
+		t.Fatalf("second POST: %d %s", code2, body2)
+	}
+	var st2 statusView
+	if err := json.Unmarshal(body2, &st2); err != nil {
+		t.Fatal(err)
+	}
+	if !st2.Cached {
+		t.Fatalf("second POST must be a cache hit: %s", body2)
+	}
+	if st2.ID != st1.ID {
+		t.Fatalf("content-addressed IDs differ: %s vs %s", st2.ID, st1.ID)
+	}
+	if !bytes.Equal(st1.Result, st2.Result) {
+		t.Fatalf("cache hit result not byte-identical:\n%s\n%s", st1.Result, st2.Result)
+	}
+	// The full responses differ only in the cache-hit marker.
+	norm := bytes.Replace(body2, []byte(`"cached":true`), []byte(`"cached":false`), 1)
+	if !bytes.Equal(body1, norm) {
+		t.Fatalf("responses differ beyond the cached marker:\n%s\n%s", body1, body2)
+	}
+	if s := mgr.Stats(); s.Runs != 1 {
+		t.Fatalf("simulation must run exactly once, ran %d times", s.Runs)
+	}
+}
+
+// TestConcurrentSubmissionsRunOnce: many clients POST the same spec at
+// once; the work coalesces onto one run and everyone gets identical
+// result bytes.
+func TestConcurrentSubmissionsRunOnce(t *testing.T) {
+	ts, mgr := newTestServer(t, jobs.Options{Workers: 4})
+
+	const clients = 12
+	results := make([][]byte, clients)
+	errs := make([]error, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(ts.URL+"/v1/experiments?wait=true", "application/json", strings.NewReader(lineSpec))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer resp.Body.Close()
+			body, err := io.ReadAll(resp.Body)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			var st statusView
+			if err := json.Unmarshal(body, &st); err != nil {
+				errs[i] = fmt.Errorf("%w: %s", err, body)
+				return
+			}
+			if st.State != "done" {
+				errs[i] = fmt.Errorf("state %q", st.State)
+				return
+			}
+			results[i] = st.Result
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", i, err)
+		}
+	}
+	for i := 1; i < clients; i++ {
+		if !bytes.Equal(results[i], results[0]) {
+			t.Fatalf("client %d saw different result bytes", i)
+		}
+	}
+	if s := mgr.Stats(); s.Runs != 1 {
+		t.Fatalf("concurrent identical submissions must run once, ran %d times", s.Runs)
+	}
+}
+
+func TestAsyncSubmitAndPoll(t *testing.T) {
+	ts, _ := newTestServer(t, jobs.Options{})
+
+	code, body := post(t, ts, "/v1/experiments", lineSpec)
+	if code != http.StatusAccepted {
+		t.Fatalf("async POST should 202: %d %s", code, body)
+	}
+	var st statusView
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.State != "queued" && st.State != "running" {
+		t.Fatalf("async submission state: %+v", st)
+	}
+
+	code, body = get(t, ts, "/v1/experiments/"+st.ID+"?wait=true")
+	if code != http.StatusOK {
+		t.Fatalf("poll: %d %s", code, body)
+	}
+	var final statusView
+	if err := json.Unmarshal(body, &final); err != nil {
+		t.Fatal(err)
+	}
+	if final.State != "done" || len(final.Result) == 0 {
+		t.Fatalf("poll result: %+v", final)
+	}
+}
+
+func TestBatchSubmit(t *testing.T) {
+	ts, mgr := newTestServer(t, jobs.Options{})
+
+	batch := `{"experiments": [
+		{"spec": {"topology": {"name": "line", "size": 2}, "seed": 11, "horizon": {"seconds": 3}}},
+		{"spec": {"topology": {"name": "ring", "size": 3}, "seed": 12, "horizon": {"seconds": 3}}},
+		{"spec": {"topology": {"name": "moebius", "size": 3}}}
+	]}`
+	code, body := post(t, ts, "/v1/experiments?wait=true", batch)
+	if code != http.StatusOK {
+		t.Fatalf("batch POST: %d %s", code, body)
+	}
+	var out struct {
+		Jobs []statusView `json:"jobs"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Jobs) != 3 {
+		t.Fatalf("want 3 batch entries, got %d", len(out.Jobs))
+	}
+	if out.Jobs[0].State != "done" || out.Jobs[1].State != "done" {
+		t.Fatalf("valid batch entries should complete: %+v", out.Jobs[:2])
+	}
+	if out.Jobs[2].State != "failed" || !strings.Contains(out.Jobs[2].Error, "unknown topology") {
+		t.Fatalf("invalid batch entry should fail in place: %+v", out.Jobs[2])
+	}
+	if s := mgr.Stats(); s.Runs != 2 {
+		t.Fatalf("want 2 runs, got %+v", s)
+	}
+}
+
+func TestReplicatedSubmit(t *testing.T) {
+	ts, _ := newTestServer(t, jobs.Options{})
+
+	body := `{"spec": {"topology": {"name": "line", "size": 2}, "seed": 21, "horizon": {"seconds": 3}}, "replicate": 3}`
+	code, resp := post(t, ts, "/v1/experiments?wait=true", body)
+	if code != http.StatusOK {
+		t.Fatalf("replicated POST: %d %s", code, resp)
+	}
+	var st struct {
+		State  string `json:"state"`
+		Result struct {
+			Replicates struct {
+				N         int     `json:"n"`
+				Seeds     []int64 `json:"seeds"`
+				Aggregate struct {
+					LocalSkew struct {
+						N    int     `json:"n"`
+						Mean float64 `json:"mean"`
+					} `json:"localSkew"`
+				} `json:"aggregate"`
+			} `json:"replicates"`
+		} `json:"result"`
+	}
+	if err := json.Unmarshal(resp, &st); err != nil {
+		t.Fatal(err)
+	}
+	r := st.Result.Replicates
+	if st.State != "done" || r.N != 3 || len(r.Seeds) != 3 || r.Aggregate.LocalSkew.N != 3 {
+		t.Fatalf("replicated result wrong: %s", resp)
+	}
+	if r.Aggregate.LocalSkew.Mean <= 0 {
+		t.Fatalf("aggregate mean should be positive: %s", resp)
+	}
+}
+
+func TestRegistryAndHealth(t *testing.T) {
+	ts, _ := newTestServer(t, jobs.Options{})
+
+	code, body := get(t, ts, "/v1/registry")
+	if code != http.StatusOK {
+		t.Fatalf("registry: %d", code)
+	}
+	var reg struct {
+		Topologies []string `json:"topologies"`
+		Drifts     []string `json:"drifts"`
+		Delays     []string `json:"delays"`
+		Attacks    []string `json:"attacks"`
+		Presets    []string `json:"presets"`
+	}
+	if err := json.Unmarshal(body, &reg); err != nil {
+		t.Fatal(err)
+	}
+	has := func(xs []string, want string) bool {
+		for _, x := range xs {
+			if x == want {
+				return true
+			}
+		}
+		return false
+	}
+	if !has(reg.Topologies, "torus") || !has(reg.Drifts, "sine") || !has(reg.Delays, "uniform") || len(reg.Attacks) == 0 {
+		t.Fatalf("registry listing incomplete: %s", body)
+	}
+
+	code, body = get(t, ts, "/v1/healthz")
+	if code != http.StatusOK || !bytes.Contains(body, []byte(`"status":"ok"`)) {
+		t.Fatalf("healthz: %d %s", code, body)
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	ts, _ := newTestServer(t, jobs.Options{})
+
+	// Unknown registry name → 400 with the registry's error.
+	code, body := post(t, ts, "/v1/experiments", `{"spec": {"topology": {"name": "moebius", "size": 3}}}`)
+	if code != http.StatusBadRequest || !bytes.Contains(body, []byte("unknown topology")) {
+		t.Fatalf("unknown name: %d %s", code, body)
+	}
+	// Schema typo → 400 (unknown fields rejected).
+	code, body = post(t, ts, "/v1/experiments", `{"spec": {"topology": {"name": "line", "size": 3}, "sede": 1}}`)
+	if code != http.StatusBadRequest {
+		t.Fatalf("typo field: %d %s", code, body)
+	}
+	// Malformed JSON → 400.
+	code, _ = post(t, ts, "/v1/experiments", `{`)
+	if code != http.StatusBadRequest {
+		t.Fatalf("bad JSON: %d", code)
+	}
+	// Neither spec nor experiments → 400; so is an empty batch.
+	code, _ = post(t, ts, "/v1/experiments", `{}`)
+	if code != http.StatusBadRequest {
+		t.Fatalf("empty envelope: %d", code)
+	}
+	code, _ = post(t, ts, "/v1/experiments", `{"experiments":[]}`)
+	if code != http.StatusBadRequest {
+		t.Fatalf("empty batch: %d", code)
+	}
+	// Oversized topology → 400 via the spec resource bounds.
+	code, body = post(t, ts, "/v1/experiments", `{"spec": {"topology": {"name": "clique", "size": 1000000}}}`)
+	if code != http.StatusBadRequest || !bytes.Contains(body, []byte("exceeds limit")) {
+		t.Fatalf("oversized topology: %d %s", code, body)
+	}
+	// Unknown job → 404.
+	code, _ = get(t, ts, "/v1/experiments/sha256:deadbeef")
+	if code != http.StatusNotFound {
+		t.Fatalf("unknown id: %d", code)
+	}
+}

@@ -1,0 +1,215 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"ftgcs"
+	"ftgcs/internal/jobs"
+	"ftgcs/internal/spec"
+)
+
+// server wires the job manager and registry behind the JSON API.
+type server struct {
+	mgr *jobs.Manager
+	reg *ftgcs.Registry
+	// waitLimit bounds how long a ?wait=true request may block.
+	waitLimit time.Duration
+}
+
+// newHandler builds the route table.
+//
+//	POST /v1/experiments         submit one spec or a batch
+//	GET  /v1/experiments/{id}    poll a job by content-addressed ID
+//	GET  /v1/registry            enumerate registered names
+//	GET  /v1/healthz             liveness + manager stats
+func newHandler(s *server) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/experiments", s.handleSubmit)
+	mux.HandleFunc("GET /v1/experiments/{id}", s.handleGet)
+	mux.HandleFunc("GET /v1/registry", s.handleRegistry)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	return mux
+}
+
+// postBody is the POST /v1/experiments envelope: either a single spec
+// (with optional replication/series flags) or a batch under
+// "experiments". Unknown fields are rejected so schema typos fail loudly.
+type postBody struct {
+	Spec          *spec.ScenarioSpec `json:"spec,omitempty"`
+	Replicate     int                `json:"replicate,omitempty"`
+	IncludeSeries bool               `json:"includeSeries,omitempty"`
+	Experiments   []jobs.Request     `json:"experiments,omitempty"`
+}
+
+func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var body postBody
+	if err := dec.Decode(&body); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid request body: %w", err))
+		return
+	}
+	if (body.Spec == nil) == (len(body.Experiments) == 0) {
+		writeError(w, http.StatusBadRequest, errors.New(`provide exactly one of "spec" or a non-empty "experiments"`))
+		return
+	}
+	wait := boolParam(r, "wait")
+
+	if body.Spec != nil {
+		req := jobs.Request{Spec: *body.Spec, Replicate: body.Replicate, IncludeSeries: body.IncludeSeries}
+		st, err := s.submit(r.Context(), req, wait)
+		if err != nil {
+			writeError(w, submitCode(err), err)
+			return
+		}
+		writeJSON(w, statusCode(st), st)
+		return
+	}
+
+	// Submit the whole batch before waiting on any of it, so the jobs
+	// pipeline through the worker pool instead of running one at a time.
+	// Per-item failures are reported in place so one bad spec does not
+	// void the rest of the batch.
+	out := make([]jobs.JobStatus, len(body.Experiments))
+	for i, req := range body.Experiments {
+		st, err := s.mgr.Submit(req)
+		if err != nil {
+			st = jobs.JobStatus{State: jobs.StateFailed, Error: err.Error()}
+		}
+		out[i] = st
+	}
+	if wait {
+		for i := range out {
+			if out[i].ID == "" {
+				continue // submission failed; nothing to wait on
+			}
+			st, err := s.await(r.Context(), out[i])
+			if err != nil {
+				st = jobs.JobStatus{ID: out[i].ID, SpecHash: out[i].SpecHash, State: jobs.StateFailed, Error: err.Error()}
+			}
+			out[i] = st
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string][]jobs.JobStatus{"jobs": out})
+}
+
+// submit enqueues one request, optionally blocking for the result.
+func (s *server) submit(ctx context.Context, req jobs.Request, wait bool) (jobs.JobStatus, error) {
+	st, err := s.mgr.Submit(req)
+	if err != nil {
+		return jobs.JobStatus{}, err
+	}
+	if !wait {
+		return st, nil
+	}
+	return s.await(ctx, st)
+}
+
+// await blocks until a pending job completes. A timeout (or the client
+// going away) degrades to the current async snapshot; a result evicted
+// before it could be read is surfaced as a retryable error rather than a
+// stale pending state.
+func (s *server) await(ctx context.Context, st jobs.JobStatus) (jobs.JobStatus, error) {
+	if st.State == jobs.StateDone || st.State == jobs.StateFailed {
+		return st, nil
+	}
+	wctx, cancel := context.WithTimeout(ctx, s.waitLimit)
+	defer cancel()
+	final, err := s.mgr.Wait(wctx, st.ID)
+	if err == nil {
+		return final, nil
+	}
+	if wctx.Err() != nil {
+		if cur, ok := s.mgr.Get(st.ID); ok {
+			return cur, nil
+		}
+		return st, nil
+	}
+	return jobs.JobStatus{}, fmt.Errorf("experiment %s completed but its result was evicted; resubmit to recompute: %w", st.ID, err)
+}
+
+func (s *server) handleGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if boolParam(r, "wait") {
+		wctx, cancel := context.WithTimeout(r.Context(), s.waitLimit)
+		defer cancel()
+		if st, err := s.mgr.Wait(wctx, id); err == nil {
+			writeJSON(w, statusCode(st), st)
+			return
+		}
+		// Unknown job or timeout: fall through to the plain lookup.
+	}
+	st, ok := s.mgr.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown experiment %q (completed results are cached with bounded capacity; resubmit to recompute)", id))
+		return
+	}
+	writeJSON(w, statusCode(st), st)
+}
+
+func (s *server) handleRegistry(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"topologies": s.reg.TopologyNames(),
+		"drifts":     s.reg.DriftNames(),
+		"delays":     s.reg.DelayNames(),
+		"attacks":    s.reg.AttackNames(),
+		"presets":    []string{spec.DefaultPreset, "paper-strict"},
+	})
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": "ok",
+		"stats":  s.mgr.Stats(),
+	})
+}
+
+// statusCode maps a job snapshot to its HTTP status: completed work is
+// 200, accepted-but-pending work is 202.
+func statusCode(st jobs.JobStatus) int {
+	switch st.State {
+	case jobs.StateDone, jobs.StateFailed:
+		return http.StatusOK
+	default:
+		return http.StatusAccepted
+	}
+}
+
+// submitCode maps submission errors: a full queue is back-pressure (503),
+// everything else is a bad request.
+func submitCode(err error) int {
+	switch {
+	case errors.Is(err, jobs.ErrQueueFull),
+		errors.Is(err, jobs.ErrClosed),
+		errors.Is(err, jobs.ErrEvicted):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func boolParam(r *http.Request, name string) bool {
+	v := strings.ToLower(r.URL.Query().Get(name))
+	return v == "1" || v == "true" || v == "yes"
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, `{"error":"encoding failure"}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(append(b, '\n'))
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

@@ -11,7 +11,12 @@
 //	ftgcs-sim -topology ring -size 8 -k 1 -f 0 -attack cadence -attack-count 1
 //	ftgcs-sim -topology torus -size 3 -delay burst -drift sine
 //	ftgcs-sim -topology line -size 5 -seeds 8      # parallel seed sweep
+//	ftgcs-sim -spec examples/specs/line-quickstart.json
 //	ftgcs-sim -list                                # registered names
+//
+// With -spec, the scenario comes from a declarative JSON spec file — the
+// same codec the ftgcs-serve experiment service accepts, so a spec
+// developed locally submits to the service unchanged.
 package main
 
 import (
@@ -21,6 +26,7 @@ import (
 	"strings"
 
 	"ftgcs"
+	"ftgcs/internal/spec"
 )
 
 func main() {
@@ -51,6 +57,8 @@ func run(args []string) error {
 	seeds := fs.Int("seeds", 1, "run this many seeds (seed, seed+1, …) as a parallel sweep")
 	workers := fs.Int("workers", 0, "sweep worker pool size (0 = GOMAXPROCS)")
 	csvPath := fs.String("csv", "", "write the skew time series to this CSV file (single-seed runs)")
+	jsonPath := fs.String("json", "", "write the skew time series to this JSON file (single-seed runs)")
+	specPath := fs.String("spec", "", "run the scenario described by this JSON spec file (see internal/spec; other scenario flags are ignored)")
 	list := fs.Bool("list", false, "list registered topologies, drift/delay models and attacks, then exit")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -61,6 +69,9 @@ func run(args []string) error {
 		fmt.Println("delay models:" + " " + strings.Join(reg.DelayNames(), ", "))
 		fmt.Println("attacks:     " + strings.Join(reg.AttackNames(), ", "))
 		return nil
+	}
+	if *specPath != "" {
+		return runSpecFile(*specPath, *csvPath, *jsonPath)
 	}
 
 	// Resolve the topology once, up front: a -seeds sweep must compare the
@@ -109,19 +120,72 @@ func run(args []string) error {
 		return err
 	}
 	fmt.Println(sys.Report())
+	return exportSeries(sys, *csvPath, *jsonPath)
+}
 
-	if *csvPath != "" {
-		f, err := os.Create(*csvPath)
+// runSpecFile runs one declarative spec file — the same codec the
+// ftgcs-serve experiment service accepts.
+func runSpecFile(path, csvPath, jsonPath string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	sp, err := spec.Parse(data)
+	if err != nil {
+		return err
+	}
+	hash, err := sp.Hash()
+	if err != nil {
+		return err
+	}
+	sc, err := sp.Compile(ftgcs.DefaultRegistry)
+	if err != nil {
+		return err
+	}
+	sys, err := sc.Build()
+	if err != nil {
+		return err
+	}
+	p := sys.Params()
+	fmt.Printf("spec %s\ncontent hash %s\n", path, hash)
+	fmt.Printf("%s: %d clusters (%d nodes), diameter %d\n",
+		sc.Name(), sys.Clusters(), sys.Nodes(), sys.Diameter())
+	fmt.Printf("parameters: T=%.3gs τ=(%.3g, %.3g, %.3g) E=%.3gs κ=%.3gs µ=%.3g ϕ=%.3g\n\n",
+		p.T, p.Tau1, p.Tau2, p.Tau3, p.EG, p.Kappa, p.Mu, p.Phi)
+	if err := sys.Run(sc.Horizon(p)); err != nil {
+		return err
+	}
+	fmt.Println(sys.Report())
+	return exportSeries(sys, csvPath, jsonPath)
+}
+
+// exportSeries writes the recorded skew series wherever -csv/-json asked.
+func exportSeries(sys *ftgcs.System, csvPath, jsonPath string) error {
+	names := []string{
+		ftgcs.SeriesIntraSkew, ftgcs.SeriesLocalCluster,
+		ftgcs.SeriesLocalNode, ftgcs.SeriesGlobal,
+	}
+	write := func(path string, export func(f *os.File) error) error {
+		f, err := os.Create(path)
 		if err != nil {
 			return err
 		}
 		defer f.Close()
-		if err := sys.WriteCSV(f,
-			ftgcs.SeriesIntraSkew, ftgcs.SeriesLocalCluster,
-			ftgcs.SeriesLocalNode, ftgcs.SeriesGlobal); err != nil {
+		if err := export(f); err != nil {
 			return err
 		}
-		fmt.Printf("skew series written to %s\n", *csvPath)
+		fmt.Printf("skew series written to %s\n", path)
+		return nil
+	}
+	if csvPath != "" {
+		if err := write(csvPath, func(f *os.File) error { return sys.WriteCSV(f, names...) }); err != nil {
+			return err
+		}
+	}
+	if jsonPath != "" {
+		if err := write(jsonPath, func(f *os.File) error { return sys.WriteJSON(f, names...) }); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -1,6 +1,11 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
 
 func TestRunScenarios(t *testing.T) {
 	if testing.Short() {
@@ -43,5 +48,51 @@ func TestRunErrors(t *testing.T) {
 		if err := run(args); err == nil {
 			t.Errorf("run(%v): expected error", args)
 		}
+	}
+}
+
+// TestRunSpecFiles runs every committed example spec through the -spec
+// path, exercising the same codec the experiment service uses.
+func TestRunSpecFiles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI scenarios run full simulations")
+	}
+	specs, err := filepath.Glob("../../examples/specs/*.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) < 2 {
+		t.Fatalf("want ≥ 2 committed example specs, found %v", specs)
+	}
+	for _, path := range specs {
+		jsonOut := filepath.Join(t.TempDir(), "series.json")
+		if err := run([]string{"-spec", path, "-json", jsonOut}); err != nil {
+			t.Errorf("run(-spec %s): %v", path, err)
+			continue
+		}
+		if data, err := os.ReadFile(jsonOut); err != nil || !strings.Contains(string(data), `"series"`) {
+			t.Errorf("spec %s: JSON series export missing or malformed (%v)", path, err)
+		}
+	}
+}
+
+func TestRunSpecErrors(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"topology": {"name": "moebius", "size": 3}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-spec", bad}); err == nil || !strings.Contains(err.Error(), "unknown topology") {
+		t.Errorf("bad spec: want unknown-topology error, got %v", err)
+	}
+	if err := run([]string{"-spec", filepath.Join(dir, "missing.json")}); err == nil {
+		t.Error("missing spec file should error")
+	}
+	typo := filepath.Join(dir, "typo.json")
+	if err := os.WriteFile(typo, []byte(`{"topology": {"name": "line", "size": 3}, "sede": 1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-spec", typo}); err == nil || !strings.Contains(err.Error(), "sede") {
+		t.Errorf("typo field: want unknown-field error, got %v", err)
 	}
 }

@@ -139,7 +139,11 @@ type Config struct {
 
 // System is a runnable FTGCS simulation.
 type System struct {
+	// sys is the standard core system, nil when a custom Backend
+	// (WithBackend) drives the run; core-specific accessors are then
+	// inert.
 	sys *core.System
+	b   Backend
 	p   params.Params
 }
 
@@ -159,39 +163,74 @@ func (s *System) Params() Params { return s.p }
 
 // Run advances simulated time to the given horizon (seconds). It may be
 // called repeatedly with increasing horizons.
-func (s *System) Run(until float64) error { return s.sys.Run(until) }
+func (s *System) Run(until float64) error { return s.b.Run(until) }
 
 // Now returns the current simulated time.
-func (s *System) Now() float64 { return s.sys.Engine().Now() }
+func (s *System) Now() float64 { return s.b.Now() }
 
-// Logical returns node v's logical clock L_v at the current time.
-func (s *System) Logical(v int) float64 { return s.sys.Logical(v) }
+// Logical returns node v's logical clock L_v at the current time (NaN for
+// custom-backend systems).
+func (s *System) Logical(v int) float64 {
+	if s.sys == nil {
+		return math.NaN()
+	}
+	return s.sys.Logical(v)
+}
 
 // ClusterClock returns cluster c's clock L_C = (L⁺+L⁻)/2 over its correct
-// members (Definition 3.3).
-func (s *System) ClusterClock(c int) float64 { return s.sys.ClusterClock(c) }
+// members (Definition 3.3); NaN for custom-backend systems.
+func (s *System) ClusterClock(c int) float64 {
+	if s.sys == nil {
+		return math.NaN()
+	}
+	return s.sys.ClusterClock(c)
+}
 
 // Estimate returns node v's estimate L̃_vB of neighboring cluster b's
-// clock (NaN if b is not adjacent to v's cluster).
-func (s *System) Estimate(v, b int) float64 { return s.sys.Estimate(v, b) }
+// clock (NaN if b is not adjacent to v's cluster, or for custom-backend
+// systems).
+func (s *System) Estimate(v, b int) float64 {
+	if s.sys == nil {
+		return math.NaN()
+	}
+	return s.sys.Estimate(v, b)
+}
 
-// Nodes returns the number of physical nodes (|𝒞|·k).
-func (s *System) Nodes() int { return s.sys.Aug().Net.N() }
+// Nodes returns the number of physical nodes (|𝒞|·k); 0 for
+// custom-backend systems.
+func (s *System) Nodes() int {
+	if s.sys == nil {
+		return 0
+	}
+	return s.sys.Aug().Net.N()
+}
 
-// Clusters returns the number of clusters |𝒞|.
-func (s *System) Clusters() int { return s.sys.Aug().Clusters() }
+// Clusters returns the number of clusters |𝒞|; 0 for custom-backend
+// systems.
+func (s *System) Clusters() int {
+	if s.sys == nil {
+		return 0
+	}
+	return s.sys.Aug().Clusters()
+}
 
 // Diameter returns the hop diameter of the base graph.
-func (s *System) Diameter() int { return s.sys.Aug().Base.Diameter() }
+func (s *System) Diameter() int { return s.b.Diameter() }
 
 // Series exposes a recorded metric time series (see the core package's
 // Series* constants re-exported below), or nil.
-func (s *System) Series(name string) *metrics.Series { return s.sys.Recorder().Series(name) }
+func (s *System) Series(name string) *metrics.Series { return s.b.Recorder().Series(name) }
 
 // WriteCSV exports the recorded metric series (all by default) as CSV for
 // plotting; one row per sample time, one column per series.
 func (s *System) WriteCSV(w io.Writer, names ...string) error {
-	return s.sys.Recorder().WriteCSV(w, names...)
+	return s.b.Recorder().WriteCSV(w, names...)
+}
+
+// WriteJSON exports the recorded metric series (all by default) as a JSON
+// document; lossless sibling of WriteCSV.
+func (s *System) WriteJSON(w io.Writer, names ...string) error {
+	return s.b.Recorder().WriteJSON(w, names...)
 }
 
 // Summary condenses a finished run: maxima of every recorded skew series
@@ -200,16 +239,24 @@ type Summary = core.Summary
 
 // Summary computes the run summary, excluding samples before warmup
 // (pass 0 to include everything).
-func (s *System) Summary(warmup float64) Summary { return s.sys.Summarize(warmup) }
+func (s *System) Summary(warmup float64) Summary { return s.b.Summarize(warmup) }
 
 // PulseDiameters returns ‖p(r)‖ for cluster c indexed by round, for rounds
 // where every correct member pulsed (see the pulse-diameter convergence
-// experiment).
-func (s *System) PulseDiameters(c ClusterID) map[int]float64 { return s.sys.PulseDiameters(c) }
+// experiment); nil for custom-backend systems.
+func (s *System) PulseDiameters(c ClusterID) map[int]float64 {
+	if s.sys == nil {
+		return nil
+	}
+	return s.sys.PulseDiameters(c)
+}
 
 // RoundTrace returns node v's recorded round boundaries (times, logical
 // values, modes). Empty unless the scenario enabled WithRoundTracking.
 func (s *System) RoundTrace(v NodeID) (times, values []float64, modes []int8) {
+	if s.sys == nil {
+		return nil, nil, nil
+	}
 	return s.sys.RoundTrace(v)
 }
 
@@ -217,6 +264,9 @@ func (s *System) RoundTrace(v NodeID) (times, values []float64, modes []int8) {
 // at the current simulation time — a transient fault outside the
 // algorithm's fault model (see the self-stabilization ablation).
 func (s *System) InjectClockFault(v NodeID, delta float64) error {
+	if s.sys == nil {
+		return fmt.Errorf("ftgcs: InjectClockFault is not supported on custom-backend systems")
+	}
 	return s.sys.InjectClockFault(v, delta)
 }
 
@@ -275,7 +325,7 @@ func (r Report) String() string {
 // Report computes the run summary, excluding the first 10% as warmup.
 func (s *System) Report() Report {
 	warmup := s.Now() / 10
-	sum := s.sys.Summarize(warmup)
+	sum := s.b.Summarize(warmup)
 	d := s.Diameter()
 	clean := func(v float64) float64 {
 		if math.IsInf(v, -1) {

@@ -384,6 +384,36 @@ func (s *System) Recorder() *metrics.Recorder { return s.rec }
 // Engine returns the simulation engine.
 func (s *System) Engine() *sim.Engine { return s.eng }
 
+// Now returns the current simulated time.
+func (s *System) Now() float64 { return s.eng.Now() }
+
+// Diameter returns the hop diameter of the base graph.
+func (s *System) Diameter() int { return s.cfg.Base.Diameter() }
+
+// Summarize condenses the run exactly like core.System.Summarize: maxima
+// of every recorded skew series after the warmup prefix (−Inf for series
+// TreeSync does not record, e.g. node-level local skew). Together with
+// Now and Diameter this makes *System a ftgcs.Backend, so the E9 baseline
+// arms run through the standard Scenario/Sweep machinery.
+func (s *System) Summarize(warmup float64) core.Summary {
+	get := func(name string) float64 {
+		if ser := s.rec.Series(name); ser != nil {
+			return ser.MaxAfter(warmup)
+		}
+		return math.Inf(-1)
+	}
+	return core.Summary{
+		Horizon:          s.eng.Now(),
+		MaxIntraSkew:     get(core.SeriesIntraSkew),
+		MaxLocalCluster:  get(core.SeriesLocalCluster),
+		MaxLocalNode:     get(core.SeriesLocalNode),
+		MaxGlobal:        get(core.SeriesGlobal),
+		MaxMaxEstLag:     get(core.SeriesMaxEstLag),
+		MaxEstViolations: get(core.SeriesMaxEstViolations),
+		Events:           s.eng.Processed(),
+	}
+}
+
 // MaxLocalClusterSkew returns the peak cluster-level local skew after
 // warmup.
 func (s *System) MaxLocalClusterSkew(warmup float64) float64 {

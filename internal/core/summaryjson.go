@@ -1,0 +1,73 @@
+package core
+
+import (
+	"encoding/json"
+	"math"
+	"strconv"
+
+	"ftgcs/internal/metrics"
+)
+
+// MarshalJSON renders the summary with fixed key order and canonical float
+// encoding (metrics.AppendJSONFloat), so identical summaries always
+// marshal to identical bytes — the experiment service's cache-hit
+// guarantee depends on this. Maxima of series that were never recorded
+// are −Inf, which JSON cannot represent; they encode as null.
+func (s Summary) MarshalJSON() ([]byte, error) {
+	b := make([]byte, 0, 256)
+	b = append(b, `{"horizon":`...)
+	b = metrics.AppendJSONFloat(b, s.Horizon)
+	b = append(b, `,"maxIntraSkew":`...)
+	b = metrics.AppendJSONFloat(b, s.MaxIntraSkew)
+	b = append(b, `,"maxLocalCluster":`...)
+	b = metrics.AppendJSONFloat(b, s.MaxLocalCluster)
+	b = append(b, `,"maxLocalNode":`...)
+	b = metrics.AppendJSONFloat(b, s.MaxLocalNode)
+	b = append(b, `,"maxGlobal":`...)
+	b = metrics.AppendJSONFloat(b, s.MaxGlobal)
+	b = append(b, `,"maxMaxEstLag":`...)
+	b = metrics.AppendJSONFloat(b, s.MaxMaxEstLag)
+	b = append(b, `,"maxEstViolations":`...)
+	b = metrics.AppendJSONFloat(b, s.MaxEstViolations)
+	b = append(b, `,"events":`...)
+	b = strconv.AppendUint(b, s.Events, 10)
+	b = append(b, '}')
+	return b, nil
+}
+
+// UnmarshalJSON is the inverse of MarshalJSON. A null maximum decodes to
+// −Inf — the value Summarize reports for a series with no samples — so a
+// summary round-trips to a semantically equal value.
+func (s *Summary) UnmarshalJSON(data []byte) error {
+	var aux struct {
+		Horizon          *float64 `json:"horizon"`
+		MaxIntraSkew     *float64 `json:"maxIntraSkew"`
+		MaxLocalCluster  *float64 `json:"maxLocalCluster"`
+		MaxLocalNode     *float64 `json:"maxLocalNode"`
+		MaxGlobal        *float64 `json:"maxGlobal"`
+		MaxMaxEstLag     *float64 `json:"maxMaxEstLag"`
+		MaxEstViolations *float64 `json:"maxEstViolations"`
+		Events           uint64   `json:"events"`
+	}
+	if err := json.Unmarshal(data, &aux); err != nil {
+		return err
+	}
+	get := func(p *float64) float64 {
+		if p == nil {
+			return math.Inf(-1)
+		}
+		return *p
+	}
+	s.Horizon = 0
+	if aux.Horizon != nil {
+		s.Horizon = *aux.Horizon
+	}
+	s.MaxIntraSkew = get(aux.MaxIntraSkew)
+	s.MaxLocalCluster = get(aux.MaxLocalCluster)
+	s.MaxLocalNode = get(aux.MaxLocalNode)
+	s.MaxGlobal = get(aux.MaxGlobal)
+	s.MaxMaxEstLag = get(aux.MaxMaxEstLag)
+	s.MaxEstViolations = get(aux.MaxEstViolations)
+	s.Events = aux.Events
+	return nil
+}

@@ -1,0 +1,573 @@
+// Package jobs is the experiment service's content-addressed job and
+// cache manager. It runs declarative scenario specs (internal/spec)
+// through the ftgcs.Sweep worker pool on a bounded queue, and exploits
+// the simulator's determinism — same spec + seed ⇒ byte-identical result
+// — to never do the same work twice:
+//
+//   - every request is identified by the SHA-256 content hash of its
+//     canonical encoding, so the job ID *is* the work's identity;
+//   - concurrent identical submissions coalesce onto one in-flight run;
+//   - completed results live in an LRU cache and are served back as
+//     cache hits with byte-identical payloads;
+//   - a replication mode fans one spec across N consecutive seeds and
+//     aggregates Welford mean/std/CI95 summaries.
+package jobs
+
+import (
+	"container/list"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"ftgcs"
+	"ftgcs/internal/metrics"
+	"ftgcs/internal/spec"
+)
+
+// MaxReplicate bounds the replication fan-out of a single request.
+const MaxReplicate = 4096
+
+// Request is one unit of submittable work: a spec, optionally fanned out
+// across consecutive seeds.
+type Request struct {
+	Spec spec.ScenarioSpec `json:"spec"`
+	// Replicate ≥ 2 runs the spec at seeds Seed, Seed+1, …, Seed+N−1 and
+	// aggregates; 0 and 1 both mean a single run.
+	Replicate int `json:"replicate,omitempty"`
+	// IncludeSeries attaches the recorded skew time series to the result
+	// (single runs only; ignored when replicating).
+	IncludeSeries bool `json:"includeSeries,omitempty"`
+}
+
+// normalized canonicalizes the request so that equivalent requests hash
+// identically: the spec is normalized, replicate 0 collapses to 1, and
+// the series flag is dropped where it has no effect.
+func (r Request) normalized() Request {
+	r.Spec = r.Spec.Normalize()
+	if r.Replicate < 1 {
+		r.Replicate = 1
+	}
+	if r.Replicate > 1 {
+		r.IncludeSeries = false
+	}
+	return r
+}
+
+// ID returns the request's content hash — the job ID. Requests that mean
+// the same work (same canonical spec, same replication, same series
+// flag) get the same ID regardless of JSON spelling.
+func (r Request) ID() (string, error) {
+	n := r.normalized()
+	c, err := n.Spec.Canonical()
+	if err != nil {
+		return "", err
+	}
+	h := sha256.New()
+	h.Write(c)
+	fmt.Fprintf(h, "|replicate=%d|series=%t", n.Replicate, n.IncludeSeries)
+	return "sha256:" + hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// State is a job's lifecycle position.
+type State string
+
+const (
+	StateQueued  State = "queued"
+	StateRunning State = "running"
+	StateDone    State = "done"
+	StateFailed  State = "failed"
+)
+
+// Stat is a Welford mean/std aggregate with a 95% normal confidence
+// half-width. Std and CI95 are NaN (JSON null) below 2 samples.
+type Stat struct {
+	N    int
+	Mean float64
+	Std  float64
+	CI95 float64
+}
+
+// MarshalJSON uses the canonical float encoding (non-finite → null) with
+// fixed key order, keeping aggregate payloads byte-stable.
+func (s Stat) MarshalJSON() ([]byte, error) {
+	b := make([]byte, 0, 96)
+	b = append(b, `{"n":`...)
+	b = fmt.Appendf(b, "%d", s.N)
+	b = append(b, `,"mean":`...)
+	b = metrics.AppendJSONFloat(b, s.Mean)
+	b = append(b, `,"std":`...)
+	b = metrics.AppendJSONFloat(b, s.Std)
+	b = append(b, `,"ci95":`...)
+	b = metrics.AppendJSONFloat(b, s.CI95)
+	b = append(b, '}')
+	return b, nil
+}
+
+// newStat converts a Welford accumulator into a Stat.
+func newStat(w *metrics.Welford) Stat {
+	std := w.Std()
+	ci := 1.96 * std / math.Sqrt(float64(w.N()))
+	return Stat{N: w.N(), Mean: w.Mean(), Std: std, CI95: ci}
+}
+
+// Aggregate summarizes the replicated runs' headline maxima.
+type Aggregate struct {
+	IntraClusterSkew Stat `json:"intraClusterSkew"`
+	LocalSkew        Stat `json:"localSkew"`
+	GlobalSkew       Stat `json:"globalSkew"`
+}
+
+// Replicates carries the per-seed reports and their aggregate.
+type Replicates struct {
+	N         int            `json:"n"`
+	Seeds     []int64        `json:"seeds"`
+	Reports   []ftgcs.Report `json:"reports"`
+	Aggregate Aggregate      `json:"aggregate"`
+}
+
+// Result is a completed experiment's payload. For replicated requests the
+// top-level report/summary are the base seed's run and Replicates holds
+// the fan-out. Marshalling a Result is deterministic (every component
+// uses canonical encoders), which is what makes "cache hit ⇒
+// byte-identical response" a guarantee rather than an accident.
+type Result struct {
+	SpecHash   string            `json:"specHash"`
+	Name       string            `json:"name,omitempty"`
+	Report     ftgcs.Report      `json:"report"`
+	Summary    ftgcs.Summary     `json:"summary"`
+	Series     []*metrics.Series `json:"series,omitempty"`
+	Replicates *Replicates       `json:"replicates,omitempty"`
+}
+
+// job is the internal lifecycle record.
+type job struct {
+	id       string
+	specHash string
+	req      Request // normalized
+	done     chan struct{}
+
+	// Guarded by the manager's mutex.
+	state  State
+	result *Result
+	err    error
+}
+
+// JobStatus is an external snapshot of a job, shaped for the HTTP API.
+type JobStatus struct {
+	ID       string `json:"id"`
+	SpecHash string `json:"specHash"`
+	State    State  `json:"state"`
+	// Cached is true when this response was served from the result cache
+	// (the work was NOT re-run).
+	Cached bool `json:"cached"`
+	// Coalesced is true when the submission attached to an identical
+	// in-flight job instead of enqueuing new work.
+	Coalesced bool    `json:"coalesced,omitempty"`
+	Result    *Result `json:"result,omitempty"`
+	Error     string  `json:"error,omitempty"`
+}
+
+// Stats are the manager's cumulative counters plus instantaneous gauges.
+type Stats struct {
+	Submitted uint64 `json:"submitted"` // new jobs accepted onto the queue
+	Completed uint64 `json:"completed"`
+	Failed    uint64 `json:"failed"`
+	Runs      uint64 `json:"runs"` // simulations actually executed
+	CacheHits uint64 `json:"cacheHits"`
+	Coalesced uint64 `json:"coalesced"`
+	Evicted   uint64 `json:"evicted"`
+	Queued    int    `json:"queued"`
+	Running   int    `json:"running"`
+	CacheLen  int    `json:"cacheLen"`
+}
+
+// Options configures a Manager.
+type Options struct {
+	// Registry resolves spec names; nil means ftgcs.DefaultRegistry.
+	Registry *ftgcs.Registry
+	// Workers is the number of job-executing goroutines (≤0: 2).
+	Workers int
+	// QueueDepth bounds the pending-job queue (≤0: 64). A full queue
+	// rejects submissions with ErrQueueFull instead of blocking.
+	QueueDepth int
+	// CacheSize bounds the completed-result LRU (≤0: 128 entries).
+	CacheSize int
+	// SweepWorkers bounds each job's internal ftgcs.Sweep pool
+	// (≤0: GOMAXPROCS). Only replicated jobs fan out.
+	SweepWorkers int
+}
+
+// ErrQueueFull is returned by Submit when the bounded queue is at
+// capacity; clients should retry later (HTTP 503).
+var ErrQueueFull = fmt.Errorf("jobs: queue full")
+
+// ErrClosed is returned by Submit after Close.
+var ErrClosed = fmt.Errorf("jobs: manager closed")
+
+// ErrEvicted is returned by Wait when the job completed but its result
+// was evicted from the cache before the waiter could read it (possible
+// only under heavy churn with a small cache). Resubmitting recomputes.
+var ErrEvicted = fmt.Errorf("jobs: result evicted before it could be read")
+
+// Manager owns the queue, the workers, the in-flight dedup index and the
+// result cache. All methods are safe for concurrent use.
+type Manager struct {
+	reg          *ftgcs.Registry
+	sweepWorkers int
+	queue        chan *job
+	quit         chan struct{}
+	wg           sync.WaitGroup
+
+	mu      sync.Mutex
+	active  map[string]*job // queued or running
+	cache   *lruCache       // completed (done or failed: failures are deterministic too)
+	stats   Stats
+	running int
+	closed  bool
+
+	// testHookBeforeRun, when set, runs in each worker before a job
+	// executes — tests use it to hold workers and fill the queue.
+	testHookBeforeRun func()
+}
+
+// NewManager starts the workers and returns the manager.
+func NewManager(o Options) *Manager {
+	if o.Registry == nil {
+		o.Registry = ftgcs.DefaultRegistry
+	}
+	if o.Workers <= 0 {
+		o.Workers = 2
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 64
+	}
+	if o.CacheSize <= 0 {
+		o.CacheSize = 128
+	}
+	if o.SweepWorkers <= 0 {
+		o.SweepWorkers = runtime.GOMAXPROCS(0)
+	}
+	m := &Manager{
+		reg:          o.Registry,
+		sweepWorkers: o.SweepWorkers,
+		queue:        make(chan *job, o.QueueDepth),
+		quit:         make(chan struct{}),
+		active:       make(map[string]*job),
+		cache:        newLRUCache(o.CacheSize),
+	}
+	for i := 0; i < o.Workers; i++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return m
+}
+
+// Submit validates, dedupes and enqueues a request. The returned status
+// reflects the submission outcome: a cache hit carries the full result
+// immediately (Cached), an identical in-flight job is joined (Coalesced),
+// otherwise a new job is queued. Validation errors and a full queue are
+// reported synchronously and never create a job.
+func (m *Manager) Submit(req Request) (JobStatus, error) {
+	req = req.normalized()
+	if req.Replicate > MaxReplicate {
+		return JobStatus{}, fmt.Errorf("jobs: replicate %d exceeds limit %d", req.Replicate, MaxReplicate)
+	}
+	if err := req.Spec.Validate(m.reg); err != nil {
+		return JobStatus{}, err
+	}
+	id, err := req.ID()
+	if err != nil {
+		return JobStatus{}, err
+	}
+	specHash, err := req.Spec.Hash()
+	if err != nil {
+		return JobStatus{}, err
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return JobStatus{}, ErrClosed
+	}
+	if j, ok := m.active[id]; ok {
+		m.stats.Coalesced++
+		st := m.snapshot(j, false)
+		st.Coalesced = true
+		return st, nil
+	}
+	if j, ok := m.cache.get(id); ok {
+		m.stats.CacheHits++
+		return m.snapshot(j, true), nil
+	}
+	j := &job{id: id, specHash: specHash, req: req, state: StateQueued, done: make(chan struct{})}
+	select {
+	case m.queue <- j:
+	default:
+		return JobStatus{}, ErrQueueFull
+	}
+	m.active[id] = j
+	m.stats.Submitted++
+	return m.snapshot(j, false), nil
+}
+
+// Get returns a snapshot of the job with the given ID, looking through
+// both the in-flight index and the result cache (a cache lookup counts as
+// a hit and refreshes recency).
+func (m *Manager) Get(id string) (JobStatus, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if j, ok := m.active[id]; ok {
+		return m.snapshot(j, false), true
+	}
+	if j, ok := m.cache.get(id); ok {
+		m.stats.CacheHits++
+		return m.snapshot(j, true), true
+	}
+	return JobStatus{}, false
+}
+
+// Wait blocks until the job completes (or ctx is done) and returns its
+// final snapshot. Unknown IDs — including results evicted from the cache
+// — return an error; resubmit to recompute.
+func (m *Manager) Wait(ctx context.Context, id string) (JobStatus, error) {
+	m.mu.Lock()
+	j, inflight := m.active[id]
+	if !inflight {
+		cached, ok := m.cache.get(id)
+		if ok {
+			m.stats.CacheHits++
+			st := m.snapshot(cached, true)
+			m.mu.Unlock()
+			return st, nil
+		}
+		m.mu.Unlock()
+		return JobStatus{}, fmt.Errorf("jobs: unknown job %s", id)
+	}
+	done := j.done
+	m.mu.Unlock()
+
+	select {
+	case <-done:
+	case <-ctx.Done():
+		return JobStatus{}, ctx.Err()
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	// The job just finished; it is in the cache unless a flood of newer
+	// results already evicted it.
+	if cached, ok := m.cache.get(id); ok {
+		return m.snapshot(cached, false), nil
+	}
+	return JobStatus{}, fmt.Errorf("jobs: job %s: %w", id, ErrEvicted)
+}
+
+// Stats returns a copy of the counters plus current gauges.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := m.stats
+	st.Queued = len(m.queue)
+	st.Running = m.running
+	st.CacheLen = m.cache.len()
+	return st
+}
+
+// Close stops the workers (finishing their current jobs), fails whatever
+// is still queued, and rejects further submissions.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return
+	}
+	m.closed = true
+	m.mu.Unlock()
+	close(m.quit)
+	m.wg.Wait()
+	for {
+		select {
+		case j := <-m.queue:
+			m.finish(j, nil, ErrClosed)
+		default:
+			return
+		}
+	}
+}
+
+// snapshot builds an external view; callers hold m.mu.
+func (m *Manager) snapshot(j *job, cached bool) JobStatus {
+	st := JobStatus{ID: j.id, SpecHash: j.specHash, State: j.state, Cached: cached, Result: j.result}
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	return st
+}
+
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for {
+		select {
+		case <-m.quit:
+			return
+		case j := <-m.queue:
+			if m.testHookBeforeRun != nil {
+				m.testHookBeforeRun()
+			}
+			m.mu.Lock()
+			j.state = StateRunning
+			m.running++
+			m.stats.Runs++
+			m.mu.Unlock()
+			res, err := m.execute(j)
+			m.finish(j, res, err)
+		}
+	}
+}
+
+// finish records the outcome, moves the job from the in-flight index to
+// the result cache, and wakes waiters.
+func (m *Manager) finish(j *job, res *Result, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if j.state == StateRunning {
+		m.running--
+	}
+	if err != nil {
+		j.state = StateFailed
+		j.err = err
+		m.stats.Failed++
+	} else {
+		j.state = StateDone
+		j.result = res
+		m.stats.Completed++
+	}
+	delete(m.active, j.id)
+	m.stats.Evicted += uint64(m.cache.add(j.id, j))
+	close(j.done)
+}
+
+// execute compiles and runs the request's scenarios through ftgcs.Sweep.
+// Everything here is deterministic in the request, so two executions of
+// the same request produce identical Results.
+func (m *Manager) execute(j *job) (*Result, error) {
+	n := j.req.Replicate
+	scenarios := make([]*ftgcs.Scenario, n)
+	seeds := make([]int64, n)
+	for i := range scenarios {
+		s := j.req.Spec.WithSeed(j.req.Spec.Seed + int64(i))
+		seeds[i] = s.Seed
+		sc, err := s.Compile(m.reg)
+		if err != nil {
+			return nil, err
+		}
+		if j.req.IncludeSeries {
+			sc = sc.With(ftgcs.WithObserver(captureSeries))
+		}
+		scenarios[i] = sc
+	}
+	results := ftgcs.Sweep{Workers: m.sweepWorkers}.Run(scenarios)
+	for _, r := range results {
+		if r.Err != nil {
+			return nil, fmt.Errorf("jobs: seed %d: %w", seeds[r.Index], r.Err)
+		}
+	}
+
+	res := &Result{
+		SpecHash: j.specHash,
+		Name:     results[0].Name,
+		Report:   results[0].Report,
+		Summary:  results[0].Summary,
+	}
+	if series, ok := results[0].Value.([]*metrics.Series); ok {
+		res.Series = series
+	}
+	if n > 1 {
+		var intra, local, global metrics.Welford
+		reports := make([]ftgcs.Report, n)
+		for i, r := range results {
+			reports[i] = r.Report
+			intra.Add(r.Report.MaxIntraClusterSkew)
+			local.Add(r.Report.MaxLocalSkew)
+			global.Add(r.Report.MaxGlobalSkew)
+		}
+		res.Replicates = &Replicates{
+			N:       n,
+			Seeds:   seeds,
+			Reports: reports,
+			Aggregate: Aggregate{
+				IntraClusterSkew: newStat(&intra),
+				LocalSkew:        newStat(&local),
+				GlobalSkew:       newStat(&global),
+			},
+		}
+	}
+	return res, nil
+}
+
+// captureSeries is the observer that snapshots the standard skew series
+// for IncludeSeries requests, in a fixed order for byte-stable payloads.
+func captureSeries(sys *ftgcs.System) (any, error) {
+	names := []string{
+		ftgcs.SeriesIntraSkew,
+		ftgcs.SeriesLocalCluster,
+		ftgcs.SeriesLocalNode,
+		ftgcs.SeriesGlobal,
+		ftgcs.SeriesFastFraction,
+	}
+	out := make([]*metrics.Series, 0, len(names))
+	for _, name := range names {
+		if s := sys.Series(name); s != nil {
+			out = append(out, s)
+		}
+	}
+	return out, nil
+}
+
+// lruCache is a size-bounded most-recently-used cache of completed jobs.
+type lruCache struct {
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type lruEntry struct {
+	id  string
+	job *job
+}
+
+func newLRUCache(cap int) *lruCache {
+	return &lruCache{cap: cap, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+func (c *lruCache) get(id string) (*job, bool) {
+	e, ok := c.items[id]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(e)
+	return e.Value.(*lruEntry).job, true
+}
+
+// add inserts (or refreshes) an entry and returns how many were evicted.
+func (c *lruCache) add(id string, j *job) int {
+	if e, ok := c.items[id]; ok {
+		c.ll.MoveToFront(e)
+		e.Value.(*lruEntry).job = j
+		return 0
+	}
+	c.items[id] = c.ll.PushFront(&lruEntry{id: id, job: j})
+	evicted := 0
+	for c.ll.Len() > c.cap {
+		back := c.ll.Back()
+		c.ll.Remove(back)
+		delete(c.items, back.Value.(*lruEntry).id)
+		evicted++
+	}
+	return evicted
+}
+
+func (c *lruCache) len() int { return c.ll.Len() }

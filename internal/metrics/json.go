@@ -1,0 +1,120 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+)
+
+// AppendJSONFloat appends the canonical JSON encoding of v: the shortest
+// round-trippable decimal for finite values, and null for NaN/±Inf (which
+// JSON cannot represent). Every result and series marshaller in the module
+// routes floats through this one function so that exported JSON is
+// byte-stable: the same value always encodes to the same bytes.
+func AppendJSONFloat(b []byte, v float64) []byte {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return append(b, "null"...)
+	}
+	return strconv.AppendFloat(b, v, 'g', -1, 64)
+}
+
+// MarshalJSON renders the series as
+//
+//	{"name":"...","times":[...],"values":[...]}
+//
+// with non-finite samples encoded as null. The encoding is canonical:
+// fixed key order and shortest float representations, so identical series
+// always marshal to identical bytes.
+func (s *Series) MarshalJSON() ([]byte, error) {
+	name, err := json.Marshal(s.Name)
+	if err != nil {
+		return nil, err
+	}
+	b := make([]byte, 0, 32+16*(len(s.Times)+len(s.Values)))
+	b = append(b, `{"name":`...)
+	b = append(b, name...)
+	b = append(b, `,"times":[`...)
+	for i, t := range s.Times {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = AppendJSONFloat(b, t)
+	}
+	b = append(b, `],"values":[`...)
+	for i, v := range s.Values {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = AppendJSONFloat(b, v)
+	}
+	b = append(b, `]}`...)
+	return b, nil
+}
+
+// UnmarshalJSON is the inverse of MarshalJSON; null values decode to NaN.
+func (s *Series) UnmarshalJSON(data []byte) error {
+	var aux struct {
+		Name   string     `json:"name"`
+		Times  []float64  `json:"times"`
+		Values []*float64 `json:"values"`
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&aux); err != nil {
+		return err
+	}
+	if len(aux.Times) != len(aux.Values) {
+		return fmt.Errorf("metrics: series %q has %d times but %d values", aux.Name, len(aux.Times), len(aux.Values))
+	}
+	s.Name = aux.Name
+	s.Times = aux.Times
+	s.Values = make([]float64, len(aux.Values))
+	for i, v := range aux.Values {
+		if v == nil {
+			s.Values[i] = math.NaN()
+		} else {
+			s.Values[i] = *v
+		}
+	}
+	return nil
+}
+
+// WriteJSON renders the named series (all of them, in creation order, when
+// names is empty) as a single JSON document
+//
+//	{"series":[{"name":...,"times":[...],"values":[...]}, ...]}
+//
+// — the machine-readable sibling of WriteCSV. Unlike the CSV export it
+// preserves each series' own sample times instead of joining them onto a
+// shared time axis, so it is lossless.
+func (r *Recorder) WriteJSON(w io.Writer, names ...string) error {
+	if len(names) == 0 {
+		names = r.Names()
+	}
+	if _, err := io.WriteString(w, `{"series":[`); err != nil {
+		return err
+	}
+	for i, n := range names {
+		s := r.Series(n)
+		if s == nil {
+			return fmt.Errorf("metrics: unknown series %q", n)
+		}
+		if i > 0 {
+			if _, err := io.WriteString(w, ","); err != nil {
+				return err
+			}
+		}
+		b, err := s.MarshalJSON()
+		if err != nil {
+			return err
+		}
+		if _, err := w.Write(b); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "]}\n")
+	return err
+}

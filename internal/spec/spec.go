@@ -1,0 +1,488 @@
+// Package spec defines the declarative, versioned, JSON-serializable
+// scenario description that makes experiments *data*: a ScenarioSpec
+// names its topology, adversaries and attack through the ftgcs registry
+// instead of holding Go values, so remote clients (the ftgcs-serve HTTP
+// API), spec files on disk (ftgcs-sim -spec) and the job manager's
+// content-addressed cache all share one codec.
+//
+// A spec has a canonical encoding: Normalize fills every default, sorts
+// the fault list, and Canonical marshals the result with a fixed field
+// order and shortest-float number encoding. The SHA-256 of the canonical
+// bytes is the spec's content hash — two specs that mean the same
+// experiment hash identically regardless of JSON key order, field
+// omission or whitespace, which is what lets the job manager dedupe and
+// cache runs (the simulator is deterministic: same spec + seed ⇒
+// byte-identical result).
+package spec
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"ftgcs"
+	"ftgcs/internal/core"
+)
+
+// Version is the current spec schema version.
+const Version = 1
+
+// ScenarioSpec is a complete, self-contained experiment description.
+// Topology, drift, delay and attacks are registry names (see
+// ftgcs.Registry); everything else is plain data. The zero value of any
+// optional field means "default" — Normalize makes the defaults explicit.
+type ScenarioSpec struct {
+	// Version is the schema version; 0 is normalized to the current
+	// Version.
+	Version int `json:"version"`
+	// Name is an optional display name (tables, logs). It does not
+	// affect the content hash's identity role: two specs differing only
+	// in Name are the same experiment — Name is excluded from the
+	// canonical encoding.
+	Name string `json:"name,omitempty"`
+
+	Topology Topology `json:"topology"`
+	Clusters Clusters `json:"clusters"`
+	Physical Physical `json:"physical"`
+
+	// Preset selects the analysis constants: "practical" (default) or
+	// "paper-strict".
+	Preset string `json:"preset,omitempty"`
+	// Constants overrides the preset's c₂ and ε when non-zero.
+	Constants *Constants `json:"constants,omitempty"`
+
+	// Seed pins the simulation seed (0 is a valid seed).
+	Seed int64 `json:"seed"`
+
+	// Drift names the rate adversary ("spread" default).
+	Drift string `json:"drift,omitempty"`
+	// Delay names the message-delay adversary ("uniform" default).
+	Delay string `json:"delay,omitempty"`
+	// Attack plants one Byzantine member per cluster (optional).
+	Attack *Attack `json:"attack,omitempty"`
+	// Faults lists explicit per-node fault injections (optional).
+	Faults []Fault `json:"faults,omitempty"`
+
+	// GlobalSkew enables the Appendix C machinery; nil means enabled.
+	GlobalSkew *bool `json:"globalSkew,omitempty"`
+	// SampleInterval is the metrics sampling period in seconds (0 = T/2).
+	SampleInterval float64 `json:"sampleInterval,omitempty"`
+
+	Horizon Horizon `json:"horizon"`
+	Track   Track   `json:"track,omitempty"`
+}
+
+// Topology names a registered topology family and its size parameter
+// (clusters, side length, depth or dimension — whichever the family
+// uses).
+type Topology struct {
+	Name string `json:"name"`
+	Size int    `json:"size"`
+}
+
+// Clusters sets the cluster geometry: size k and fault budget f
+// (k ≥ 3f+1). The zero value defaults to k=4, f=1.
+type Clusters struct {
+	K int `json:"k"`
+	F int `json:"f"`
+}
+
+// Physical sets the drift bound ρ, max message delay d and delay
+// uncertainty U (seconds). Zero fields default to 1e-3, 1e-3, 1e-4.
+type Physical struct {
+	Rho         float64 `json:"rho"`
+	Delay       float64 `json:"delay"`
+	Uncertainty float64 `json:"uncertainty"`
+}
+
+// Constants overrides the preset's analysis constants when non-zero
+// (µ = c₂·ρ and the contraction margin ε).
+type Constants struct {
+	C2  float64 `json:"c2,omitempty"`
+	Eps float64 `json:"eps,omitempty"`
+}
+
+// Attack plants one attacker — the last member — in each of the first
+// Clusters clusters (0 = every cluster), all running the named strategy.
+type Attack struct {
+	Name string `json:"name"`
+	// Clusters bounds how many clusters get an attacker; 0 means all.
+	Clusters int `json:"clusters,omitempty"`
+}
+
+// Fault marks one node faulty: a named Byzantine strategy, a crash time,
+// an off-spec clock rate, or any combination.
+type Fault struct {
+	Node        int     `json:"node"`
+	Attack      string  `json:"attack,omitempty"`
+	CrashAt     float64 `json:"crashAt,omitempty"`
+	OffSpecRate float64 `json:"offSpecRate,omitempty"`
+}
+
+// Horizon sets the simulated duration: either absolute seconds or a
+// multiple of the derived round length T (exactly one may be non-zero;
+// both zero defaults to ftgcs.DefaultHorizon seconds).
+type Horizon struct {
+	Seconds float64 `json:"seconds,omitempty"`
+	Rounds  float64 `json:"rounds,omitempty"`
+}
+
+// Track enables optional instrumentation.
+type Track struct {
+	// Rounds records per-node round boundaries, values and modes.
+	Rounds bool `json:"rounds,omitempty"`
+	// Clusters records per-cluster clock/FC/SC series.
+	Clusters bool `json:"clusters,omitempty"`
+}
+
+// Default values made explicit by Normalize.
+const (
+	DefaultDrift  = "spread"
+	DefaultDelay  = "uniform"
+	DefaultPreset = "practical"
+)
+
+// Resource bounds enforced by Validate. Specs arrive from remote clients
+// (ftgcs-serve), so a single request must not be able to allocate an
+// arbitrarily large graph or pin a worker on an unbounded horizon.
+const (
+	// MaxTopologySize bounds the family size parameter (a clique of 2048
+	// clusters is ~2M edges — generous but finite).
+	MaxTopologySize = 2048
+	// MaxClusterSize bounds k.
+	MaxClusterSize = 1024
+	// MaxHorizonSeconds bounds an absolute horizon (simulated seconds).
+	MaxHorizonSeconds = 1e6
+	// MaxHorizonRounds bounds a round-denominated horizon.
+	MaxHorizonRounds = 1e7
+)
+
+// Normalize returns a copy with every default made explicit: version,
+// cluster geometry, physical constants, adversary and preset names, the
+// horizon, and the global-skew flag. Faults are sorted by node (ties by
+// attack name) so canonical encodings are order-independent. Normalize is
+// idempotent, and normalization is what makes the content hash stable: a
+// spec that spells out a default and one that omits it hash identically.
+func (s ScenarioSpec) Normalize() ScenarioSpec {
+	n := s
+	if n.Version == 0 {
+		n.Version = Version
+	}
+	if n.Clusters == (Clusters{}) {
+		n.Clusters = Clusters{K: 4, F: 1}
+	}
+	if n.Physical.Rho == 0 {
+		n.Physical.Rho = 1e-3
+	}
+	if n.Physical.Delay == 0 {
+		n.Physical.Delay = 1e-3
+	}
+	if n.Physical.Uncertainty == 0 {
+		n.Physical.Uncertainty = 1e-4
+	}
+	if n.Preset == "" {
+		n.Preset = DefaultPreset
+	}
+	if n.Constants != nil {
+		if *n.Constants == (Constants{}) {
+			n.Constants = nil
+		} else {
+			c := *n.Constants
+			n.Constants = &c
+		}
+	}
+	if n.Drift == "" {
+		n.Drift = DefaultDrift
+	}
+	if n.Delay == "" {
+		n.Delay = DefaultDelay
+	}
+	if n.GlobalSkew == nil {
+		enabled := true
+		n.GlobalSkew = &enabled
+	} else {
+		v := *n.GlobalSkew
+		n.GlobalSkew = &v
+	}
+	if n.Horizon == (Horizon{}) {
+		n.Horizon = Horizon{Seconds: ftgcs.DefaultHorizon}
+	}
+	if len(n.Faults) > 0 {
+		n.Faults = append([]Fault(nil), n.Faults...)
+		sort.SliceStable(n.Faults, func(i, j int) bool {
+			if n.Faults[i].Node != n.Faults[j].Node {
+				return n.Faults[i].Node < n.Faults[j].Node
+			}
+			return n.Faults[i].Attack < n.Faults[j].Attack
+		})
+	}
+	if n.Attack != nil {
+		a := *n.Attack
+		n.Attack = &a
+	}
+	return n
+}
+
+// Canonical returns the spec's canonical encoding: normalized, with the
+// display name stripped, marshaled with fixed field order (Go struct
+// order) and shortest-float numbers. Specs that describe the same
+// experiment — regardless of JSON key order, omitted defaults or the
+// display name — produce identical canonical bytes.
+func (s ScenarioSpec) Canonical() ([]byte, error) {
+	n := s.Normalize()
+	n.Name = ""
+	return json.Marshal(n)
+}
+
+// Hash returns the spec's content hash: "sha256:" + hex of the SHA-256 of
+// the canonical encoding.
+func (s ScenarioSpec) Hash() (string, error) {
+	c, err := s.Canonical()
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(c)
+	return "sha256:" + hex.EncodeToString(sum[:]), nil
+}
+
+// Parse decodes a spec from JSON bytes, rejecting unknown fields (a typo
+// in a spec file should fail loudly, not silently run the default).
+func Parse(data []byte) (ScenarioSpec, error) {
+	return Decode(bytes.NewReader(data))
+}
+
+// Decode reads one spec from r, rejecting unknown fields.
+func Decode(r io.Reader) (ScenarioSpec, error) {
+	var s ScenarioSpec
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return ScenarioSpec{}, fmt.Errorf("spec: %w", err)
+	}
+	return s, nil
+}
+
+// Encode writes the spec's canonical encoding followed by a newline.
+func (s ScenarioSpec) Encode(w io.Writer) error {
+	c, err := s.Canonical()
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(c); err != nil {
+		return err
+	}
+	_, err = w.Write([]byte{'\n'})
+	return err
+}
+
+// Validate checks the spec against the registry without building a
+// system: schema version, name resolution (topology, drift, delay,
+// attacks — failures surface the registry's "unknown name" errors, which
+// list what is available), cluster geometry, resource bounds, physical
+// constants, fault targets and the horizon. A nil registry means
+// ftgcs.DefaultRegistry.
+func (s ScenarioSpec) Validate(reg *ftgcs.Registry) error {
+	_, err := s.validate(reg)
+	return err
+}
+
+// validate is Validate plus the resolved topology, so Compile does not
+// have to build the graph a second time.
+func (s ScenarioSpec) validate(reg *ftgcs.Registry) (*ftgcs.Topology, error) {
+	if reg == nil {
+		reg = ftgcs.DefaultRegistry
+	}
+	n := s.Normalize()
+	if n.Version != Version {
+		return nil, fmt.Errorf("spec: unsupported version %d (current %d)", n.Version, Version)
+	}
+	if n.Topology.Name == "" {
+		return nil, fmt.Errorf("spec: missing topology name")
+	}
+	if n.Topology.Size < 1 {
+		return nil, fmt.Errorf("spec: topology size %d must be ≥ 1", n.Topology.Size)
+	}
+	if n.Topology.Size > MaxTopologySize {
+		return nil, fmt.Errorf("spec: topology size %d exceeds limit %d", n.Topology.Size, MaxTopologySize)
+	}
+	if n.Clusters.K > MaxClusterSize {
+		return nil, fmt.Errorf("spec: cluster size k=%d exceeds limit %d", n.Clusters.K, MaxClusterSize)
+	}
+	if n.Horizon.Seconds > MaxHorizonSeconds {
+		return nil, fmt.Errorf("spec: horizon %g s exceeds limit %g", n.Horizon.Seconds, float64(MaxHorizonSeconds))
+	}
+	if n.Horizon.Rounds > MaxHorizonRounds {
+		return nil, fmt.Errorf("spec: horizon %g rounds exceeds limit %g", n.Horizon.Rounds, float64(MaxHorizonRounds))
+	}
+	topo, err := reg.Topology(n.Topology.Name, n.Topology.Size, n.Seed)
+	if err != nil {
+		return nil, err
+	}
+	if n.Clusters.K < 1 || n.Clusters.F < 0 {
+		return nil, fmt.Errorf("spec: invalid cluster geometry k=%d f=%d", n.Clusters.K, n.Clusters.F)
+	}
+	if n.Clusters.F > 0 && n.Clusters.K < 3*n.Clusters.F+1 {
+		return nil, fmt.Errorf("spec: k=%d < 3f+1=%d", n.Clusters.K, 3*n.Clusters.F+1)
+	}
+	if n.Physical.Rho <= 0 || n.Physical.Delay <= 0 || n.Physical.Uncertainty <= 0 {
+		return nil, fmt.Errorf("spec: physical constants must be positive: ρ=%g d=%g U=%g",
+			n.Physical.Rho, n.Physical.Delay, n.Physical.Uncertainty)
+	}
+	if n.Physical.Uncertainty > n.Physical.Delay {
+		return nil, fmt.Errorf("spec: uncertainty U=%g exceeds delay d=%g", n.Physical.Uncertainty, n.Physical.Delay)
+	}
+	if _, err := presetByName(n.Preset); err != nil {
+		return nil, err
+	}
+	if _, err := reg.Drift(n.Drift); err != nil {
+		return nil, err
+	}
+	if _, err := reg.Delay(n.Delay); err != nil {
+		return nil, err
+	}
+	if n.Attack != nil {
+		if _, err := reg.Attack(n.Attack.Name); err != nil {
+			return nil, err
+		}
+		if n.Attack.Clusters < 0 {
+			return nil, fmt.Errorf("spec: attack clusters %d must be ≥ 0", n.Attack.Clusters)
+		}
+	}
+	nodes := topo.N() * n.Clusters.K
+	for _, f := range n.Faults {
+		if f.Node < 0 || f.Node >= nodes {
+			return nil, fmt.Errorf("spec: fault node %d outside [0,%d)", f.Node, nodes)
+		}
+		if f.Attack == "" && f.CrashAt == 0 && f.OffSpecRate == 0 {
+			return nil, fmt.Errorf("spec: fault on node %d specifies no behavior", f.Node)
+		}
+		if f.Attack != "" {
+			if _, err := reg.Attack(f.Attack); err != nil {
+				return nil, err
+			}
+		}
+		if f.CrashAt < 0 {
+			return nil, fmt.Errorf("spec: fault node %d crashAt %g must be ≥ 0", f.Node, f.CrashAt)
+		}
+		if f.OffSpecRate < 0 {
+			return nil, fmt.Errorf("spec: fault node %d offSpecRate %g must be ≥ 0", f.Node, f.OffSpecRate)
+		}
+	}
+	if n.Horizon.Seconds != 0 && n.Horizon.Rounds != 0 {
+		return nil, fmt.Errorf("spec: horizon sets both seconds (%g) and rounds (%g)", n.Horizon.Seconds, n.Horizon.Rounds)
+	}
+	if n.Horizon.Seconds < 0 || n.Horizon.Rounds < 0 {
+		return nil, fmt.Errorf("spec: negative horizon")
+	}
+	if n.SampleInterval < 0 {
+		return nil, fmt.Errorf("spec: negative sampleInterval")
+	}
+	return topo, nil
+}
+
+func presetByName(name string) (ftgcs.Preset, error) {
+	switch name {
+	case DefaultPreset:
+		return ftgcs.PresetPractical, nil
+	case "paper-strict":
+		return ftgcs.PresetPaperStrict, nil
+	default:
+		return 0, fmt.Errorf(`spec: unknown preset %q (have: practical, paper-strict)`, name)
+	}
+}
+
+// Compile validates the spec and builds the runnable scenario, resolving
+// every name through reg (nil means ftgcs.DefaultRegistry). The topology
+// is resolved eagerly with the spec's seed — randomized families draw the
+// same graph every time the same spec compiles, which the job manager's
+// dedup/caching depends on.
+func (s ScenarioSpec) Compile(reg *ftgcs.Registry) (*ftgcs.Scenario, error) {
+	if reg == nil {
+		reg = ftgcs.DefaultRegistry
+	}
+	topo, err := s.validate(reg)
+	if err != nil {
+		return nil, err
+	}
+	n := s.Normalize()
+
+	preset, err := presetByName(n.Preset)
+	if err != nil {
+		return nil, err
+	}
+	drift, err := reg.Drift(n.Drift)
+	if err != nil {
+		return nil, err
+	}
+	delay, err := reg.Delay(n.Delay)
+	if err != nil {
+		return nil, err
+	}
+
+	name := n.Name
+	if name == "" {
+		name = fmt.Sprintf("%s-%d", n.Topology.Name, n.Topology.Size)
+	}
+	opts := []ftgcs.Option{
+		ftgcs.WithName("%s", name),
+		ftgcs.WithTopology(topo),
+		ftgcs.WithClusters(n.Clusters.K, n.Clusters.F),
+		ftgcs.WithPhysical(n.Physical.Rho, n.Physical.Delay, n.Physical.Uncertainty),
+		ftgcs.WithPreset(preset),
+		ftgcs.WithSeed(n.Seed),
+		ftgcs.WithDrift(drift),
+		ftgcs.WithDelay(delay),
+		ftgcs.WithGlobalSkew(*n.GlobalSkew),
+		ftgcs.WithSampleInterval(n.SampleInterval),
+	}
+	if n.Constants != nil {
+		opts = append(opts, ftgcs.WithConstants(n.Constants.C2, n.Constants.Eps))
+	}
+	if n.Attack != nil {
+		strat, err := reg.Attack(n.Attack.Name)
+		if err != nil {
+			return nil, err
+		}
+		opts = append(opts, ftgcs.WithAttackPerCluster(func() ftgcs.Attack { return strat }, n.Attack.Clusters))
+	}
+	if len(n.Faults) > 0 {
+		faults := make([]ftgcs.FaultSpec, 0, len(n.Faults))
+		for _, f := range n.Faults {
+			fs := core.FaultSpec{Node: f.Node, CrashAt: f.CrashAt, OffSpecRate: f.OffSpecRate}
+			if f.Attack != "" {
+				strat, err := reg.Attack(f.Attack)
+				if err != nil {
+					return nil, err
+				}
+				fs.Strategy = strat
+			}
+			faults = append(faults, fs)
+		}
+		opts = append(opts, ftgcs.WithFaults(faults...))
+	}
+	if n.Horizon.Rounds > 0 {
+		opts = append(opts, ftgcs.WithHorizonRounds(n.Horizon.Rounds))
+	} else {
+		opts = append(opts, ftgcs.WithHorizon(n.Horizon.Seconds))
+	}
+	if n.Track.Rounds {
+		opts = append(opts, ftgcs.WithRoundTracking())
+	}
+	if n.Track.Clusters {
+		opts = append(opts, ftgcs.WithClusterTracking())
+	}
+	return ftgcs.NewScenario(opts...), nil
+}
+
+// WithSeed returns a copy of the spec with the given seed — the
+// replication fan-out uses this to derive per-replicate specs from one
+// base spec.
+func (s ScenarioSpec) WithSeed(seed int64) ScenarioSpec {
+	n := s
+	n.Seed = seed
+	return n
+}

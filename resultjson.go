@@ -1,0 +1,79 @@
+package ftgcs
+
+import (
+	"encoding/json"
+	"strconv"
+
+	"ftgcs/internal/metrics"
+)
+
+// MarshalJSON renders the report with fixed key order and canonical float
+// encoding, so identical reports always marshal to identical bytes. The
+// experiment service's dedup/cache layer relies on this: re-serializing a
+// cached result must reproduce the original response byte for byte.
+// Non-finite values (impossible for a completed run, but defensively)
+// encode as null.
+func (r Report) MarshalJSON() ([]byte, error) {
+	b := make([]byte, 0, 384)
+	field := func(key string, v float64) {
+		if len(b) > 1 {
+			b = append(b, ',')
+		}
+		b = append(b, '"')
+		b = append(b, key...)
+		b = append(b, `":`...)
+		b = metrics.AppendJSONFloat(b, v)
+	}
+	b = append(b, '{')
+	field("horizon", r.Horizon)
+	field("warmup", r.Warmup)
+	field("maxIntraClusterSkew", r.MaxIntraClusterSkew)
+	field("intraClusterBound", r.IntraClusterBound)
+	field("maxLocalSkew", r.MaxLocalSkew)
+	field("localSkewBound", r.LocalSkewBound)
+	field("maxGlobalSkew", r.MaxGlobalSkew)
+	field("globalSkewBound", r.GlobalSkewBound)
+	b = append(b, `,"events":`...)
+	b = strconv.AppendUint(b, r.Events, 10)
+	b = append(b, `,"allWithinBounds":`...)
+	b = strconv.AppendBool(b, r.AllWithinBounds())
+	b = append(b, '}')
+	return b, nil
+}
+
+// UnmarshalJSON is the inverse of MarshalJSON; null decodes to 0 (the
+// Report convention for "nothing recorded"). The derived allWithinBounds
+// field is ignored on input.
+func (r *Report) UnmarshalJSON(data []byte) error {
+	var aux struct {
+		Horizon             *float64 `json:"horizon"`
+		Warmup              *float64 `json:"warmup"`
+		MaxIntraClusterSkew *float64 `json:"maxIntraClusterSkew"`
+		IntraClusterBound   *float64 `json:"intraClusterBound"`
+		MaxLocalSkew        *float64 `json:"maxLocalSkew"`
+		LocalSkewBound      *float64 `json:"localSkewBound"`
+		MaxGlobalSkew       *float64 `json:"maxGlobalSkew"`
+		GlobalSkewBound     *float64 `json:"globalSkewBound"`
+		Events              uint64   `json:"events"`
+		AllWithinBounds     bool     `json:"allWithinBounds"`
+	}
+	if err := json.Unmarshal(data, &aux); err != nil {
+		return err
+	}
+	get := func(p *float64) float64 {
+		if p == nil {
+			return 0
+		}
+		return *p
+	}
+	r.Horizon = get(aux.Horizon)
+	r.Warmup = get(aux.Warmup)
+	r.MaxIntraClusterSkew = get(aux.MaxIntraClusterSkew)
+	r.IntraClusterBound = get(aux.IntraClusterBound)
+	r.MaxLocalSkew = get(aux.MaxLocalSkew)
+	r.LocalSkewBound = get(aux.LocalSkewBound)
+	r.MaxGlobalSkew = get(aux.MaxGlobalSkew)
+	r.GlobalSkewBound = get(aux.GlobalSkewBound)
+	r.Events = aux.Events
+	return nil
+}

@@ -1,0 +1,97 @@
+package ftgcs_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+
+	"ftgcs"
+)
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	rep := ftgcs.Report{
+		Horizon:             30,
+		Warmup:              3,
+		MaxIntraClusterSkew: 1.25e-4,
+		IntraClusterBound:   4.5e-4,
+		MaxLocalSkew:        3e-4,
+		LocalSkewBound:      1.2e-3,
+		MaxGlobalSkew:       5e-4,
+		GlobalSkewBound:     2e-3,
+		Events:              123456,
+	}
+	b, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(b, []byte(`"allWithinBounds":true`)) {
+		t.Fatalf("marshal missing derived bounds field: %s", b)
+	}
+	var back ftgcs.Report
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != rep {
+		t.Fatalf("round trip changed report:\n got %+v\nwant %+v", back, rep)
+	}
+
+	b2, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b, b2) {
+		t.Fatal("report marshalling is not deterministic")
+	}
+}
+
+func TestSummaryJSONRoundTrip(t *testing.T) {
+	sum := ftgcs.Summary{
+		Horizon:          30,
+		MaxIntraSkew:     1e-4,
+		MaxLocalCluster:  2e-4,
+		MaxLocalNode:     math.Inf(-1), // series never recorded
+		MaxGlobal:        4e-4,
+		MaxMaxEstLag:     math.Inf(-1),
+		MaxEstViolations: 0,
+		Events:           99,
+	}
+	b, err := json.Marshal(sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(b, []byte(`"maxLocalNode":null`)) {
+		t.Fatalf("non-finite maximum should encode as null: %s", b)
+	}
+	var back ftgcs.Summary
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != sum {
+		t.Fatalf("round trip changed summary:\n got %+v\nwant %+v", back, sum)
+	}
+}
+
+func TestReportJSONFromLiveRun(t *testing.T) {
+	rep, err := ftgcs.NewScenario(
+		ftgcs.WithTopology(ftgcs.Line(2)),
+		ftgcs.WithClusters(4, 1),
+		ftgcs.WithPhysical(1e-3, 1e-3, 1e-4),
+		ftgcs.WithSeed(1),
+		ftgcs.WithHorizon(5),
+	).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatalf("a live report must serialize cleanly: %v", err)
+	}
+	var back ftgcs.Report
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != rep {
+		t.Fatalf("live report round trip changed values")
+	}
+}

@@ -68,6 +68,9 @@ type Scenario struct {
 	observe func(sys *System) (any, error)
 	hooks   []midRunHook
 
+	// backend, when set, replaces the core system build (WithBackend).
+	backend BackendBuilder
+
 	err error // first option error, surfaced at Build
 }
 
@@ -316,6 +319,9 @@ func (s *Scenario) Build() (*System, error) {
 	if s.err != nil {
 		return nil, s.err
 	}
+	if s.backend != nil {
+		return s.buildBackend()
+	}
 	topo := s.topology
 	if s.topoName != "" {
 		t, err := TopologyByName(s.topoName, s.topoSize, s.seed)
@@ -363,7 +369,7 @@ func (s *Scenario) Build() (*System, error) {
 	if err != nil {
 		return nil, fmt.Errorf("ftgcs: %w", err)
 	}
-	return &System{sys: sys, p: p}, nil
+	return &System{sys: sys, b: coreBackend{sys}, p: p}, nil
 }
 
 // Horizon returns the simulated duration in seconds for the given derived

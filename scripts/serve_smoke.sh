@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# serve_smoke.sh — end-to-end smoke test of the experiment service.
+#
+# Builds ftgcs-serve, boots it on an ephemeral port, submits the same
+# example spec twice, and asserts that the second response is a cache hit
+# ("cached":true) whose payload is byte-identical to the first modulo
+# that one marker — the content-addressed dedup/cache guarantee.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp -d)
+pid=""
+cleanup() {
+  [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+  rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+go build -o "$tmp/ftgcs-serve" ./cmd/ftgcs-serve
+
+"$tmp/ftgcs-serve" -addr 127.0.0.1:0 >"$tmp/serve.log" 2>&1 &
+pid=$!
+
+addr=""
+for _ in $(seq 1 100); do
+  addr=$(sed -n 's/^ftgcs-serve listening on //p' "$tmp/serve.log" | head -1)
+  [ -n "$addr" ] && break
+  kill -0 "$pid" 2>/dev/null || { echo "server died:"; cat "$tmp/serve.log"; exit 1; }
+  sleep 0.1
+done
+[ -n "$addr" ] || { echo "server never reported its address:"; cat "$tmp/serve.log"; exit 1; }
+base="http://$addr"
+echo "server up at $base"
+
+curl -fsS "$base/v1/healthz" | grep -q '"status":"ok"'
+curl -fsS "$base/v1/registry" | grep -q '"torus"'
+
+req="{\"spec\": $(cat examples/specs/line-quickstart.json)}"
+
+curl -fsS -X POST -d "$req" "$base/v1/experiments?wait=true" >"$tmp/r1.json"
+grep -q '"state":"done"' "$tmp/r1.json"
+grep -q '"cached":false' "$tmp/r1.json"
+
+curl -fsS -X POST -d "$req" "$base/v1/experiments?wait=true" >"$tmp/r2.json"
+grep -q '"state":"done"' "$tmp/r2.json"
+grep -q '"cached":true' "$tmp/r2.json" || { echo "second submission was not a cache hit:"; cat "$tmp/r2.json"; exit 1; }
+
+# The responses must agree byte-for-byte once the cache marker is
+# normalized: same content-addressed ID, same result bytes.
+sed 's/"cached":true/"cached":false/' "$tmp/r2.json" >"$tmp/r2norm.json"
+if ! cmp -s "$tmp/r1.json" "$tmp/r2norm.json"; then
+  echo "cache hit was not byte-identical:"
+  diff "$tmp/r1.json" "$tmp/r2norm.json" || true
+  exit 1
+fi
+
+echo "serve smoke OK: second submission was a cache hit with byte-identical result"
