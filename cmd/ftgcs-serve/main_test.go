@@ -167,6 +167,152 @@ func TestConcurrentSubmissionsRunOnce(t *testing.T) {
 	}
 }
 
+// TestCoalescedWaitCarriesCallerName: a ?wait=true submission that
+// coalesces onto another submitter's in-flight job must get its own
+// display name back, not the first submitter's.
+func TestCoalescedWaitCarriesCallerName(t *testing.T) {
+	mgr := jobs.NewManager(jobs.Options{Workers: 1})
+	defer mgr.Close()
+	gate := make(chan struct{})
+	var once sync.Once
+	openGate := func() { once.Do(func() { close(gate) }) }
+	defer openGate()
+	mgr.TestHookBeforeRun = func() { <-gate }
+	ts := httptest.NewServer(newHandler(&server{mgr: mgr, reg: ftgcs.DefaultRegistry, waitLimit: time.Minute}))
+	defer ts.Close()
+
+	// Submitter "alpha" goes first, async; the gated worker holds its job
+	// in flight.
+	code, _ := post(t, ts, "/v1/experiments",
+		`{"spec":{"name":"alpha","topology":{"name":"line","size":2},"seed":77,"horizon":{"seconds":3}}}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("async POST should 202: %d", code)
+	}
+
+	// Submitter "beta" coalesces and blocks for the result.
+	type reply struct {
+		code int
+		body []byte
+		err  error
+	}
+	ch := make(chan reply, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/v1/experiments?wait=true", "application/json",
+			strings.NewReader(`{"spec":{"name":"beta","topology":{"name":"line","size":2},"seed":77,"horizon":{"seconds":3}}}`))
+		if err != nil {
+			ch <- reply{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		ch <- reply{code: resp.StatusCode, body: b, err: err}
+	}()
+	// Release the worker only once beta has attached to alpha's job.
+	for mgr.Stats().Coalesced == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	openGate()
+
+	r := <-ch
+	if r.err != nil {
+		t.Fatal(r.err)
+	}
+	var st struct {
+		State  string `json:"state"`
+		Result struct {
+			Name string `json:"name"`
+		} `json:"result"`
+	}
+	if err := json.Unmarshal(r.body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if r.code != http.StatusOK || st.State != "done" {
+		t.Fatalf("coalesced wait: %d %s", r.code, r.body)
+	}
+	if st.Result.Name != "beta" {
+		t.Fatalf("coalesced waiter got result named %q, want its own \"beta\":\n%s", st.Result.Name, r.body)
+	}
+}
+
+// TestBatchMarksRetryableBackpressure: batch items rejected by the full
+// queue are transient failures and must be marked retryable, unlike
+// deterministic spec failures.
+func TestBatchMarksRetryableBackpressure(t *testing.T) {
+	mgr := jobs.NewManager(jobs.Options{Workers: 1, QueueDepth: 1})
+	defer mgr.Close()
+	gate := make(chan struct{})
+	entered := make(chan struct{}, 8)
+	var once sync.Once
+	openGate := func() { once.Do(func() { close(gate) }) }
+	defer openGate()
+	mgr.TestHookBeforeRun = func() {
+		entered <- struct{}{}
+		<-gate
+	}
+	ts := httptest.NewServer(newHandler(&server{mgr: mgr, reg: ftgcs.DefaultRegistry, waitLimit: time.Minute}))
+	defer ts.Close()
+
+	// Occupy the single worker first — once it is gated inside the hook
+	// the queue can no longer drain — then fill the one-slot queue until
+	// the single-spec path reports backpressure (503).
+	if code, body := post(t, ts, "/v1/experiments",
+		`{"spec":{"topology":{"name":"line","size":2},"seed":60,"horizon":{"seconds":3}}}`); code != http.StatusAccepted {
+		t.Fatalf("occupying submit: %d %s", code, body)
+	}
+	<-entered
+	for seed := int64(61); ; seed++ {
+		code, _ := post(t, ts, "/v1/experiments",
+			fmt.Sprintf(`{"spec":{"topology":{"name":"line","size":2},"seed":%d,"horizon":{"seconds":3}}}`, seed))
+		if code == http.StatusServiceUnavailable {
+			break
+		}
+		if code != http.StatusAccepted {
+			t.Fatalf("filler submit: %d", code)
+		}
+	}
+
+	type item struct {
+		State     string `json:"state"`
+		Error     string `json:"error"`
+		Retryable bool   `json:"retryable"`
+	}
+	postBatch := func(payload string) []item {
+		t.Helper()
+		code, body := post(t, ts, "/v1/experiments", payload)
+		if code != http.StatusOK {
+			t.Fatalf("batch POST: %d %s", code, body)
+		}
+		var out struct {
+			Jobs []item `json:"jobs"`
+		}
+		if err := json.Unmarshal(body, &out); err != nil {
+			t.Fatal(err)
+		}
+		return out.Jobs
+	}
+
+	// Under backpressure every non-cached item sheds as retryable (load
+	// shedding fast-fails before validation).
+	jobsOut := postBatch(`{"experiments":[{"spec":{"topology":{"name":"line","size":2},"seed":90,"horizon":{"seconds":3}}}]}`)
+	if len(jobsOut) != 1 || jobsOut[0].State != "failed" || !jobsOut[0].Retryable || !strings.Contains(jobsOut[0].Error, "queue full") {
+		t.Fatalf("backpressured item must be failed+retryable: %+v", jobsOut)
+	}
+
+	// Once the queue drains, a deterministic spec failure is final — not
+	// retryable.
+	openGate()
+	for {
+		if s := mgr.Stats(); s.Queued == 0 && s.Running == 0 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	jobsOut = postBatch(`{"experiments":[{"spec":{"topology":{"name":"moebius","size":3}}}]}`)
+	if len(jobsOut) != 1 || jobsOut[0].State != "failed" || jobsOut[0].Retryable || !strings.Contains(jobsOut[0].Error, "unknown topology") {
+		t.Fatalf("deterministic failure must not be retryable: %+v", jobsOut)
+	}
+}
+
 func TestAsyncSubmitAndPoll(t *testing.T) {
 	ts, _ := newTestServer(t, jobs.Options{})
 

@@ -75,25 +75,33 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// Submit the whole batch before waiting on any of it, so the jobs
 	// pipeline through the worker pool instead of running one at a time.
 	// Per-item failures are reported in place so one bad spec does not
-	// void the rest of the batch.
+	// void the rest of the batch; transient failures (backpressure,
+	// shutdown) are marked retryable to distinguish them from
+	// deterministic spec failures.
 	out := make([]jobs.JobStatus, len(body.Experiments))
 	for i, req := range body.Experiments {
 		st, err := s.mgr.Submit(req)
 		if err != nil {
-			st = jobs.JobStatus{State: jobs.StateFailed, Error: err.Error()}
+			st = jobs.JobStatus{State: jobs.StateFailed, Error: err.Error(), Retryable: jobs.Retryable(err)}
 		}
 		out[i] = st
 	}
 	if wait {
+		// One deadline covers the whole batch: -wait-limit is the
+		// request's maximum blocking time, not a per-item allowance.
+		wctx, cancel := context.WithTimeout(r.Context(), s.waitLimit)
+		defer cancel()
 		for i := range out {
 			if out[i].ID == "" {
 				continue // submission failed; nothing to wait on
 			}
-			st, err := s.await(r.Context(), out[i])
+			st, err := s.await(wctx, out[i])
 			if err != nil {
-				st = jobs.JobStatus{ID: out[i].ID, SpecHash: out[i].SpecHash, State: jobs.StateFailed, Error: err.Error()}
+				st = jobs.JobStatus{ID: out[i].ID, SpecHash: out[i].SpecHash, State: jobs.StateFailed, Error: err.Error(), Retryable: jobs.Retryable(err)}
 			}
-			out[i] = st
+			// Wait serves the stored result, possibly computed under
+			// another submitter's name; relabel with this item's own.
+			out[i] = st.WithName(body.Experiments[i].Spec.DisplayName())
 		}
 	}
 	writeJSON(w, http.StatusOK, map[string][]jobs.JobStatus{"jobs": out})
@@ -108,10 +116,20 @@ func (s *server) submit(ctx context.Context, req jobs.Request, wait bool) (jobs.
 	if !wait {
 		return st, nil
 	}
-	return s.await(ctx, st)
+	wctx, cancel := context.WithTimeout(ctx, s.waitLimit)
+	defer cancel()
+	st, err = s.await(wctx, st)
+	if err != nil {
+		return st, err
+	}
+	// Wait/Get serve the stored result, possibly computed under another
+	// submitter's name (the submission coalesced onto an in-flight job);
+	// relabel with this request's own display name.
+	return st.WithName(req.Spec.DisplayName()), nil
 }
 
-// await blocks until a pending job completes. A timeout (or the client
+// await blocks until a pending job completes or ctx — which the caller
+// has already bounded by -wait-limit — is done. A timeout (or the client
 // going away) degrades to the current async snapshot; a result evicted
 // before it could be read is surfaced as a retryable error rather than a
 // stale pending state.
@@ -119,19 +137,21 @@ func (s *server) await(ctx context.Context, st jobs.JobStatus) (jobs.JobStatus, 
 	if st.State == jobs.StateDone || st.State == jobs.StateFailed {
 		return st, nil
 	}
-	wctx, cancel := context.WithTimeout(ctx, s.waitLimit)
-	defer cancel()
-	final, err := s.mgr.Wait(wctx, st.ID)
+	final, err := s.mgr.Wait(ctx, st.ID)
 	if err == nil {
 		return final, nil
 	}
-	if wctx.Err() != nil {
+	if ctx.Err() != nil {
 		if cur, ok := s.mgr.Get(st.ID); ok {
 			return cur, nil
 		}
 		return st, nil
 	}
-	return jobs.JobStatus{}, fmt.Errorf("experiment %s completed but its result was evicted; resubmit to recompute: %w", st.ID, err)
+	// st.ID came from a successful Submit, so a lookup miss here is the
+	// eviction race, not an unknown job — classify it as ErrEvicted so
+	// submitCode/Retryable report it as transient (503), whichever shape
+	// Wait's miss took.
+	return jobs.JobStatus{}, fmt.Errorf("experiment %s completed but its result was evicted; resubmit to recompute: %w", st.ID, jobs.ErrEvicted)
 }
 
 func (s *server) handleGet(w http.ResponseWriter, r *http.Request) {
@@ -181,17 +201,14 @@ func statusCode(st jobs.JobStatus) int {
 	}
 }
 
-// submitCode maps submission errors: a full queue is back-pressure (503),
-// everything else is a bad request.
+// submitCode maps submission errors: transient failures (backpressure,
+// shutdown, eviction races) are 503 — retry later — everything else is a
+// bad request.
 func submitCode(err error) int {
-	switch {
-	case errors.Is(err, jobs.ErrQueueFull),
-		errors.Is(err, jobs.ErrClosed),
-		errors.Is(err, jobs.ErrEvicted):
+	if jobs.Retryable(err) {
 		return http.StatusServiceUnavailable
-	default:
-		return http.StatusBadRequest
 	}
+	return http.StatusBadRequest
 }
 
 func boolParam(r *http.Request, name string) bool {

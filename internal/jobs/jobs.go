@@ -18,6 +18,7 @@ import (
 	"context"
 	"crypto/sha256"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"math"
 	"runtime"
@@ -61,15 +62,22 @@ func (r Request) normalized() Request {
 // the same work (same canonical spec, same replication, same series
 // flag) get the same ID regardless of JSON spelling.
 func (r Request) ID() (string, error) {
-	n := r.normalized()
-	c, err := n.Spec.Canonical()
+	id, _, err := r.normalized().identity()
+	return id, err
+}
+
+// identity derives the job ID and the spec's content hash from one
+// canonical encoding pass. r must already be normalized.
+func (r Request) identity() (id, specHash string, err error) {
+	c, err := r.Spec.Canonical()
 	if err != nil {
-		return "", err
+		return "", "", err
 	}
+	sum := sha256.Sum256(c)
 	h := sha256.New()
 	h.Write(c)
-	fmt.Fprintf(h, "|replicate=%d|series=%t", n.Replicate, n.IncludeSeries)
-	return "sha256:" + hex.EncodeToString(h.Sum(nil)), nil
+	fmt.Fprintf(h, "|replicate=%d|series=%t", r.Replicate, r.IncludeSeries)
+	return "sha256:" + hex.EncodeToString(h.Sum(nil)), "sha256:" + hex.EncodeToString(sum[:]), nil
 }
 
 // State is a job's lifecycle position.
@@ -135,7 +143,13 @@ type Replicates struct {
 // uses canonical encoders), which is what makes "cache hit ⇒
 // byte-identical response" a guarantee rather than an accident.
 type Result struct {
-	SpecHash   string            `json:"specHash"`
+	SpecHash string `json:"specHash"`
+	// Name is the spec's display name. Names are excluded from job
+	// identity (the content hash), so coalesced and cached submissions
+	// share one stored result: Submit overlays the submitter's own
+	// display name onto the snapshot it returns, while Get/Wait — which
+	// carry only an ID — report the name of the submission that actually
+	// ran.
 	Name       string            `json:"name,omitempty"`
 	Report     ftgcs.Report      `json:"report"`
 	Summary    ftgcs.Summary     `json:"summary"`
@@ -148,7 +162,13 @@ type job struct {
 	id       string
 	specHash string
 	req      Request // normalized
-	done     chan struct{}
+	// topo is the spec's resolved topology, built once by Submit's
+	// validation: every replicate runs this graph (a replication sweep
+	// measures seed variance on ONE experiment, so randomized families
+	// must not redraw per seed). Cleared by finish so cached jobs do not
+	// pin graphs in memory.
+	topo *ftgcs.Topology
+	done chan struct{}
 
 	// Guarded by the manager's mutex.
 	state  State
@@ -169,6 +189,10 @@ type JobStatus struct {
 	Coalesced bool    `json:"coalesced,omitempty"`
 	Result    *Result `json:"result,omitempty"`
 	Error     string  `json:"error,omitempty"`
+	// Retryable marks a failed batch item whose error was transient
+	// (backpressure, shutdown) rather than a deterministic spec failure:
+	// resubmitting the same item may succeed. See Retryable.
+	Retryable bool `json:"retryable,omitempty"`
 }
 
 // Stats are the manager's cumulative counters plus instantaneous gauges.
@@ -213,6 +237,14 @@ var ErrClosed = fmt.Errorf("jobs: manager closed")
 // only under heavy churn with a small cache). Resubmitting recomputes.
 var ErrEvicted = fmt.Errorf("jobs: result evicted before it could be read")
 
+// Retryable reports whether a submission error is transient — the same
+// request may succeed if resubmitted later (backpressure, shutdown,
+// eviction races) — as opposed to a deterministic spec failure that
+// will fail identically every time.
+func Retryable(err error) bool {
+	return errors.Is(err, ErrQueueFull) || errors.Is(err, ErrClosed) || errors.Is(err, ErrEvicted)
+}
+
 // Manager owns the queue, the workers, the in-flight dedup index and the
 // result cache. All methods are safe for concurrent use.
 type Manager struct {
@@ -229,9 +261,9 @@ type Manager struct {
 	running int
 	closed  bool
 
-	// testHookBeforeRun, when set, runs in each worker before a job
+	// TestHookBeforeRun, when set, runs in each worker before a job
 	// executes — tests use it to hold workers and fill the queue.
-	testHookBeforeRun func()
+	TestHookBeforeRun func()
 }
 
 // NewManager starts the workers and returns the manager.
@@ -276,14 +308,36 @@ func (m *Manager) Submit(req Request) (JobStatus, error) {
 	if req.Replicate > MaxReplicate {
 		return JobStatus{}, fmt.Errorf("jobs: replicate %d exceeds limit %d", req.Replicate, MaxReplicate)
 	}
-	if err := req.Spec.Validate(m.reg); err != nil {
-		return JobStatus{}, err
-	}
-	id, err := req.ID()
+	id, specHash, err := req.identity()
 	if err != nil {
 		return JobStatus{}, err
 	}
-	specHash, err := req.Spec.Hash()
+	name := req.Spec.DisplayName()
+
+	// Fast path: identical work in flight or cached answers the
+	// submission without validating — a hit's spec already validated when
+	// its job was created, and validation resolves the topology graph,
+	// which is exactly the work dedup exists to avoid repeating.
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return JobStatus{}, ErrClosed
+	}
+	if st, ok := m.serveLocked(id, name); ok {
+		m.mu.Unlock()
+		return st, nil
+	}
+	m.mu.Unlock()
+
+	// Shed load before the expensive graph build: a full queue would
+	// reject this submission after validation anyway (the enqueue below
+	// re-checks under the lock). Cache hits are still served above even
+	// under backpressure.
+	if len(m.queue) == cap(m.queue) {
+		return JobStatus{}, ErrQueueFull
+	}
+
+	topo, err := req.Spec.Resolve(m.reg)
 	if err != nil {
 		return JobStatus{}, err
 	}
@@ -293,17 +347,11 @@ func (m *Manager) Submit(req Request) (JobStatus, error) {
 	if m.closed {
 		return JobStatus{}, ErrClosed
 	}
-	if j, ok := m.active[id]; ok {
-		m.stats.Coalesced++
-		st := m.snapshot(j, false)
-		st.Coalesced = true
+	// An identical submission may have landed while validation ran.
+	if st, ok := m.serveLocked(id, name); ok {
 		return st, nil
 	}
-	if j, ok := m.cache.get(id); ok {
-		m.stats.CacheHits++
-		return m.snapshot(j, true), nil
-	}
-	j := &job{id: id, specHash: specHash, req: req, state: StateQueued, done: make(chan struct{})}
+	j := &job{id: id, specHash: specHash, req: req, topo: topo, state: StateQueued, done: make(chan struct{})}
 	select {
 	case m.queue <- j:
 	default:
@@ -312,6 +360,23 @@ func (m *Manager) Submit(req Request) (JobStatus, error) {
 	m.active[id] = j
 	m.stats.Submitted++
 	return m.snapshot(j, false), nil
+}
+
+// serveLocked answers a submission from the in-flight index or the
+// result cache, overlaying the submitter's display name; callers hold
+// m.mu.
+func (m *Manager) serveLocked(id, name string) (JobStatus, bool) {
+	if j, ok := m.active[id]; ok {
+		m.stats.Coalesced++
+		st := m.snapshot(j, false).WithName(name)
+		st.Coalesced = true
+		return st, true
+	}
+	if j, ok := m.cache.get(id); ok {
+		m.stats.CacheHits++
+		return m.snapshot(j, true).WithName(name), true
+	}
+	return JobStatus{}, false
 }
 
 // Get returns a snapshot of the job with the given ID, looking through
@@ -407,6 +472,23 @@ func (m *Manager) snapshot(j *job, cached bool) JobStatus {
 	return st
 }
 
+// WithName overlays a submitter's display name onto a snapshot served
+// from shared state (dedup or cache), copying the Result so the stored
+// payload — possibly computed under a different submitter's name — is
+// never mutated. Submit applies it itself; callers that obtain the
+// final snapshot through Wait or Get on behalf of a known submission
+// (the server's ?wait=true paths) apply it to honor that submission's
+// own name.
+func (st JobStatus) WithName(name string) JobStatus {
+	if st.Result == nil || st.Result.Name == name {
+		return st
+	}
+	r := *st.Result
+	r.Name = name
+	st.Result = &r
+	return st
+}
+
 func (m *Manager) worker() {
 	defer m.wg.Done()
 	for {
@@ -414,8 +496,19 @@ func (m *Manager) worker() {
 		case <-m.quit:
 			return
 		case j := <-m.queue:
-			if m.testHookBeforeRun != nil {
-				m.testHookBeforeRun()
+			// Re-check quit: when both channels are ready the select
+			// above picks at random, and a closing manager must fail
+			// queued work instead of starting fresh simulations —
+			// otherwise Close can block on arbitrarily long runs it was
+			// supposed to cancel.
+			select {
+			case <-m.quit:
+				m.finish(j, nil, ErrClosed)
+				return
+			default:
+			}
+			if m.TestHookBeforeRun != nil {
+				m.TestHookBeforeRun()
 			}
 			m.mu.Lock()
 			j.state = StateRunning
@@ -445,6 +538,7 @@ func (m *Manager) finish(j *job, res *Result, err error) {
 		j.result = res
 		m.stats.Completed++
 	}
+	j.topo = nil // the cache keeps jobs around; don't pin their graphs too
 	delete(m.active, j.id)
 	m.stats.Evicted += uint64(m.cache.add(j.id, j))
 	close(j.done)
@@ -460,7 +554,11 @@ func (m *Manager) execute(j *job) (*Result, error) {
 	for i := range scenarios {
 		s := j.req.Spec.WithSeed(j.req.Spec.Seed + int64(i))
 		seeds[i] = s.Seed
-		sc, err := s.Compile(m.reg)
+		// j.topo pins every replicate to the base spec's graph (resolved
+		// once at Submit): a replication sweep measures seed variance on
+		// one experiment, so randomized families must not redraw per
+		// seed — and deterministic ones skip n redundant builds.
+		sc, err := s.CompileWith(m.reg, j.topo)
 		if err != nil {
 			return nil, err
 		}

@@ -8,9 +8,11 @@ import (
 	"math"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
+	"ftgcs"
 	"ftgcs/internal/spec"
 )
 
@@ -81,6 +83,195 @@ func TestSubmitRunAndCacheHit(t *testing.T) {
 	}
 }
 
+// TestCacheHitCarriesCallerName: the display name is excluded from job
+// identity, so submissions differing only in name share one run — but
+// each submitter gets its own name back, not the first submitter's, and
+// the stored result is never mutated.
+func TestCacheHitCarriesCallerName(t *testing.T) {
+	m := NewManager(Options{Workers: 1})
+	defer m.Close()
+
+	a := quickSpec(5)
+	a.Name = "first"
+	st, err := m.Submit(Request{Spec: a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done := waitDone(t, m, st.ID); done.Result.Name != "first" {
+		t.Fatalf("fresh run name = %q, want \"first\"", done.Result.Name)
+	}
+
+	b := quickSpec(5)
+	b.Name = "second"
+	st2, err := m.Submit(Request{Spec: b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st2.Cached || st2.Result == nil {
+		t.Fatalf("same experiment under a new name should cache-hit: %+v", st2)
+	}
+	if st2.Result.Name != "second" {
+		t.Fatalf("cache hit name = %q, want the caller's \"second\"", st2.Result.Name)
+	}
+
+	// An unnamed submission gets the default label, not a stale one.
+	c := quickSpec(5)
+	st3, err := m.Submit(Request{Spec: c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st3.Result == nil || st3.Result.Name != c.DisplayName() {
+		t.Fatalf("unnamed cache hit result = %+v, want name %q", st3.Result, c.DisplayName())
+	}
+
+	// A poll by ID carries no caller name; it reports the submission
+	// that actually ran.
+	got, ok := m.Get(st.ID)
+	if !ok || got.Result == nil || got.Result.Name != "first" {
+		t.Fatalf("stored result mutated: %+v", got)
+	}
+	if s := m.Stats(); s.Runs != 1 {
+		t.Fatalf("want exactly 1 run, got %+v", s)
+	}
+}
+
+// TestReplicationPinsTopology: a replicated run measures seed variance
+// on one experiment, so every replicate must run the base seed's graph
+// even for randomized topology families.
+func TestReplicationPinsTopology(t *testing.T) {
+	m := NewManager(Options{Workers: 2})
+	defer m.Close()
+
+	s := spec.ScenarioSpec{
+		Topology: spec.Topology{Name: "random", Size: 8},
+		Seed:     3,
+		Horizon:  spec.Horizon{Seconds: 2},
+	}
+	st, err := m.Submit(Request{Spec: s, Replicate: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := waitDone(t, m, st.ID)
+	if final.State != StateDone || final.Result == nil || final.Result.Replicates == nil {
+		t.Fatalf("replicated job did not complete: %+v", final)
+	}
+	reports := final.Result.Replicates.Reports
+
+	// Replicate 1 ran seed 4; its report must match a hand-built run of
+	// seed 4 on seed 3's topology draw.
+	topo, err := ftgcs.TopologyByName("random", 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := s.WithSeed(4).Compile(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := sc.With(ftgcs.WithTopology(topo)).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reports[1] != want {
+		t.Fatalf("replicate 1 did not run on the base topology:\n got %+v\nwant %+v", reports[1], want)
+	}
+
+	// And it must NOT match seed 4's own topology draw (the behavior
+	// this test guards against).
+	sc4, err := s.WithSeed(4).Compile(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ownDraw, err := sc4.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reports[1] == ownDraw {
+		t.Fatal("replicate 1 ran on its own per-seed topology draw; graphs are not pinned (or the draws coincide — pick different seeds)")
+	}
+}
+
+// TestReplicateBuildsTopologyOnce: the graph is resolved once at Submit
+// and shared by every replicate; neither validation nor the per-seed
+// compiles rebuild it.
+func TestReplicateBuildsTopologyOnce(t *testing.T) {
+	var builds atomic.Int32
+	reg := ftgcs.NewRegistry()
+	reg.RegisterTopology("counted", func(size int, _ int64) (*ftgcs.Topology, error) {
+		builds.Add(1)
+		return ftgcs.Line(size), nil
+	})
+	reg.RegisterDrift("spread", func() ftgcs.DriftModel { return ftgcs.SpreadDrift{} })
+	reg.RegisterDelay("uniform", func() ftgcs.DelayModel { return ftgcs.UniformDelayModel{} })
+
+	m := NewManager(Options{Workers: 1, Registry: reg})
+	defer m.Close()
+	s := spec.ScenarioSpec{
+		Topology: spec.Topology{Name: "counted", Size: 2},
+		Seed:     1,
+		Horizon:  spec.Horizon{Seconds: 2},
+	}
+	st, err := m.Submit(Request{Spec: s, Replicate: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final := waitDone(t, m, st.ID); final.State != StateDone {
+		t.Fatalf("replicated job did not complete: %+v", final)
+	}
+	if n := builds.Load(); n != 1 {
+		t.Fatalf("topology built %d times for 3 replicates, want 1", n)
+	}
+}
+
+// TestCloseFailsQueuedJobs: Close must fail work still on the queue, not
+// let workers race it onto fresh simulation runs.
+func TestCloseFailsQueuedJobs(t *testing.T) {
+	m := NewManager(Options{Workers: 1, QueueDepth: 8})
+	entered := make(chan struct{}, 8)
+	gate := make(chan struct{})
+	m.TestHookBeforeRun = func() {
+		entered <- struct{}{}
+		<-gate
+	}
+
+	ids := make([]string, 4)
+	for i := range ids {
+		st, err := m.Submit(Request{Spec: quickSpec(100 + int64(i))})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = st.ID
+	}
+	<-entered // the single worker now holds job 0; jobs 1–3 are queued
+
+	done := make(chan struct{})
+	go func() {
+		m.Close()
+		close(done)
+	}()
+	// Release the worker only once Close has committed (quit closed,
+	// submissions rejected), so the worker's next loop observes the
+	// shutdown alongside the non-empty queue.
+	bad := Request{Spec: spec.ScenarioSpec{Topology: spec.Topology{Name: "moebius", Size: 1}}}
+	for {
+		if _, err := m.Submit(bad); errors.Is(err, ErrClosed) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(gate)
+	<-done
+
+	if s := m.Stats(); s.Runs != 1 {
+		t.Fatalf("queued jobs must be failed on Close, not run: %+v", s)
+	}
+	for _, id := range ids[1:] {
+		st, ok := m.Get(id)
+		if !ok || st.State != StateFailed || !strings.Contains(st.Error, "closed") {
+			t.Fatalf("queued job should fail with ErrClosed on Close: %+v", st)
+		}
+	}
+}
+
 func TestConcurrentIdenticalSubmissionsCoalesce(t *testing.T) {
 	m := NewManager(Options{Workers: 2})
 	defer m.Close()
@@ -88,7 +279,7 @@ func TestConcurrentIdenticalSubmissionsCoalesce(t *testing.T) {
 	// Hold the workers until every submission has landed, so all of them
 	// observe the same in-flight job.
 	gate := make(chan struct{})
-	m.testHookBeforeRun = func() { <-gate }
+	m.TestHookBeforeRun = func() { <-gate }
 
 	const clients = 16
 	req := Request{Spec: quickSpec(3)}
@@ -142,7 +333,7 @@ func TestQueueFull(t *testing.T) {
 	m := NewManager(Options{Workers: 1, QueueDepth: 1})
 	defer m.Close()
 	gate := make(chan struct{})
-	m.testHookBeforeRun = func() { <-gate }
+	m.TestHookBeforeRun = func() { <-gate }
 	defer close(gate)
 
 	// First fills the worker, second fills the queue; distinct specs so

@@ -150,9 +150,21 @@ const (
 // (ftgcs-serve), so a single request must not be able to allocate an
 // arbitrarily large graph or pin a worker on an unbounded horizon.
 const (
-	// MaxTopologySize bounds the family size parameter (a clique of 2048
-	// clusters is ~2M edges — generous but finite).
+	// MaxTopologySize bounds the raw family size parameter. This is a
+	// sanity check only: the size parameter means different things per
+	// family (clusters, side length, depth, dimension), so the real
+	// budget is MaxTopologyClusters on the resolved graph.
 	MaxTopologySize = 2048
+	// MaxTopologyClusters bounds the resolved graph's cluster count (a
+	// clique of 2048 clusters is ~2M edges — generous but finite). For
+	// families with a registered size estimator (all built-ins: tree is
+	// 2^(depth+1)−1, hypercube 2^d, grid/torus size²) the budget is
+	// checked *before* the builder runs, so an oversized parameter fails
+	// validation instead of exhausting memory; families without an
+	// estimator are checked after building.
+	MaxTopologyClusters = 2048
+	// MaxSimNodes bounds the total simulated node count, clusters × k.
+	MaxSimNodes = 1 << 16
 	// MaxClusterSize bounds k.
 	MaxClusterSize = 1024
 	// MaxHorizonSeconds bounds an absolute horizon (simulated seconds).
@@ -290,9 +302,24 @@ func (s ScenarioSpec) Validate(reg *ftgcs.Registry) error {
 	return err
 }
 
+// Resolve validates the spec and returns its resolved topology, for
+// callers that validate once and then compile many seed variants
+// (CompileWith) without rebuilding the graph each time.
+func (s ScenarioSpec) Resolve(reg *ftgcs.Registry) (*ftgcs.Topology, error) {
+	return s.validate(reg)
+}
+
 // validate is Validate plus the resolved topology, so Compile does not
 // have to build the graph a second time.
 func (s ScenarioSpec) validate(reg *ftgcs.Registry) (*ftgcs.Topology, error) {
+	return s.validateWith(reg, nil)
+}
+
+// validateWith is validate with an optionally pre-resolved topology:
+// when topo is non-nil (it came from an earlier Resolve of this spec's
+// family/size) the graph is not re-built or re-budgeted, only used for
+// the checks that need it.
+func (s ScenarioSpec) validateWith(reg *ftgcs.Registry, topo *ftgcs.Topology) (*ftgcs.Topology, error) {
 	if reg == nil {
 		reg = ftgcs.DefaultRegistry
 	}
@@ -309,8 +336,14 @@ func (s ScenarioSpec) validate(reg *ftgcs.Registry) (*ftgcs.Topology, error) {
 	if n.Topology.Size > MaxTopologySize {
 		return nil, fmt.Errorf("spec: topology size %d exceeds limit %d", n.Topology.Size, MaxTopologySize)
 	}
+	if n.Clusters.K < 1 || n.Clusters.F < 0 {
+		return nil, fmt.Errorf("spec: invalid cluster geometry k=%d f=%d", n.Clusters.K, n.Clusters.F)
+	}
 	if n.Clusters.K > MaxClusterSize {
 		return nil, fmt.Errorf("spec: cluster size k=%d exceeds limit %d", n.Clusters.K, MaxClusterSize)
+	}
+	if n.Clusters.F > 0 && n.Clusters.K < 3*n.Clusters.F+1 {
+		return nil, fmt.Errorf("spec: k=%d < 3f+1=%d", n.Clusters.K, 3*n.Clusters.F+1)
 	}
 	if n.Horizon.Seconds > MaxHorizonSeconds {
 		return nil, fmt.Errorf("spec: horizon %g s exceeds limit %g", n.Horizon.Seconds, float64(MaxHorizonSeconds))
@@ -318,15 +351,24 @@ func (s ScenarioSpec) validate(reg *ftgcs.Registry) (*ftgcs.Topology, error) {
 	if n.Horizon.Rounds > MaxHorizonRounds {
 		return nil, fmt.Errorf("spec: horizon %g rounds exceeds limit %g", n.Horizon.Rounds, float64(MaxHorizonRounds))
 	}
-	topo, err := reg.Topology(n.Topology.Name, n.Topology.Size, n.Seed)
-	if err != nil {
-		return nil, err
-	}
-	if n.Clusters.K < 1 || n.Clusters.F < 0 {
-		return nil, fmt.Errorf("spec: invalid cluster geometry k=%d f=%d", n.Clusters.K, n.Clusters.F)
-	}
-	if n.Clusters.F > 0 && n.Clusters.K < 3*n.Clusters.F+1 {
-		return nil, fmt.Errorf("spec: k=%d < 3f+1=%d", n.Clusters.K, 3*n.Clusters.F+1)
+	if topo == nil {
+		if est, ok := reg.TopologyClusters(n.Topology.Name, n.Topology.Size); ok && est > MaxTopologyClusters {
+			return nil, fmt.Errorf("spec: topology %s(%d) resolves to %d clusters, exceeds limit %d",
+				n.Topology.Name, n.Topology.Size, est, MaxTopologyClusters)
+		}
+		var err error
+		topo, err = reg.Topology(n.Topology.Name, n.Topology.Size, n.Seed)
+		if err != nil {
+			return nil, err
+		}
+		if topo.N() > MaxTopologyClusters {
+			return nil, fmt.Errorf("spec: topology %s(%d) resolves to %d clusters, exceeds limit %d",
+				n.Topology.Name, n.Topology.Size, topo.N(), MaxTopologyClusters)
+		}
+		if total := topo.N() * n.Clusters.K; total > MaxSimNodes {
+			return nil, fmt.Errorf("spec: %d clusters × k=%d is %d simulated nodes, exceeds limit %d",
+				topo.N(), n.Clusters.K, total, MaxSimNodes)
+		}
 	}
 	if n.Physical.Rho <= 0 || n.Physical.Delay <= 0 || n.Physical.Uncertainty <= 0 {
 		return nil, fmt.Errorf("spec: physical constants must be positive: ρ=%g d=%g U=%g",
@@ -401,10 +443,18 @@ func presetByName(name string) (ftgcs.Preset, error) {
 // same graph every time the same spec compiles, which the job manager's
 // dedup/caching depends on.
 func (s ScenarioSpec) Compile(reg *ftgcs.Registry) (*ftgcs.Scenario, error) {
+	return s.CompileWith(reg, nil)
+}
+
+// CompileWith is Compile with an optionally pre-resolved topology (from
+// Resolve). Callers pinning one graph across many seed variants — the
+// job manager's replication fan-out — pass it to skip re-building a
+// graph per compile; nil behaves exactly like Compile.
+func (s ScenarioSpec) CompileWith(reg *ftgcs.Registry, topo *ftgcs.Topology) (*ftgcs.Scenario, error) {
 	if reg == nil {
 		reg = ftgcs.DefaultRegistry
 	}
-	topo, err := s.validate(reg)
+	topo, err := s.validateWith(reg, topo)
 	if err != nil {
 		return nil, err
 	}
@@ -423,12 +473,8 @@ func (s ScenarioSpec) Compile(reg *ftgcs.Registry) (*ftgcs.Scenario, error) {
 		return nil, err
 	}
 
-	name := n.Name
-	if name == "" {
-		name = fmt.Sprintf("%s-%d", n.Topology.Name, n.Topology.Size)
-	}
 	opts := []ftgcs.Option{
-		ftgcs.WithName("%s", name),
+		ftgcs.WithName("%s", n.DisplayName()),
 		ftgcs.WithTopology(topo),
 		ftgcs.WithClusters(n.Clusters.K, n.Clusters.F),
 		ftgcs.WithPhysical(n.Physical.Rho, n.Physical.Delay, n.Physical.Uncertainty),
@@ -476,6 +522,16 @@ func (s ScenarioSpec) Compile(reg *ftgcs.Registry) (*ftgcs.Scenario, error) {
 		opts = append(opts, ftgcs.WithClusterTracking())
 	}
 	return ftgcs.NewScenario(opts...), nil
+}
+
+// DisplayName returns the label the compiled scenario (and hence the
+// result) carries: the explicit Name, or "<topology>-<size>" when the
+// spec is unnamed.
+func (s ScenarioSpec) DisplayName() string {
+	if s.Name != "" {
+		return s.Name
+	}
+	return fmt.Sprintf("%s-%d", s.Topology.Name, s.Topology.Size)
 }
 
 // WithSeed returns a copy of the spec with the given seed — the

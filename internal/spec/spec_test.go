@@ -259,6 +259,20 @@ func TestValidateRejectsBadSpecs(t *testing.T) {
 		// arbitrarily large graphs or unbounded horizons.
 		{func(s *ScenarioSpec) { s.Topology.Size = MaxTopologySize + 1 }, "exceeds limit"},
 		{func(s *ScenarioSpec) { s.Clusters = Clusters{K: MaxClusterSize + 1, F: 0} }, "exceeds limit"},
+		// The cluster budget applies to the resolved graph, not the raw
+		// size parameter: tree's size is a depth, hypercube's a
+		// dimension, grid/torus's a side length.
+		{func(s *ScenarioSpec) { s.Topology = Topology{Name: "tree", Size: 50} }, "exceeds limit"},
+		{func(s *ScenarioSpec) { s.Topology = Topology{Name: "hypercube", Size: 40} }, "exceeds limit"},
+		{func(s *ScenarioSpec) { s.Topology = Topology{Name: "grid", Size: 2048} }, "exceeds limit"},
+		{func(s *ScenarioSpec) { s.Topology = Topology{Name: "torus", Size: 64} }, "exceeds limit"},
+		{
+			func(s *ScenarioSpec) {
+				s.Topology = Topology{Name: "line", Size: 2048}
+				s.Clusters = Clusters{K: 1024, F: 0}
+			},
+			"simulated nodes",
+		},
 		{func(s *ScenarioSpec) { s.Horizon = Horizon{Seconds: MaxHorizonSeconds * 2} }, "exceeds limit"},
 		{func(s *ScenarioSpec) { s.Horizon = Horizon{Rounds: MaxHorizonRounds * 2} }, "exceeds limit"},
 	}
@@ -268,6 +282,61 @@ func TestValidateRejectsBadSpecs(t *testing.T) {
 		if err := s.Validate(nil); err == nil || !strings.Contains(err.Error(), c.want) {
 			t.Errorf("want error containing %q, got %v", c.want, err)
 		}
+	}
+}
+
+// TestValidateBoundsResolvedGraph: the cluster budget is enforced before
+// an exponential builder runs (if validation built tree(50) first, this
+// test would exhaust memory on its 2^51-cluster graph), and custom
+// families without a size estimate are still bounded after building.
+func TestValidateBoundsResolvedGraph(t *testing.T) {
+	s := ScenarioSpec{Topology: Topology{Name: "tree", Size: 50}}
+	if err := s.Validate(nil); err == nil || !strings.Contains(err.Error(), "exceeds limit") {
+		t.Fatalf("tree depth 50 must fail validation, got %v", err)
+	}
+
+	reg := ftgcs.NewRegistry()
+	reg.RegisterTopology("wide", func(size int, _ int64) (*ftgcs.Topology, error) {
+		return ftgcs.Line(3 * size), nil
+	})
+	w := ScenarioSpec{Topology: Topology{Name: "wide", Size: 1000}}
+	if err := w.Validate(reg); err == nil || !strings.Contains(err.Error(), "exceeds limit") {
+		t.Fatalf("custom family resolving to 3000 clusters must fail validation, got %v", err)
+	}
+
+	// An alias of a super-linear family inherits its size estimator, so
+	// the pre-build guard fires without ever invoking the builder.
+	built := false
+	reg.RegisterTopology("deep", func(size int, _ int64) (*ftgcs.Topology, error) {
+		built = true
+		return ftgcs.Line(1), nil
+	})
+	reg.RegisterTopologySize("deep", func(size int) int {
+		if size >= 30 {
+			return 1 << 30
+		}
+		return 1 << size
+	})
+	reg.RegisterAlias("d", "deep")
+	a := ScenarioSpec{Topology: Topology{Name: "d", Size: 50}}
+	if err := a.Validate(reg); err == nil || !strings.Contains(err.Error(), "exceeds limit") {
+		t.Fatalf("aliased exponential family must fail the pre-build check, got %v", err)
+	}
+	if built {
+		t.Fatal("builder must not run when the size estimate rejects the spec")
+	}
+
+	// A custom registry's own "tree" is NOT judged by the built-in tree's
+	// depth semantics: estimators belong to the registry, not the name.
+	lin := ftgcs.NewRegistry()
+	lin.RegisterTopology("tree", func(size int, _ int64) (*ftgcs.Topology, error) {
+		return ftgcs.Line(size), nil
+	})
+	lin.RegisterDrift("spread", func() ftgcs.DriftModel { return ftgcs.SpreadDrift{} })
+	lin.RegisterDelay("uniform", func() ftgcs.DelayModel { return ftgcs.UniformDelayModel{} })
+	s3 := ScenarioSpec{Topology: Topology{Name: "tree", Size: 100}}
+	if err := s3.Validate(lin); err != nil {
+		t.Fatalf("linear custom \"tree\" at size 100 must validate, got %v", err)
 	}
 }
 

@@ -27,6 +27,7 @@ type TopologyBuilder func(size int, seed int64) (*Topology, error)
 type Registry struct {
 	mu         sync.RWMutex
 	topologies map[string]TopologyBuilder
+	topoSizes  map[string]func(size int) int
 	drifts     map[string]func() DriftModel
 	delays     map[string]func() DelayModel
 	attacks    map[string]func() Attack
@@ -37,6 +38,7 @@ type Registry struct {
 func NewRegistry() *Registry {
 	return &Registry{
 		topologies: make(map[string]TopologyBuilder),
+		topoSizes:  make(map[string]func(size int) int),
 		drifts:     make(map[string]func() DriftModel),
 		delays:     make(map[string]func() DelayModel),
 		attacks:    make(map[string]func() Attack),
@@ -70,6 +72,39 @@ func (r *Registry) RegisterTopology(name string, b TopologyBuilder) {
 		panic(fmt.Sprintf("ftgcs: topology %q registered twice", name))
 	}
 	r.topologies[name] = b
+}
+
+// RegisterTopologySize attaches a cluster-count estimator to a topology
+// family: given the family's size parameter, it returns how many
+// clusters the built graph will have. Estimators let validators budget
+// the resolved graph BEFORE the builder runs — essential for families
+// whose builders are super-linear in the parameter (a tree depth or
+// hypercube dimension builds 2^size clusters). Estimators may saturate
+// instead of overflowing for huge parameters. It panics if the name is
+// empty, the estimator nil, or one is already registered.
+func (r *Registry) RegisterTopologySize(name string, clusters func(size int) int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if name == "" || clusters == nil {
+		panic("ftgcs: RegisterTopologySize with empty name or nil estimator")
+	}
+	if _, dup := r.topoSizes[name]; dup {
+		panic(fmt.Sprintf("ftgcs: topology size estimator %q registered twice", name))
+	}
+	r.topoSizes[name] = clusters
+}
+
+// TopologyClusters estimates how many clusters the named family (alias
+// or canonical) resolves to at the given size. ok is false when the
+// family has no registered estimator.
+func (r *Registry) TopologyClusters(name string, size int) (int, bool) {
+	r.mu.RLock()
+	est, ok := lookup(r, r.topoSizes, name)
+	r.mu.RUnlock()
+	if !ok {
+		return 0, false
+	}
+	return est(size), true
 }
 
 // RegisterDrift adds a drift model constructor under the given name. It
@@ -253,6 +288,42 @@ func newBuiltinRegistry() *Registry {
 		return Random(size, size/2, seed), nil
 	})
 
+	// Cluster-count estimators, saturating well past any sane budget so
+	// huge parameters cannot overflow. These let spec validation reject
+	// an oversized graph before the builder allocates it.
+	const saturated = 1 << 30
+	ident := func(size int) int { return size }
+	square := func(size int) int {
+		if size >= 1<<15 {
+			return saturated
+		}
+		return size * size
+	}
+	pow2 := func(size int) int {
+		if size < 0 {
+			return 0
+		}
+		if size >= 30 {
+			return saturated
+		}
+		return 1 << size
+	}
+	for _, name := range []string{"line", "ring", "clique", "star", "random"} {
+		r.RegisterTopologySize(name, ident)
+	}
+	r.RegisterTopologySize("grid", square)
+	r.RegisterTopologySize("torus", square)
+	r.RegisterTopologySize("hypercube", pow2)
+	r.RegisterTopologySize("tree", func(depth int) int { // Tree(2, depth): 2^(depth+1)−1 clusters
+		if depth < 0 {
+			return 0
+		}
+		if depth >= 30 {
+			return saturated
+		}
+		return 1<<(depth+1) - 1
+	})
+
 	r.RegisterDrift("spread", func() DriftModel { return SpreadDrift{} })
 	r.RegisterDrift("gradient", func() DriftModel { return GradientDrift{} })
 	r.RegisterDrift("halves", func() DriftModel { return HalvesDrift{} })
@@ -287,6 +358,13 @@ func newBuiltinRegistry() *Registry {
 
 // RegisterTopology installs a topology family in the default registry.
 func RegisterTopology(name string, b TopologyBuilder) { DefaultRegistry.RegisterTopology(name, b) }
+
+// RegisterTopologySize attaches a cluster-count estimator in the default
+// registry, letting spec validation budget a custom family's resolved
+// graph before its builder runs.
+func RegisterTopologySize(name string, clusters func(size int) int) {
+	DefaultRegistry.RegisterTopologySize(name, clusters)
+}
 
 // RegisterDrift installs a drift model in the default registry.
 func RegisterDrift(name string, ctor func() DriftModel) { DefaultRegistry.RegisterDrift(name, ctor) }
