@@ -1,10 +1,12 @@
 package ftgcs
 
 import (
+	"context"
 	"fmt"
 
 	"ftgcs/internal/core"
 	"ftgcs/internal/metrics"
+	"ftgcs/internal/sim"
 )
 
 // Backend is the minimal simulation surface a Scenario needs to run to a
@@ -16,8 +18,17 @@ import (
 type Backend interface {
 	// Run advances simulated time to the given horizon (seconds).
 	Run(until float64) error
+	// RunContext is Run with cooperative cancellation: a done context
+	// aborts the run with ctx.Err() after the in-flight event, leaving
+	// simulated time where the run stopped. The executed event prefix is
+	// byte-identical to an uncanceled run.
+	RunContext(ctx context.Context, until float64) error
 	// Now returns the current simulated time.
 	Now() float64
+	// Progress returns a snapshot of the run (events executed, current
+	// simulated time); unlike every other method it must be safe to call
+	// from any goroutine while a run is in flight.
+	Progress() Progress
 	// Summarize condenses the run: maxima of every recorded skew series
 	// after the warmup prefix.
 	Summarize(warmup float64) Summary
@@ -28,8 +39,15 @@ type Backend interface {
 	Diameter() int
 }
 
+// Progress is a cross-goroutine-safe snapshot of a running system: how
+// many simulation events have executed (Events) and how far simulated
+// time has advanced (Now, seconds). Both fields are monotone within one
+// run.
+type Progress = sim.Progress
+
 // coreBackend adapts the standard core system to the Backend interface
-// (Run, Summarize and Recorder are promoted from core.System).
+// (Run, RunContext, Progress, Summarize and Recorder are promoted from
+// core.System).
 type coreBackend struct {
 	*core.System
 }

@@ -8,24 +8,36 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 
 	"ftgcs/internal/harness"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
-		fmt.Fprintln(os.Stderr, "ftgcs-experiments:", err)
+	// SIGINT/SIGTERM cancel the in-flight sweep; tables of experiments
+	// that already completed have been flushed by then.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "ftgcs-experiments: interrupted; completed tables were flushed")
+		} else {
+			fmt.Fprintln(os.Stderr, "ftgcs-experiments:", err)
+		}
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("ftgcs-experiments", flag.ContinueOnError)
 	quick := fs.Bool("quick", false, "reduced sweeps and horizons")
 	seed := fs.Int64("seed", 1, "master random seed")
@@ -64,7 +76,7 @@ func run(args []string) error {
 		}()
 	}
 
-	rc := harness.RunConfig{Quick: *quick, Seed: *seed, Workers: *workers}
+	rc := harness.RunConfig{Quick: *quick, Seed: *seed, Workers: *workers, Ctx: ctx}
 	if *verbose {
 		rc.Progress = os.Stderr
 	}

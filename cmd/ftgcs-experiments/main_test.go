@@ -1,20 +1,23 @@
 package main
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 func TestRunSelectedExperiments(t *testing.T) {
 	// Only the fast, simulation-free experiments; the full pipeline is
 	// exercised by the harness tests and benchmarks.
-	if err := run([]string{"-quick", "-only", "E5,E7,E11,E14"}); err != nil {
+	if err := run(context.Background(), []string{"-quick", "-only", "E5,E7,E11,E14"}); err != nil {
 		t.Errorf("run: %v", err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run([]string{"-only", "E99"}); err == nil {
+	if err := run(context.Background(), []string{"-only", "E99"}); err == nil {
 		t.Error("unknown experiment accepted")
 	}
-	if err := run([]string{"-badflag"}); err == nil {
+	if err := run(context.Background(), []string{"-badflag"}); err == nil {
 		t.Error("bad flag accepted")
 	}
 }

@@ -14,11 +14,15 @@
 //	# the same submission again: served from cache, byte-identical result
 //	curl -X POST 'localhost:8080/v1/experiments?wait=true' -d @same.json
 //
-//	# poll by content-addressed job ID
+//	# poll by content-addressed job ID (running jobs carry progress)
 //	curl localhost:8080/v1/experiments/sha256:...
 //
-//	# what the registry knows
+//	# cancel a queued or running job (never cached; resubmit reruns)
+//	curl -X DELETE localhost:8080/v1/experiments/sha256:...
+//
+//	# what the registry knows; how the service is doing
 //	curl localhost:8080/v1/registry
+//	curl localhost:8080/v1/stats
 package main
 
 import (
@@ -51,6 +55,8 @@ func run(args []string) error {
 	cache := fs.Int("cache", 128, "result LRU capacity (entries)")
 	sweepWorkers := fs.Int("sweep-workers", 0, "per-job sweep pool size for replicated specs (0 = GOMAXPROCS)")
 	waitLimit := fs.Duration("wait-limit", 2*time.Minute, "maximum blocking time for ?wait=true requests")
+	runLimit := fs.Duration("run-limit", 0, "per-job wall-clock budget; a job running longer is canceled (0 = unlimited)")
+	drain := fs.Duration("drain", 5*time.Second, "graceful-shutdown timeout: in-flight jobs are canceled, connections drained")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -61,6 +67,7 @@ func run(args []string) error {
 		QueueDepth:   *queue,
 		CacheSize:    *cache,
 		SweepWorkers: *sweepWorkers,
+		RunLimit:     *runLimit,
 	})
 	defer mgr.Close()
 
@@ -82,8 +89,13 @@ func run(args []string) error {
 	case err := <-errc:
 		return err
 	case <-ctx.Done():
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
+		// Close the manager first: it cancels in-flight runs (workers
+		// drain within a few simulation events) and releases every
+		// blocked ?wait=true request, so Shutdown can finish inside the
+		// drain timeout instead of stalling behind long simulations.
+		mgr.Close()
 		return srv.Shutdown(shutdownCtx)
 	}
 }

@@ -481,3 +481,268 @@ func TestErrorPaths(t *testing.T) {
 		t.Fatalf("unknown id: %d", code)
 	}
 }
+
+// longLineSpec is validation-legal but heavy enough to still be running
+// when tests cancel it.
+const longLineSpec = `{"spec": {"topology": {"name": "line", "size": 2}, "seed": 99, "horizon": {"seconds": 50000}}}`
+
+// TestCancelEndpoint is the service-level acceptance criterion: DELETE on
+// a running long-horizon job returns within 250ms with state canceled,
+// the worker slot is freed (a subsequent submit runs), the canceled spec
+// is absent from the result cache, and a running job's GET payload shows
+// monotonically advancing progress.
+func TestCancelEndpoint(t *testing.T) {
+	ts, mgr := newTestServer(t, jobs.Options{Workers: 1})
+
+	code, body := post(t, ts, "/v1/experiments", longLineSpec)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit long job: %d %s", code, body)
+	}
+	var st statusView
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+
+	// Poll GET until the job runs and shows progress; samples must be
+	// monotone.
+	type progView struct {
+		State    string `json:"state"`
+		Progress *struct {
+			Events      uint64  `json:"events"`
+			SimFraction float64 `json:"simFraction"`
+		} `json:"progress"`
+	}
+	var lastEvents uint64
+	var lastFraction float64
+	samples := 0
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) && samples < 5 {
+		_, b := get(t, ts, "/v1/experiments/"+st.ID)
+		var pv progView
+		if err := json.Unmarshal(b, &pv); err != nil {
+			t.Fatal(err)
+		}
+		if pv.State != "running" || pv.Progress == nil || pv.Progress.Events == 0 {
+			time.Sleep(5 * time.Millisecond)
+			continue
+		}
+		if pv.Progress.Events < lastEvents || pv.Progress.SimFraction < lastFraction {
+			t.Fatalf("progress regressed: %+v after events=%d fraction=%g", pv.Progress, lastEvents, lastFraction)
+		}
+		lastEvents, lastFraction = pv.Progress.Events, pv.Progress.SimFraction
+		samples++
+	}
+	if samples == 0 {
+		t.Fatal("never observed running progress in GET payloads")
+	}
+
+	// DELETE: prompt, terminal, retryable.
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/experiments/"+st.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	resp, err := http.DefaultClient.Do(req)
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE: %d %s", resp.StatusCode, b)
+	}
+	var canceled struct {
+		State     string `json:"state"`
+		Retryable bool   `json:"retryable"`
+	}
+	if err := json.Unmarshal(b, &canceled); err != nil {
+		t.Fatal(err)
+	}
+	if canceled.State != "canceled" || !canceled.Retryable {
+		t.Fatalf("DELETE should report canceled+retryable: %s", b)
+	}
+	if elapsed > 250*time.Millisecond {
+		t.Fatalf("DELETE of a running job took %v, want < 250ms", elapsed)
+	}
+
+	// Absent from the cache: GET is now a 404, and resubmitting the same
+	// spec runs it again instead of hitting the cache.
+	if code, _ := get(t, ts, "/v1/experiments/"+st.ID); code != http.StatusNotFound {
+		t.Fatalf("GET after cancel: %d, want 404", code)
+	}
+	code, body = post(t, ts, "/v1/experiments", longLineSpec)
+	if code != http.StatusAccepted {
+		t.Fatalf("resubmit after cancel should be accepted fresh: %d %s", code, body)
+	}
+	var re statusView
+	if err := json.Unmarshal(body, &re); err != nil {
+		t.Fatal(err)
+	}
+	if re.Cached {
+		t.Fatalf("resubmission of canceled spec served from cache: %s", body)
+	}
+	if _, err := mgr.Cancel(re.ID); err != nil {
+		t.Fatal(err)
+	}
+
+	// The worker slot is free: an unrelated quick job completes.
+	code, body = post(t, ts, "/v1/experiments?wait=true", lineSpec)
+	if code != http.StatusOK {
+		t.Fatalf("post-cancel submit: %d %s", code, body)
+	}
+	var done statusView
+	if err := json.Unmarshal(body, &done); err != nil {
+		t.Fatal(err)
+	}
+	if done.State != "done" {
+		t.Fatalf("worker slot not freed after DELETE: %s", body)
+	}
+
+	// Canceling terminal work: 409, cached result intact. Unknown: 404.
+	req, _ = http.NewRequest(http.MethodDelete, ts.URL+"/v1/experiments/"+done.ID, nil)
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusConflict {
+		t.Fatalf("DELETE of done job: %d, want 409", resp2.StatusCode)
+	}
+	req, _ = http.NewRequest(http.MethodDelete, ts.URL+"/v1/experiments/sha256:deadbeef", nil)
+	resp3, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusNotFound {
+		t.Fatalf("DELETE of unknown job: %d, want 404", resp3.StatusCode)
+	}
+}
+
+// TestWaiterGetsCanceledSnapshot: a client blocked on ?wait=true whose
+// job is canceled out from under it (DELETE, budget, shutdown) gets the
+// canceled snapshot — state canceled, retryable — not an eviction error
+// or a 404.
+func TestWaiterGetsCanceledSnapshot(t *testing.T) {
+	ts, mgr := newTestServer(t, jobs.Options{Workers: 1})
+
+	code, body := post(t, ts, "/v1/experiments", longLineSpec)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit long job: %d %s", code, body)
+	}
+	var st statusView
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+
+	type waitOut struct {
+		code int
+		body []byte
+		err  error
+	}
+	done := make(chan waitOut, 1)
+	go func() {
+		// Plain HTTP here: t.Fatal must not run off the test goroutine.
+		resp, err := http.Get(ts.URL + "/v1/experiments/" + st.ID + "?wait=true")
+		if err != nil {
+			done <- waitOut{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		done <- waitOut{code: resp.StatusCode, body: b, err: err}
+	}()
+
+	// Cancel once the job is actually running, with a grace period for
+	// the waiter's request to reach the blocked Wait (a waiter arriving
+	// after the cancel would correctly see a 404 — canceled jobs are
+	// dropped — which is not the path under test).
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if got, ok := mgr.Get(st.ID); ok && got.State == jobs.StateRunning {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(200 * time.Millisecond)
+	if _, err := mgr.Cancel(st.ID); err != nil {
+		t.Fatalf("Cancel: %v", err)
+	}
+
+	out := <-done
+	if out.err != nil {
+		t.Fatalf("waiter request: %v", out.err)
+	}
+	if out.code != http.StatusOK {
+		t.Fatalf("waiter response: %d %s", out.code, out.body)
+	}
+	var view struct {
+		State     string `json:"state"`
+		Retryable bool   `json:"retryable"`
+		Error     string `json:"error"`
+	}
+	if err := json.Unmarshal(out.body, &view); err != nil {
+		t.Fatalf("%v: %s", err, out.body)
+	}
+	if view.State != "canceled" || !view.Retryable {
+		t.Fatalf("waiter should get the canceled, retryable snapshot: %s", out.body)
+	}
+}
+
+// TestStatsEndpoint: /v1/stats exposes the manager's counters — queue
+// depth, jobs by state, cache hits/misses/evictions and the coalesce
+// count — from the same source healthz embeds.
+func TestStatsEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t, jobs.Options{})
+
+	if code, body := post(t, ts, "/v1/experiments?wait=true", lineSpec); code != http.StatusOK {
+		t.Fatalf("submit: %d %s", code, body)
+	}
+	// Same spec again: a cache hit.
+	if code, body := post(t, ts, "/v1/experiments?wait=true", lineSpec); code != http.StatusOK {
+		t.Fatalf("resubmit: %d %s", code, body)
+	}
+
+	code, body := get(t, ts, "/v1/stats")
+	if code != http.StatusOK {
+		t.Fatalf("stats: %d %s", code, body)
+	}
+	var stats struct {
+		Submitted   uint64 `json:"submitted"`
+		Completed   uint64 `json:"completed"`
+		Failed      uint64 `json:"failed"`
+		Canceled    uint64 `json:"canceled"`
+		Runs        uint64 `json:"runs"`
+		CacheHits   uint64 `json:"cacheHits"`
+		CacheMisses uint64 `json:"cacheMisses"`
+		Evicted     *int   `json:"evicted"`
+		Queued      *int   `json:"queued"`
+		Running     *int   `json:"running"`
+		CacheLen    *int   `json:"cacheLen"`
+	}
+	if err := json.Unmarshal(body, &stats); err != nil {
+		t.Fatalf("%v: %s", err, body)
+	}
+	if stats.Submitted != 1 || stats.Runs != 1 || stats.Completed != 1 {
+		t.Fatalf("counters wrong: %s", body)
+	}
+	if stats.CacheHits == 0 {
+		t.Fatalf("cache hit not counted: %s", body)
+	}
+	if stats.CacheMisses != 1 {
+		t.Fatalf("cacheMisses = %d, want exactly 1 (the first submission): %s", stats.CacheMisses, body)
+	}
+	if stats.Evicted == nil {
+		t.Fatalf("evicted counter missing from payload: %s", body)
+	}
+	if stats.Queued == nil || stats.Running == nil || stats.CacheLen == nil {
+		t.Fatalf("gauges missing from payload: %s", body)
+	}
+	if *stats.CacheLen != 1 {
+		t.Fatalf("cacheLen = %d, want 1: %s", *stats.CacheLen, body)
+	}
+}

@@ -24,15 +24,19 @@ type server struct {
 
 // newHandler builds the route table.
 //
-//	POST /v1/experiments         submit one spec or a batch
-//	GET  /v1/experiments/{id}    poll a job by content-addressed ID
-//	GET  /v1/registry            enumerate registered names
-//	GET  /v1/healthz             liveness + manager stats
+//	POST   /v1/experiments         submit one spec or a batch
+//	GET    /v1/experiments/{id}    poll a job by content-addressed ID
+//	DELETE /v1/experiments/{id}    cancel a queued or running job
+//	GET    /v1/registry            enumerate registered names
+//	GET    /v1/stats               job/cache/queue counters
+//	GET    /v1/healthz             liveness + manager stats
 func newHandler(s *server) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/experiments", s.handleSubmit)
 	mux.HandleFunc("GET /v1/experiments/{id}", s.handleGet)
+	mux.HandleFunc("DELETE /v1/experiments/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/registry", s.handleRegistry)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	return mux
 }
@@ -141,6 +145,12 @@ func (s *server) await(ctx context.Context, st jobs.JobStatus) (jobs.JobStatus, 
 	if err == nil {
 		return final, nil
 	}
+	if errors.Is(err, jobs.ErrCanceled) {
+		// The job was canceled while the waiter blocked (DELETE, run
+		// budget, shutdown): the canceled snapshot IS the answer — state
+		// canceled, retryable — not an eviction and not a failure.
+		return final, nil
+	}
 	if ctx.Err() != nil {
 		if cur, ok := s.mgr.Get(st.ID); ok {
 			return cur, nil
@@ -159,7 +169,9 @@ func (s *server) handleGet(w http.ResponseWriter, r *http.Request) {
 	if boolParam(r, "wait") {
 		wctx, cancel := context.WithTimeout(r.Context(), s.waitLimit)
 		defer cancel()
-		if st, err := s.mgr.Wait(wctx, id); err == nil {
+		// A job canceled while the waiter blocked still answers with its
+		// canceled snapshot (the ID itself is gone afterwards).
+		if st, err := s.mgr.Wait(wctx, id); err == nil || errors.Is(err, jobs.ErrCanceled) {
 			writeJSON(w, statusCode(st), st)
 			return
 		}
@@ -171,6 +183,36 @@ func (s *server) handleGet(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, statusCode(st), st)
+}
+
+// handleCancel is DELETE /v1/experiments/{id}: cancel a queued or
+// running job. The response carries the final snapshot — state canceled,
+// retryable — and returns only once the worker slot is actually free
+// (the job manager blocks the handful of simulation events cancellation
+// takes to land). Canceled work is never cached, so a subsequent GET of
+// the ID is a 404 and resubmitting the spec runs it afresh. Canceling a
+// completed job is a 409 (its cached result stays valid); unknown IDs
+// are 404.
+func (s *server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	st, err := s.mgr.Cancel(r.PathValue("id"))
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusOK, st)
+	case errors.Is(err, jobs.ErrCompleted):
+		writeJSON(w, http.StatusConflict, st)
+	case errors.Is(err, jobs.ErrUnknownJob):
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown experiment %q (canceled and evicted jobs are dropped; resubmit to recompute)", r.PathValue("id")))
+	default:
+		writeError(w, http.StatusInternalServerError, err)
+	}
+}
+
+// handleStats is GET /v1/stats: the manager's cumulative counters
+// (submitted/completed/failed/canceled/runs, cache hits/misses/evictions,
+// coalesce count) plus instantaneous gauges (queue depth, running jobs,
+// cache length).
+func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.mgr.Stats())
 }
 
 func (s *server) handleRegistry(w http.ResponseWriter, _ *http.Request) {
@@ -190,11 +232,11 @@ func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
-// statusCode maps a job snapshot to its HTTP status: completed work is
-// 200, accepted-but-pending work is 202.
+// statusCode maps a job snapshot to its HTTP status: terminal work
+// (done, failed, canceled) is 200, accepted-but-pending work is 202.
 func statusCode(st jobs.JobStatus) int {
 	switch st.State {
-	case jobs.StateDone, jobs.StateFailed:
+	case jobs.StateDone, jobs.StateFailed, jobs.StateCanceled:
 		return http.StatusOK
 	default:
 		return http.StatusAccepted

@@ -20,23 +20,31 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"ftgcs"
 	"ftgcs/internal/spec"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	// SIGINT/SIGTERM cancel the in-flight simulation or sweep: completed
+	// results are still flushed, the interrupted remainder is reported.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "ftgcs-sim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("ftgcs-sim", flag.ContinueOnError)
 	reg := ftgcs.DefaultRegistry
 	topo := fs.String("topology", "line", strings.Join(reg.TopologyNames(), "|"))
@@ -71,7 +79,7 @@ func run(args []string) error {
 		return nil
 	}
 	if *specPath != "" {
-		return runSpecFile(*specPath, *csvPath, *jsonPath)
+		return runSpecFile(ctx, *specPath, *csvPath, *jsonPath)
 	}
 
 	// Resolve the topology once, up front: a -seeds sweep must compare the
@@ -101,7 +109,7 @@ func run(args []string) error {
 	sc := ftgcs.NewScenario(opts...)
 
 	if *seeds > 1 {
-		return runSeedSweep(sc, *seed, *seeds, *workers)
+		return runSeedSweep(ctx, sc, *seed, *seeds, *workers)
 	}
 
 	sys, err := sc.Build()
@@ -116,16 +124,26 @@ func run(args []string) error {
 	fmt.Printf("parameters: T=%.3gs τ=(%.3g, %.3g, %.3g) E=%.3gs κ=%.3gs µ=%.3g ϕ=%.3g\n\n",
 		p.T, p.Tau1, p.Tau2, p.Tau3, p.EG, p.Kappa, p.Mu, p.Phi)
 
-	if err := sys.Run(*duration); err != nil {
-		return err
+	if err := sys.RunContext(ctx, *duration); err != nil {
+		return describeInterrupt(err, sys)
 	}
 	fmt.Println(sys.Report())
 	return exportSeries(sys, *csvPath, *jsonPath)
 }
 
+// describeInterrupt wraps a cancellation with how far the run got; other
+// errors pass through.
+func describeInterrupt(err error, sys *ftgcs.System) error {
+	if errors.Is(err, context.Canceled) {
+		p := sys.Progress()
+		return fmt.Errorf("interrupted at t=%.3gs after %d events: %w", p.Now, p.Events, err)
+	}
+	return err
+}
+
 // runSpecFile runs one declarative spec file — the same codec the
 // ftgcs-serve experiment service accepts.
-func runSpecFile(path, csvPath, jsonPath string) error {
+func runSpecFile(ctx context.Context, path, csvPath, jsonPath string) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -152,8 +170,8 @@ func runSpecFile(path, csvPath, jsonPath string) error {
 		sc.Name(), sys.Clusters(), sys.Nodes(), sys.Diameter())
 	fmt.Printf("parameters: T=%.3gs τ=(%.3g, %.3g, %.3g) E=%.3gs κ=%.3gs µ=%.3g ϕ=%.3g\n\n",
 		p.T, p.Tau1, p.Tau2, p.Tau3, p.EG, p.Kappa, p.Mu, p.Phi)
-	if err := sys.Run(sc.Horizon(p)); err != nil {
-		return err
+	if err := sys.RunContext(ctx, sc.Horizon(p)); err != nil {
+		return describeInterrupt(err, sys)
 	}
 	fmt.Println(sys.Report())
 	return exportSeries(sys, csvPath, jsonPath)
@@ -199,7 +217,10 @@ func attackName(a string) string {
 
 // runSeedSweep executes the scenario across n consecutive seeds on the
 // Sweep worker pool and prints one row per seed plus aggregate maxima.
-func runSeedSweep(base *ftgcs.Scenario, seed int64, n, workers int) error {
+// On SIGINT the sweep is canceled: rows that completed are still printed
+// (identical to an uninterrupted run's), the rest are reported as
+// interrupted.
+func runSeedSweep(ctx context.Context, base *ftgcs.Scenario, seed int64, n, workers int) error {
 	scenarios := make([]*ftgcs.Scenario, 0, n)
 	for i := 0; i < n; i++ {
 		scenarios = append(scenarios, base.With(
@@ -207,15 +228,25 @@ func runSeedSweep(base *ftgcs.Scenario, seed int64, n, workers int) error {
 			ftgcs.WithSeed(seed+int64(i)),
 		))
 	}
-	results := ftgcs.Sweep{Workers: workers}.Run(scenarios)
+	results := ftgcs.Sweep{Workers: workers}.RunContext(ctx, scenarios)
 
 	fmt.Printf("%-10s %-12s %-12s %-12s %-8s\n", "seed", "intra skew", "local skew", "global skew", "bounds")
 	var worst ftgcs.Report
+	var first *ftgcs.Report
+	completed, interrupted := 0, 0
 	for _, r := range results {
+		if errors.Is(r.Err, context.Canceled) {
+			interrupted++
+			continue
+		}
 		if r.Err != nil {
 			return fmt.Errorf("%s: %w", r.Name, r.Err)
 		}
 		rep := r.Report
+		if first == nil {
+			first = &rep
+		}
+		completed++
 		status := "ok"
 		if !rep.AllWithinBounds() {
 			status = "VIOLATED"
@@ -232,10 +263,14 @@ func runSeedSweep(base *ftgcs.Scenario, seed int64, n, workers int) error {
 			worst.MaxGlobalSkew = rep.MaxGlobalSkew
 		}
 	}
-	rep0 := results[0].Report
-	fmt.Printf("\nworst-case over %d seeds: intra %.3g (bound %.3g), local %.3g (bound %.3g), global %.3g (bound %.3g)\n",
-		n, worst.MaxIntraClusterSkew, rep0.IntraClusterBound,
-		worst.MaxLocalSkew, rep0.LocalSkewBound,
-		worst.MaxGlobalSkew, rep0.GlobalSkewBound)
+	if first != nil {
+		fmt.Printf("\nworst-case over %d seeds: intra %.3g (bound %.3g), local %.3g (bound %.3g), global %.3g (bound %.3g)\n",
+			completed, worst.MaxIntraClusterSkew, first.IntraClusterBound,
+			worst.MaxLocalSkew, first.LocalSkewBound,
+			worst.MaxGlobalSkew, first.GlobalSkewBound)
+	}
+	if interrupted > 0 {
+		return fmt.Errorf("interrupted: %d of %d seeds incomplete: %w", interrupted, n, context.Canceled)
+	}
 	return nil
 }

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -27,7 +28,7 @@ func TestRunScenarios(t *testing.T) {
 		{"-list"},
 	}
 	for _, args := range tests {
-		if err := run(args); err != nil {
+		if err := run(context.Background(), args); err != nil {
 			t.Errorf("run(%v): %v", args, err)
 		}
 	}
@@ -45,7 +46,7 @@ func TestRunErrors(t *testing.T) {
 		{"-badflag"},           // flag parse error
 	}
 	for _, args := range tests {
-		if err := run(args); err == nil {
+		if err := run(context.Background(), args); err == nil {
 			t.Errorf("run(%v): expected error", args)
 		}
 	}
@@ -66,7 +67,7 @@ func TestRunSpecFiles(t *testing.T) {
 	}
 	for _, path := range specs {
 		jsonOut := filepath.Join(t.TempDir(), "series.json")
-		if err := run([]string{"-spec", path, "-json", jsonOut}); err != nil {
+		if err := run(context.Background(), []string{"-spec", path, "-json", jsonOut}); err != nil {
 			t.Errorf("run(-spec %s): %v", path, err)
 			continue
 		}
@@ -82,17 +83,17 @@ func TestRunSpecErrors(t *testing.T) {
 	if err := os.WriteFile(bad, []byte(`{"topology": {"name": "moebius", "size": 3}}`), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-spec", bad}); err == nil || !strings.Contains(err.Error(), "unknown topology") {
+	if err := run(context.Background(), []string{"-spec", bad}); err == nil || !strings.Contains(err.Error(), "unknown topology") {
 		t.Errorf("bad spec: want unknown-topology error, got %v", err)
 	}
-	if err := run([]string{"-spec", filepath.Join(dir, "missing.json")}); err == nil {
+	if err := run(context.Background(), []string{"-spec", filepath.Join(dir, "missing.json")}); err == nil {
 		t.Error("missing spec file should error")
 	}
 	typo := filepath.Join(dir, "typo.json")
 	if err := os.WriteFile(typo, []byte(`{"topology": {"name": "line", "size": 3}, "sede": 1}`), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run([]string{"-spec", typo}); err == nil || !strings.Contains(err.Error(), "sede") {
+	if err := run(context.Background(), []string{"-spec", typo}); err == nil || !strings.Contains(err.Error(), "sede") {
 		t.Errorf("typo field: want unknown-field error, got %v", err)
 	}
 }

@@ -53,6 +53,7 @@
 package ftgcs
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -165,8 +166,23 @@ func (s *System) Params() Params { return s.p }
 // called repeatedly with increasing horizons.
 func (s *System) Run(until float64) error { return s.b.Run(until) }
 
+// RunContext is Run with cooperative cancellation: a done context aborts
+// the run with ctx.Err() after the in-flight simulation event, leaving
+// simulated time where the run stopped. The event prefix executed before
+// cancellation is identical to an uncanceled run's, so resuming with a
+// later Run/RunContext call continues deterministically.
+func (s *System) RunContext(ctx context.Context, until float64) error {
+	return s.b.RunContext(ctx, until)
+}
+
 // Now returns the current simulated time.
 func (s *System) Now() float64 { return s.b.Now() }
+
+// Progress returns a snapshot of the run: simulation events executed and
+// current simulated time. Unlike every other System method it is safe to
+// call from any goroutine while Run/RunContext is in flight — it is how
+// the experiment service reports live progress on running jobs.
+func (s *System) Progress() Progress { return s.b.Progress() }
 
 // Logical returns node v's logical clock L_v at the current time (NaN for
 // custom-backend systems).

@@ -21,6 +21,7 @@
 package baseline
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -330,6 +331,21 @@ func (s *System) Run(until float64) error {
 	}
 	return s.eng.Run(until)
 }
+
+// RunContext is Run with cooperative cancellation (see sim.RunContext):
+// a done context aborts the run with ctx.Err() after the in-flight event.
+func (s *System) RunContext(ctx context.Context, until float64) error {
+	if !s.started {
+		if err := s.Start(); err != nil {
+			return err
+		}
+	}
+	return s.eng.RunContext(ctx, until)
+}
+
+// Progress returns a cross-goroutine-safe run snapshot (events executed,
+// current sim time).
+func (s *System) Progress() sim.Progress { return s.eng.Progress() }
 
 // Logical returns node v's logical clock at the current time.
 func (s *System) Logical(v graph.NodeID) float64 {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -415,6 +416,24 @@ func (s *System) Run(until float64) error {
 	}
 	return s.eng.Run(until)
 }
+
+// RunContext is Run with cooperative cancellation: the engine polls ctx
+// between events and a done context aborts the run with ctx.Err(),
+// leaving simulated time where the run stopped. The event prefix executed
+// before cancellation is identical to an uncanceled run's.
+func (s *System) RunContext(ctx context.Context, until float64) error {
+	if !s.started {
+		if err := s.Start(); err != nil {
+			return err
+		}
+	}
+	return s.eng.RunContext(ctx, until)
+}
+
+// Progress returns a snapshot of the run (events executed, current sim
+// time). Safe to call from any goroutine while Run/RunContext is in
+// flight.
+func (s *System) Progress() sim.Progress { return s.eng.Progress() }
 
 // --- Accessors used by experiments, examples and tests ---
 

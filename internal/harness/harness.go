@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -22,6 +23,11 @@ type RunConfig struct {
 	Workers int
 	// Progress, when non-nil, receives one line per sub-run.
 	Progress io.Writer
+	// Ctx, when non-nil, cancels in-flight sweeps (the CLI wires SIGINT
+	// here): the running experiment returns the context's error and
+	// RunAll stops before starting the next one. Completed experiments'
+	// tables are unaffected — cancellation truncates, never perturbs.
+	Ctx context.Context
 }
 
 func (rc RunConfig) progressf(format string, args ...any) {
@@ -105,9 +111,16 @@ func ByID(id string) (Experiment, error) {
 	return Experiment{}, fmt.Errorf("harness: unknown experiment %q", id)
 }
 
-// RunAll executes every experiment, rendering tables to w.
+// RunAll executes every experiment, rendering tables to w. Completed
+// tables are flushed as they finish, so a cancellation (rc.Ctx) loses
+// only the experiment it interrupted.
 func RunAll(rc RunConfig, w io.Writer) error {
 	for _, e := range All() {
+		if rc.Ctx != nil {
+			if err := rc.Ctx.Err(); err != nil {
+				return err
+			}
+		}
 		rc.progressf("running %s: %s", e.ID, e.Title)
 		tbl, err := e.Run(rc)
 		if err != nil {

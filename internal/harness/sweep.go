@@ -13,7 +13,13 @@ import (
 // old sequential loops did: tables are byte-identical for any worker
 // count.
 func (rc RunConfig) runSweep(scenarios []*ftgcs.Scenario) ([]ftgcs.SweepResult, error) {
-	results := ftgcs.Sweep{Workers: rc.Workers, BaseSeed: rc.Seed}.Run(scenarios)
+	sw := ftgcs.Sweep{Workers: rc.Workers, BaseSeed: rc.Seed}
+	var results []ftgcs.SweepResult
+	if rc.Ctx != nil {
+		results = sw.RunContext(rc.Ctx, scenarios)
+	} else {
+		results = sw.Run(scenarios)
+	}
 	for _, r := range results {
 		if r.Err != nil {
 			return nil, fmt.Errorf("scenario %d (%s): %w", r.Index, r.Name, r.Err)

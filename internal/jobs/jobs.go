@@ -23,6 +23,7 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"time"
 
 	"ftgcs"
 	"ftgcs/internal/metrics"
@@ -80,14 +81,18 @@ func (r Request) identity() (id, specHash string, err error) {
 	return "sha256:" + hex.EncodeToString(h.Sum(nil)), "sha256:" + hex.EncodeToString(sum[:]), nil
 }
 
-// State is a job's lifecycle position.
+// State is a job's lifecycle position. Done, failed and canceled are
+// terminal; done and failed results are cached (both are deterministic in
+// the request), canceled jobs are dropped entirely — a canceled run is
+// partial work, so resubmitting the same spec must run it again.
 type State string
 
 const (
-	StateQueued  State = "queued"
-	StateRunning State = "running"
-	StateDone    State = "done"
-	StateFailed  State = "failed"
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
 )
 
 // Stat is a Welford mean/std aggregate with a 95% normal confidence
@@ -170,10 +175,19 @@ type job struct {
 	topo *ftgcs.Topology
 	done chan struct{}
 
+	// ctx governs the job's execution; cancel aborts it (Cancel, Close).
+	// Both are set at Submit and never change, so they may be used
+	// without the manager's mutex.
+	ctx    context.Context
+	cancel context.CancelFunc
+
 	// Guarded by the manager's mutex.
 	state  State
 	result *Result
 	err    error
+	// prog tracks live execution progress; set when the job starts
+	// running, cleared at finish (it pins in-flight systems).
+	prog *progressTracker
 }
 
 // JobStatus is an external snapshot of a job, shaped for the HTTP API.
@@ -193,6 +207,25 @@ type JobStatus struct {
 	// (backpressure, shutdown) rather than a deterministic spec failure:
 	// resubmitting the same item may succeed. See Retryable.
 	Retryable bool `json:"retryable,omitempty"`
+	// Progress reports a running job's live execution progress; nil in
+	// every other state.
+	Progress *Progress `json:"progress,omitempty"`
+}
+
+// Progress is a live snapshot of a running job. Every field advances
+// monotonically over the job's lifetime.
+type Progress struct {
+	// Events is the number of simulation events executed so far, summed
+	// across the job's completed and in-flight runs.
+	Events uint64 `json:"events"`
+	// SimFraction is the fraction (0..1) of the job's total simulated
+	// time already covered: each run contributes its sim-time/horizon
+	// ratio, averaged over the replicate count.
+	SimFraction float64 `json:"simFraction"`
+	// Replicate of Replicates runs have fully finished (1/1 single runs;
+	// i/n while a replication job fans out).
+	Replicate  int `json:"replicate"`
+	Replicates int `json:"replicates"`
 }
 
 // Stats are the manager's cumulative counters plus instantaneous gauges.
@@ -200,13 +233,90 @@ type Stats struct {
 	Submitted uint64 `json:"submitted"` // new jobs accepted onto the queue
 	Completed uint64 `json:"completed"`
 	Failed    uint64 `json:"failed"`
-	Runs      uint64 `json:"runs"` // simulations actually executed
+	Canceled  uint64 `json:"canceled"` // via Cancel, run budget, or Close
+	Runs      uint64 `json:"runs"`     // simulations actually executed
 	CacheHits uint64 `json:"cacheHits"`
-	Coalesced uint64 `json:"coalesced"`
-	Evicted   uint64 `json:"evicted"`
-	Queued    int    `json:"queued"`
-	Running   int    `json:"running"`
-	CacheLen  int    `json:"cacheLen"`
+	// CacheMisses counts lookups the result cache could not answer:
+	// submissions that had to enqueue fresh work, and Get calls for IDs
+	// that are neither in flight nor cached. CacheHits/(CacheHits+
+	// CacheMisses) is the cache hit ratio.
+	CacheMisses uint64 `json:"cacheMisses"`
+	Coalesced   uint64 `json:"coalesced"`
+	Evicted     uint64 `json:"evicted"`
+	Queued      int    `json:"queued"`
+	Running     int    `json:"running"`
+	CacheLen    int    `json:"cacheLen"`
+}
+
+// progressTracker aggregates live progress across one job's scenario
+// runs — one for single jobs, N for replication jobs, several possibly
+// in-flight at once on the sweep pool. Sweep workers write it; status
+// snapshots read it concurrently. A run's contribution freezes at its
+// final value when it finishes, so the aggregate is monotone.
+type progressTracker struct {
+	mu           sync.Mutex
+	n            int // total runs (replicate count)
+	inFlight     map[int]trackedRun
+	doneEvents   uint64
+	doneFraction float64
+	doneRuns     int
+}
+
+type trackedRun struct {
+	sys     *ftgcs.System
+	horizon float64
+}
+
+func newProgressTracker(n int) *progressTracker {
+	return &progressTracker{n: n, inFlight: make(map[int]trackedRun)}
+}
+
+// runFraction is a run's share of its own horizon, clamped to [0, 1].
+func runFraction(now, horizon float64) float64 {
+	if horizon <= 0 {
+		return 0
+	}
+	if now >= horizon {
+		return 1
+	}
+	return now / horizon
+}
+
+// start registers an in-flight system (Sweep.OnSystemStart).
+func (p *progressTracker) start(index int, sys *ftgcs.System, horizon float64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.inFlight[index] = trackedRun{sys: sys, horizon: horizon}
+}
+
+// done freezes a finished run's contribution (Sweep.OnScenarioDone).
+func (p *progressTracker) done(index int, _ ftgcs.SweepResult) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if tr, ok := p.inFlight[index]; ok {
+		delete(p.inFlight, index)
+		sp := tr.sys.Progress()
+		p.doneEvents += sp.Events
+		p.doneFraction += runFraction(sp.Now, tr.horizon)
+	}
+	p.doneRuns++
+}
+
+// snapshot sums frozen and live contributions.
+func (p *progressTracker) snapshot() Progress {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	pr := Progress{Events: p.doneEvents, Replicate: p.doneRuns, Replicates: p.n}
+	frac := p.doneFraction
+	for _, tr := range p.inFlight {
+		sp := tr.sys.Progress()
+		pr.Events += sp.Events
+		frac += runFraction(sp.Now, tr.horizon)
+	}
+	if p.n > 0 {
+		pr.SimFraction = frac / float64(p.n)
+	}
+	return pr
 }
 
 // Options configures a Manager.
@@ -223,6 +333,11 @@ type Options struct {
 	// SweepWorkers bounds each job's internal ftgcs.Sweep pool
 	// (≤0: GOMAXPROCS). Only replicated jobs fan out.
 	SweepWorkers int
+	// RunLimit is a per-job wall-clock budget: a job still executing
+	// after this long is canceled (state canceled, never cached). Zero
+	// means no budget. The clock starts when the job starts running, not
+	// while it waits in the queue.
+	RunLimit time.Duration
 }
 
 // ErrQueueFull is returned by Submit when the bounded queue is at
@@ -237,12 +352,41 @@ var ErrClosed = fmt.Errorf("jobs: manager closed")
 // only under heavy churn with a small cache). Resubmitting recomputes.
 var ErrEvicted = fmt.Errorf("jobs: result evicted before it could be read")
 
+// ErrCanceled is returned by Wait (and carried by job snapshots) when the
+// job was canceled — by Cancel, by the run budget, or by Close — before
+// it could complete. Canceled work is never cached, so resubmitting the
+// same request runs it afresh.
+var ErrCanceled = fmt.Errorf("jobs: job canceled")
+
+// ErrUnknownJob is returned by Cancel and Wait for IDs that are neither
+// in flight nor cached.
+var ErrUnknownJob = fmt.Errorf("jobs: unknown job")
+
+// ErrCompleted is returned by Cancel when the job already reached a
+// terminal state: there is nothing left to cancel, and the cached result
+// stays valid.
+var ErrCompleted = fmt.Errorf("jobs: job already completed")
+
+// ErrRunLimit wraps the cancellation of a job that exhausted its
+// wall-clock budget (Options.RunLimit).
+var ErrRunLimit = fmt.Errorf("jobs: run limit exceeded")
+
 // Retryable reports whether a submission error is transient — the same
 // request may succeed if resubmitted later (backpressure, shutdown,
-// eviction races) — as opposed to a deterministic spec failure that
-// will fail identically every time.
+// eviction races, cancellation) — as opposed to a deterministic spec
+// failure that will fail identically every time.
 func Retryable(err error) bool {
-	return errors.Is(err, ErrQueueFull) || errors.Is(err, ErrClosed) || errors.Is(err, ErrEvicted)
+	return errors.Is(err, ErrQueueFull) || errors.Is(err, ErrClosed) ||
+		errors.Is(err, ErrEvicted) || errors.Is(err, ErrCanceled)
+}
+
+// isCancellation classifies a job error as a cancellation (job ends in
+// StateCanceled, result never cached) rather than a deterministic
+// failure. Context errors surface when Cancel, the run budget, or Close
+// interrupt the in-flight sweep.
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, ErrCanceled) || errors.Is(err, ErrClosed) || errors.Is(err, ErrRunLimit)
 }
 
 // Manager owns the queue, the workers, the in-flight dedup index and the
@@ -250,6 +394,7 @@ func Retryable(err error) bool {
 type Manager struct {
 	reg          *ftgcs.Registry
 	sweepWorkers int
+	runLimit     time.Duration
 	queue        chan *job
 	quit         chan struct{}
 	wg           sync.WaitGroup
@@ -286,6 +431,7 @@ func NewManager(o Options) *Manager {
 	m := &Manager{
 		reg:          o.Registry,
 		sweepWorkers: o.SweepWorkers,
+		runLimit:     o.RunLimit,
 		queue:        make(chan *job, o.QueueDepth),
 		quit:         make(chan struct{}),
 		active:       make(map[string]*job),
@@ -351,14 +497,17 @@ func (m *Manager) Submit(req Request) (JobStatus, error) {
 	if st, ok := m.serveLocked(id, name); ok {
 		return st, nil
 	}
-	j := &job{id: id, specHash: specHash, req: req, topo: topo, state: StateQueued, done: make(chan struct{})}
+	ctx, cancel := context.WithCancel(context.Background())
+	j := &job{id: id, specHash: specHash, req: req, topo: topo, state: StateQueued, done: make(chan struct{}), ctx: ctx, cancel: cancel}
 	select {
 	case m.queue <- j:
 	default:
+		cancel()
 		return JobStatus{}, ErrQueueFull
 	}
 	m.active[id] = j
 	m.stats.Submitted++
+	m.stats.CacheMisses++ // neither coalesced nor cached: fresh work
 	return m.snapshot(j, false), nil
 }
 
@@ -392,12 +541,16 @@ func (m *Manager) Get(id string) (JobStatus, bool) {
 		m.stats.CacheHits++
 		return m.snapshot(j, true), true
 	}
+	m.stats.CacheMisses++
 	return JobStatus{}, false
 }
 
 // Wait blocks until the job completes (or ctx is done) and returns its
 // final snapshot. Unknown IDs — including results evicted from the cache
-// — return an error; resubmit to recompute.
+// — return an error; resubmit to recompute. A job canceled while the
+// waiter blocked returns its canceled snapshot alongside a retryable
+// ErrCanceled: the waiter's work was never completed, resubmitting runs
+// it afresh.
 func (m *Manager) Wait(ctx context.Context, id string) (JobStatus, error) {
 	m.mu.Lock()
 	j, inflight := m.active[id]
@@ -410,7 +563,7 @@ func (m *Manager) Wait(ctx context.Context, id string) (JobStatus, error) {
 			return st, nil
 		}
 		m.mu.Unlock()
-		return JobStatus{}, fmt.Errorf("jobs: unknown job %s", id)
+		return JobStatus{}, fmt.Errorf("%w: %s", ErrUnknownJob, id)
 	}
 	done := j.done
 	m.mu.Unlock()
@@ -422,12 +575,60 @@ func (m *Manager) Wait(ctx context.Context, id string) (JobStatus, error) {
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if j.state == StateCanceled {
+		return m.snapshot(j, false), fmt.Errorf("jobs: job %s: %w", id, ErrCanceled)
+	}
 	// The job just finished; it is in the cache unless a flood of newer
 	// results already evicted it.
 	if cached, ok := m.cache.get(id); ok {
 		return m.snapshot(cached, false), nil
 	}
 	return JobStatus{}, fmt.Errorf("jobs: job %s: %w", id, ErrEvicted)
+}
+
+// Cancel aborts the job with the given ID. A queued job is finished on
+// the spot (the worker that eventually dequeues it skips it); a running
+// job has its context canceled, and Cancel blocks the few events it
+// takes the simulation loop to notice before returning the final
+// snapshot — so the returned state is always terminal (canceled) and the
+// worker slot is free once Cancel returns. Canceled jobs are never
+// cached: a subsequent submission of the same spec runs it again.
+// Completed jobs return ErrCompleted (their cached result stays valid);
+// IDs that are neither active nor cached return ErrUnknownJob.
+func (m *Manager) Cancel(id string) (JobStatus, error) {
+	m.mu.Lock()
+	j, ok := m.active[id]
+	if !ok {
+		if cached, okc := m.cache.get(id); okc {
+			st := m.snapshot(cached, true)
+			m.mu.Unlock()
+			return st, ErrCompleted
+		}
+		m.mu.Unlock()
+		return JobStatus{}, fmt.Errorf("%w: %s", ErrUnknownJob, id)
+	}
+	j.cancel()
+	if j.state == StateQueued {
+		// Never picked up: finish it here. The job object stays in the
+		// channel until a worker (or Close) drains and skips it.
+		m.finishLocked(j, nil, ErrCanceled)
+		st := m.snapshot(j, false)
+		m.mu.Unlock()
+		return st, nil
+	}
+	done := j.done
+	m.mu.Unlock()
+	// Running: the sweep aborts at its next context poll (a few hundred
+	// simulation events, microseconds of wall clock).
+	<-done
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if j.state == StateCanceled {
+		return m.snapshot(j, false), nil
+	}
+	// The run won the race and completed before noticing the cancel; its
+	// result is valid and cached.
+	return m.snapshot(j, false), ErrCompleted
 }
 
 // Stats returns a copy of the counters plus current gauges.
@@ -441,8 +642,11 @@ func (m *Manager) Stats() Stats {
 	return st
 }
 
-// Close stops the workers (finishing their current jobs), fails whatever
-// is still queued, and rejects further submissions.
+// Close cancels in-flight runs instead of waiting them out: every active
+// job's context is canceled, the workers drain within a few simulation
+// events, whatever is still queued is canceled too, and further
+// submissions are rejected. Interrupted and queued jobs end in
+// StateCanceled (never cached); their waiters get a retryable error.
 func (m *Manager) Close() {
 	m.mu.Lock()
 	if m.closed {
@@ -450,6 +654,9 @@ func (m *Manager) Close() {
 		return
 	}
 	m.closed = true
+	for _, j := range m.active {
+		j.cancel()
+	}
 	m.mu.Unlock()
 	close(m.quit)
 	m.wg.Wait()
@@ -468,6 +675,13 @@ func (m *Manager) snapshot(j *job, cached bool) JobStatus {
 	st := JobStatus{ID: j.id, SpecHash: j.specHash, State: j.state, Cached: cached, Result: j.result}
 	if j.err != nil {
 		st.Error = j.err.Error()
+		// A canceled job is always retryable: whatever interrupted it
+		// (Cancel, budget, shutdown), the spec itself never failed.
+		st.Retryable = Retryable(j.err) || j.state == StateCanceled
+	}
+	if j.state == StateRunning && j.prog != nil {
+		p := j.prog.snapshot()
+		st.Progress = &p
 	}
 	return st
 }
@@ -511,7 +725,14 @@ func (m *Manager) worker() {
 				m.TestHookBeforeRun()
 			}
 			m.mu.Lock()
+			if j.state != StateQueued {
+				// Canceled while queued: Cancel already finished it; the
+				// stale channel entry is skipped.
+				m.mu.Unlock()
+				continue
+			}
 			j.state = StateRunning
+			j.prog = newProgressTracker(j.req.Replicate)
 			m.running++
 			m.stats.Runs++
 			m.mu.Unlock()
@@ -522,31 +743,52 @@ func (m *Manager) worker() {
 }
 
 // finish records the outcome, moves the job from the in-flight index to
-// the result cache, and wakes waiters.
+// the result cache (done and failed only — canceled work is partial and
+// must never be served back), and wakes waiters.
 func (m *Manager) finish(j *job, res *Result, err error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if j.state == StateRunning {
+	m.finishLocked(j, res, err)
+}
+
+// finishLocked is finish for callers already holding m.mu. A job already
+// in a terminal state is left untouched: a queued job canceled by Cancel
+// is finished there and its stale queue entry drained later.
+func (m *Manager) finishLocked(j *job, res *Result, err error) {
+	switch j.state {
+	case StateDone, StateFailed, StateCanceled:
+		return
+	case StateRunning:
 		m.running--
 	}
-	if err != nil {
-		j.state = StateFailed
-		j.err = err
-		m.stats.Failed++
-	} else {
+	j.cancel() // release the context (and its budget timer, if any)
+	switch {
+	case err == nil:
 		j.state = StateDone
 		j.result = res
 		m.stats.Completed++
+	case isCancellation(err):
+		j.state = StateCanceled
+		j.err = err
+		m.stats.Canceled++
+	default:
+		j.state = StateFailed
+		j.err = err
+		m.stats.Failed++
 	}
 	j.topo = nil // the cache keeps jobs around; don't pin their graphs too
+	j.prog = nil // nor their in-flight systems
 	delete(m.active, j.id)
-	m.stats.Evicted += uint64(m.cache.add(j.id, j))
+	if j.state != StateCanceled {
+		m.stats.Evicted += uint64(m.cache.add(j.id, j))
+	}
 	close(j.done)
 }
 
 // execute compiles and runs the request's scenarios through ftgcs.Sweep.
 // Everything here is deterministic in the request, so two executions of
-// the same request produce identical Results.
+// the same request produce identical Results; cancellation and the run
+// budget can only truncate a run, never perturb what completed.
 func (m *Manager) execute(j *job) (*Result, error) {
 	n := j.req.Replicate
 	scenarios := make([]*ftgcs.Scenario, n)
@@ -567,11 +809,35 @@ func (m *Manager) execute(j *job) (*Result, error) {
 		}
 		scenarios[i] = sc
 	}
-	results := ftgcs.Sweep{Workers: m.sweepWorkers}.Run(scenarios)
+	runCtx := j.ctx
+	if m.runLimit > 0 {
+		var cancel context.CancelFunc
+		runCtx, cancel = context.WithTimeout(runCtx, m.runLimit)
+		defer cancel()
+	}
+	sw := ftgcs.Sweep{
+		Workers:        m.sweepWorkers,
+		OnSystemStart:  j.prog.start,
+		OnScenarioDone: j.prog.done,
+	}
+	results := sw.RunContext(runCtx, scenarios)
 	for _, r := range results {
-		if r.Err != nil {
-			return nil, fmt.Errorf("jobs: seed %d: %w", seeds[r.Index], r.Err)
+		if r.Err == nil {
+			continue
 		}
+		// The budget deadline surfaces as context.DeadlineExceeded on the
+		// job's otherwise-uncanceled context; label it so the status says
+		// why the job was canceled.
+		if errors.Is(r.Err, context.DeadlineExceeded) && j.ctx.Err() == nil {
+			return nil, fmt.Errorf("%w (budget %s)", ErrRunLimit, m.runLimit)
+		}
+		// A canceled job context (Cancel, Close) interrupts the sweep with
+		// context.Canceled; normalize to the uniform cancellation error
+		// rather than leaking which seed happened to notice first.
+		if errors.Is(r.Err, context.Canceled) {
+			return nil, ErrCanceled
+		}
+		return nil, fmt.Errorf("jobs: seed %d: %w", seeds[r.Index], r.Err)
 	}
 
 	res := &Result{

@@ -78,8 +78,8 @@ func TestSubmitRunAndCacheHit(t *testing.T) {
 	if !bytes.Equal(first, second) {
 		t.Fatalf("cache hit result not byte-identical:\n%s\n%s", first, second)
 	}
-	if s := m.Stats(); s.Runs != 1 || s.CacheHits == 0 {
-		t.Fatalf("want exactly 1 run and ≥1 cache hit, got %+v", s)
+	if s := m.Stats(); s.Runs != 1 || s.CacheHits == 0 || s.CacheMisses != 1 {
+		t.Fatalf("want exactly 1 run, ≥1 cache hit and exactly 1 miss (the first submission), got %+v", s)
 	}
 }
 
@@ -222,9 +222,10 @@ func TestReplicateBuildsTopologyOnce(t *testing.T) {
 	}
 }
 
-// TestCloseFailsQueuedJobs: Close must fail work still on the queue, not
-// let workers race it onto fresh simulation runs.
-func TestCloseFailsQueuedJobs(t *testing.T) {
+// TestCloseCancelsQueuedJobs: Close must cancel work still on the queue,
+// not let workers race it onto fresh simulation runs — and canceled work
+// is never cached, so the IDs vanish entirely.
+func TestCloseCancelsQueuedJobs(t *testing.T) {
 	m := NewManager(Options{Workers: 1, QueueDepth: 8})
 	entered := make(chan struct{}, 8)
 	gate := make(chan struct{})
@@ -262,12 +263,16 @@ func TestCloseFailsQueuedJobs(t *testing.T) {
 	<-done
 
 	if s := m.Stats(); s.Runs != 1 {
-		t.Fatalf("queued jobs must be failed on Close, not run: %+v", s)
+		t.Fatalf("queued jobs must be canceled on Close, not run: %+v", s)
 	}
-	for _, id := range ids[1:] {
-		st, ok := m.Get(id)
-		if !ok || st.State != StateFailed || !strings.Contains(st.Error, "closed") {
-			t.Fatalf("queued job should fail with ErrClosed on Close: %+v", st)
+	// Everything — the interrupted in-flight job and the queued ones —
+	// ends canceled, and canceled work never enters the result cache.
+	if s := m.Stats(); s.Canceled != uint64(len(ids)) || s.Completed != 0 || s.Failed != 0 {
+		t.Fatalf("all %d jobs should be canceled on Close: %+v", len(ids), s)
+	}
+	for _, id := range ids {
+		if st, ok := m.Get(id); ok {
+			t.Fatalf("canceled job must not be cached after Close: %+v", st)
 		}
 	}
 }

@@ -17,9 +17,11 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
+	"sync/atomic"
 )
 
 // Time is a point on the simulated Newtonian timeline, in seconds.
@@ -67,6 +69,12 @@ type Handle struct {
 
 // Engine is a deterministic discrete-event scheduler. The zero value is not
 // usable; construct with NewEngine.
+//
+// Cross-goroutine contract: an Engine is single-goroutine for everything
+// except Stop and Progress, which may be called from any goroutine while a
+// Run/RunContext is in flight. Stop is sticky for the current run only
+// (Run/RunContext reset it on entry); Progress is a lock-free snapshot fed
+// by atomic mirrors the event loop maintains.
 type Engine struct {
 	now Time
 	// events is the pooled slab; heap holds slab indices ordered as a
@@ -76,10 +84,14 @@ type Engine struct {
 	free   []int32
 
 	seq     uint64
-	stopped bool
+	stopped atomic.Bool
 
-	// processed counts events executed so far.
-	processed uint64
+	// processed counts events executed so far. Atomic so Progress can read
+	// it from another goroutine while the loop runs.
+	processed atomic.Uint64
+	// nowBits mirrors now (as Float64bits) for cross-goroutine Progress
+	// reads; the event loop is the only writer.
+	nowBits atomic.Uint64
 	// maxEvents aborts runaway simulations; 0 means no limit.
 	maxEvents uint64
 }
@@ -92,8 +104,35 @@ func NewEngine() *Engine {
 // Now returns the current simulated time.
 func (e *Engine) Now() Time { return e.now }
 
+// setNow advances the clock and its atomic mirror (see Progress).
+func (e *Engine) setNow(t Time) {
+	e.now = t
+	e.nowBits.Store(math.Float64bits(t))
+}
+
 // Processed returns the number of events executed so far.
-func (e *Engine) Processed() uint64 { return e.processed }
+func (e *Engine) Processed() uint64 { return e.processed.Load() }
+
+// Progress is a snapshot of a run: events executed and the current
+// simulated time. It is safe to take from any goroutine while the engine
+// runs; both fields advance monotonically within one run.
+type Progress struct {
+	// Events is the number of events executed so far.
+	Events uint64
+	// Now is the current simulated time.
+	Now Time
+}
+
+// Progress returns a cross-goroutine-safe snapshot of the run. The two
+// fields are read from independent atomics, so a snapshot taken mid-event
+// may pair an event count with the timestamp of the adjacent event; each
+// field is individually exact and monotone.
+func (e *Engine) Progress() Progress {
+	return Progress{
+		Events: e.processed.Load(),
+		Now:    math.Float64frombits(e.nowBits.Load()),
+	}
+}
 
 // SetEventLimit aborts Run with ErrEventLimit after n events (0 = unlimited).
 func (e *Engine) SetEventLimit(n uint64) { e.maxEvents = n }
@@ -307,8 +346,15 @@ func (e *Engine) Cancel(h Handle) bool {
 	return true
 }
 
-// Stop makes the current Run return after the in-flight event completes.
-func (e *Engine) Stop() { e.stopped = true }
+// Stop makes the current Run/RunContext return after the in-flight event
+// completes. It is safe to call from any goroutine — this is the
+// cooperative cross-goroutine stop for runs driven without a Context.
+// Like a context cancellation, a stopped run leaves simulated time where
+// it halted rather than jumping to the horizon, so Progress reflects how
+// far it actually got and a later Run/RunContext resumes deterministically.
+// Run/RunContext clear the flag on entry, so a Stop that lands between
+// runs only affects Step until the next Run.
+func (e *Engine) Stop() { e.stopped.Store(true) }
 
 // fire pops the root event and executes it. The slot is released before the
 // callback runs (the callback may reuse it for a new event; stale handles
@@ -316,10 +362,10 @@ func (e *Engine) Stop() { e.stopped = true }
 func (e *Engine) fire() {
 	id := e.removeAt(0)
 	ev := &e.events[id]
-	e.now = ev.at
+	e.setNow(ev.at)
 	fn, dfn, d := ev.fn, ev.dfn, ev.data
 	e.release(id)
-	e.processed++
+	e.processed.Add(1)
 	if dfn != nil {
 		dfn(e, d)
 	} else {
@@ -327,28 +373,66 @@ func (e *Engine) fire() {
 	}
 }
 
+// ctxCheckInterval is how many events RunContext executes between context
+// polls. Events are microsecond-scale, so cancellation latency stays well
+// under a millisecond while the check cost amortizes to nothing.
+const ctxCheckInterval = 256
+
 // Run executes events in timestamp order until the queue is empty, the
 // horizon is passed, Stop is called, or the event limit is exceeded. The
 // engine time is left at min(horizon, last event time); events scheduled
 // after the horizon remain queued.
 func (e *Engine) Run(horizon Time) error {
-	e.stopped = false
-	for len(e.heap) > 0 && !e.stopped {
+	return e.run(nil, horizon)
+}
+
+// RunContext is Run with cooperative cancellation: the context is polled
+// every ctxCheckInterval events, and a done context aborts the run with
+// ctx.Err() after the in-flight event completes. On cancellation the
+// engine time stays where the run stopped (it does NOT jump to the
+// horizon), so Progress reflects how far the run actually got; the queue
+// is left intact and a later Run/RunContext resumes deterministically.
+// Event execution and ordering are byte-identical to Run for the prefix
+// that completes — cancellation only decides where the prefix ends.
+func (e *Engine) RunContext(ctx context.Context, horizon Time) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return e.run(ctx, horizon)
+}
+
+// run is the shared event loop; ctx may be nil (plain Run).
+func (e *Engine) run(ctx context.Context, horizon Time) error {
+	e.stopped.Store(false)
+	countdown := ctxCheckInterval
+	for len(e.heap) > 0 && !e.stopped.Load() {
+		if ctx != nil {
+			countdown--
+			if countdown <= 0 {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+				countdown = ctxCheckInterval
+			}
+		}
 		next := &e.events[e.heap[0]]
 		if next.at > horizon {
 			break
 		}
-		if e.maxEvents > 0 && e.processed+1 > e.maxEvents {
+		if e.maxEvents > 0 && e.processed.Load()+1 > e.maxEvents {
 			id := e.removeAt(0)
-			e.now = e.events[id].at
+			e.setNow(e.events[id].at)
 			e.release(id)
-			e.processed++
-			return fmt.Errorf("%w: %d events", ErrEventLimit, e.processed)
+			e.processed.Add(1)
+			return fmt.Errorf("%w: %d events", ErrEventLimit, e.processed.Load())
 		}
 		e.fire()
 	}
-	if e.now < horizon {
-		e.now = horizon
+	// A stopped run leaves time where it halted — like a canceled one —
+	// so Progress never reports an interrupted run as complete and events
+	// still queued before the horizon cannot fire in the past on resume.
+	if e.now < horizon && !e.stopped.Load() {
+		e.setNow(horizon)
 	}
 	return nil
 }
@@ -357,10 +441,10 @@ func (e *Engine) Run(horizon Time) error {
 // event ran. Like Run, it honors Stop (no event runs after Stop until the
 // next Run resets it) and the configured event limit.
 func (e *Engine) Step() bool {
-	if e.stopped || len(e.heap) == 0 {
+	if e.stopped.Load() || len(e.heap) == 0 {
 		return false
 	}
-	if e.maxEvents > 0 && e.processed >= e.maxEvents {
+	if e.maxEvents > 0 && e.processed.Load() >= e.maxEvents {
 		return false
 	}
 	e.fire()

@@ -1,6 +1,7 @@
 package ftgcs
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -387,23 +388,39 @@ func (s *Scenario) Horizon(p Params) float64 {
 // Run builds the scenario, executes any mid-run hooks in time order,
 // advances to the horizon, and returns the report.
 func (s *Scenario) Run() (Report, error) {
-	rep, _, err := s.execute()
+	rep, _, err := s.execute(nil)
 	return rep, err
 }
 
-// execute is the full run path: build, hooks, horizon, observation.
-func (s *Scenario) execute() (Report, any, error) {
+// RunContext is Run with cooperative cancellation: a done context aborts
+// the simulation with ctx.Err() after the in-flight event. The event
+// prefix executed before cancellation is identical to an uncanceled
+// run's — cancellation never perturbs results, it only truncates them.
+func (s *Scenario) RunContext(ctx context.Context) (Report, error) {
+	rep, _, err := s.execute(ctx)
+	return rep, err
+}
+
+// execute is the full run path: build, hooks, horizon, observation. A nil
+// ctx means uncancelable (the legacy Run path, with zero polling cost).
+func (s *Scenario) execute(ctx context.Context) (Report, any, error) {
 	sys, err := s.Build()
 	if err != nil {
 		return Report{}, nil, err
 	}
-	return s.executeOn(sys)
+	return s.executeOn(ctx, sys)
 }
 
 // executeOn runs an already-built system to the horizon, applying mid-run
 // hooks in time order and extracting the observer value. Shared with the
-// Sweep runner.
-func (s *Scenario) executeOn(sys *System) (Report, any, error) {
+// Sweep runner; ctx may be nil (no cancellation).
+func (s *Scenario) executeOn(ctx context.Context, sys *System) (Report, any, error) {
+	advance := func(until float64) error {
+		if ctx == nil {
+			return sys.Run(until)
+		}
+		return sys.RunContext(ctx, until)
+	}
 	horizon := s.Horizon(sys.Params())
 	hooks := append([]midRunHook(nil), s.hooks...)
 	sort.SliceStable(hooks, func(i, j int) bool { return hooks[i].at < hooks[j].at })
@@ -413,14 +430,14 @@ func (s *Scenario) executeOn(sys *System) (Report, any, error) {
 		if h.at >= horizon {
 			return Report{}, nil, fmt.Errorf("ftgcs: scenario %q: mid-run hook at %g ≥ horizon %g", s.name, h.at, horizon)
 		}
-		if err := sys.Run(h.at); err != nil {
+		if err := advance(h.at); err != nil {
 			return Report{}, nil, err
 		}
 		if err := h.fn(sys); err != nil {
 			return Report{}, nil, err
 		}
 	}
-	if err := sys.Run(horizon); err != nil {
+	if err := advance(horizon); err != nil {
 		return Report{}, nil, err
 	}
 	var value any

@@ -126,7 +126,7 @@ func TestScenarioRunWithHooksAndObserver(t *testing.T) {
 			return sys.Summary(0).MaxLocalNode, nil
 		}),
 	)
-	rep, value, err := sc.execute()
+	rep, value, err := sc.execute(nil)
 	if err != nil {
 		t.Fatal(err)
 	}

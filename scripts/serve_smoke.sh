@@ -4,7 +4,10 @@
 # Builds ftgcs-serve, boots it on an ephemeral port, submits the same
 # example spec twice, and asserts that the second response is a cache hit
 # ("cached":true) whose payload is byte-identical to the first modulo
-# that one marker — the content-addressed dedup/cache guarantee.
+# that one marker — the content-addressed dedup/cache guarantee. Then
+# submits a long-horizon spec, cancels it via DELETE, and asserts the
+# canceled state, that the canceled ID is not cached, and that the server
+# is still live and able to run fresh work afterward.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -55,3 +58,31 @@ if ! cmp -s "$tmp/r1.json" "$tmp/r2norm.json"; then
 fi
 
 echo "serve smoke OK: second submission was a cache hit with byte-identical result"
+
+# --- Cancellation leg: a heavy-but-legal spec must be stoppable. ---
+
+# ~10^5 simulated seconds: minutes of wall clock, impossible to finish
+# before the DELETE below lands.
+long='{"spec": {"name": "long horizon", "topology": {"name": "line", "size": 3}, "seed": 7, "horizon": {"seconds": 100000}}}'
+
+curl -fsS -X POST -d "$long" "$base/v1/experiments" >"$tmp/c1.json"
+id=$(sed -n 's/.*"id":"\(sha256:[0-9a-f]*\)".*/\1/p' "$tmp/c1.json")
+[ -n "$id" ] || { echo "no job id in submit response:"; cat "$tmp/c1.json"; exit 1; }
+
+curl -fsS -X DELETE "$base/v1/experiments/$id" >"$tmp/c2.json"
+grep -q '"state":"canceled"' "$tmp/c2.json" || { echo "DELETE did not cancel:"; cat "$tmp/c2.json"; exit 1; }
+
+# Canceled work is never cached: the ID is gone.
+code=$(curl -s -o /dev/null -w '%{http_code}' "$base/v1/experiments/$id")
+[ "$code" = "404" ] || { echo "canceled job still resolvable (HTTP $code)"; exit 1; }
+
+# The server is alive, counted the cancellation, and its worker slot is
+# free: a fresh spec (new seed ⇒ new content hash) runs to completion.
+curl -fsS "$base/v1/stats" | grep -q '"canceled":1'
+req3="{\"spec\": $(sed 's/"seed": 1/"seed": 42/' examples/specs/line-quickstart.json)}"
+curl -fsS -X POST -d "$req3" "$base/v1/experiments?wait=true" >"$tmp/c3.json"
+grep -q '"state":"done"' "$tmp/c3.json" || { echo "post-cancel submission did not run:"; cat "$tmp/c3.json"; exit 1; }
+grep -q '"cached":false' "$tmp/c3.json"
+curl -fsS "$base/v1/healthz" | grep -q '"status":"ok"'
+
+echo "serve smoke OK: long-horizon job canceled via DELETE, not cached, server live"

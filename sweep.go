@@ -1,6 +1,7 @@
 package ftgcs
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -20,7 +21,9 @@ type SweepResult struct {
 	// Value is whatever the scenario's WithObserver extracted, or nil.
 	Value any
 	// Err is non-nil when the scenario failed to build or run; the other
-	// fields are then zero.
+	// fields are then zero. When a RunContext sweep is canceled,
+	// interrupted and undispatched scenarios carry the context's error
+	// (errors.Is(Err, ctx.Err())).
 	Err error
 }
 
@@ -35,12 +38,38 @@ type Sweep struct {
 	Workers int
 	// BaseSeed seeds scenarios that did not set WithSeed.
 	BaseSeed int64
+
+	// OnSystemStart, when set, is called from a worker goroutine right
+	// after a scenario's System is built, immediately before it runs. The
+	// system's Progress method is the only one safe to call from other
+	// goroutines while the run is in flight — this hook is how the jobs
+	// manager tracks live progress of running experiments. horizon is the
+	// scenario's resolved simulated duration (seconds).
+	OnSystemStart func(index int, sys *System, horizon float64)
+	// OnScenarioDone, when set, is called from a worker goroutine as each
+	// scenario finishes (successfully, with an error, or interrupted),
+	// before its slot in the result slice is visible to the caller.
+	OnScenarioDone func(index int, res SweepResult)
 }
 
 // Run executes the scenarios and returns one result per scenario, in
 // input order. Individual failures are reported per result, never
 // panicking the pool.
 func (sw Sweep) Run(scenarios []*Scenario) []SweepResult {
+	return sw.run(nil, scenarios)
+}
+
+// RunContext is Run with cooperative cancellation: when ctx is done, the
+// sweep stops dispatching queued scenarios and interrupts in-flight ones.
+// Scenarios that completed before the cancellation carry results
+// byte-identical to the same scenarios in an uncanceled sweep;
+// interrupted and undispatched ones carry ctx.Err() in their Err field.
+func (sw Sweep) RunContext(ctx context.Context, scenarios []*Scenario) []SweepResult {
+	return sw.run(ctx, scenarios)
+}
+
+// run is the shared pool; ctx may be nil (uncancelable).
+func (sw Sweep) run(ctx context.Context, scenarios []*Scenario) []SweepResult {
 	out := make([]SweepResult, len(scenarios))
 	workers := sw.Workers
 	if workers <= 0 {
@@ -49,6 +78,10 @@ func (sw Sweep) Run(scenarios []*Scenario) []SweepResult {
 	if workers > len(scenarios) {
 		workers = len(scenarios)
 	}
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done() // nil channel (blocks forever) when ctx is nil
+	}
 	var wg sync.WaitGroup
 	jobs := make(chan int)
 	for w := 0; w < workers; w++ {
@@ -56,12 +89,32 @@ func (sw Sweep) Run(scenarios []*Scenario) []SweepResult {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				out[i] = sw.runOne(scenarios[i], i)
+				res := sw.runOne(ctx, scenarios[i], i)
+				if sw.OnScenarioDone != nil {
+					sw.OnScenarioDone(i, res)
+				}
+				out[i] = res
 			}
 		}()
 	}
 	for i := range scenarios {
-		jobs <- i
+		select {
+		case <-done:
+			// Cancellation: stop dispatching. Everything not yet handed to
+			// a worker reports the context error; in-flight scenarios are
+			// interrupted by their own RunContext polling.
+			for j := i; j < len(scenarios); j++ {
+				res := SweepResult{Index: j, Name: scenarios[j].Name(), Err: ctx.Err()}
+				if sw.OnScenarioDone != nil {
+					sw.OnScenarioDone(j, res)
+				}
+				out[j] = res
+			}
+			close(jobs)
+			wg.Wait()
+			return out
+		case jobs <- i:
+		}
 	}
 	close(jobs)
 	wg.Wait()
@@ -70,13 +123,21 @@ func (sw Sweep) Run(scenarios []*Scenario) []SweepResult {
 
 // runOne executes a single scenario, converting panics into errors so one
 // bad scenario cannot take down the whole sweep.
-func (sw Sweep) runOne(sc *Scenario, index int) (res SweepResult) {
+func (sw Sweep) runOne(ctx context.Context, sc *Scenario, index int) (res SweepResult) {
 	res = SweepResult{Index: index, Name: sc.Name()}
 	defer func() {
 		if r := recover(); r != nil {
 			res.Err = fmt.Errorf("ftgcs: scenario %d (%s) panicked: %v", index, sc.Name(), r)
 		}
 	}()
+	// A scenario dispatched in the same instant the sweep was canceled
+	// skips even its build: promptness over starting doomed work.
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			res.Err = err
+			return res
+		}
+	}
 	if _, ok := sc.Seeded(); !ok {
 		sc = sc.With(WithSeed(sw.BaseSeed + int64(index)))
 	}
@@ -85,7 +146,10 @@ func (sw Sweep) runOne(sc *Scenario, index int) (res SweepResult) {
 		res.Err = err
 		return res
 	}
-	rep, value, err := sc.executeOn(sys)
+	if sw.OnSystemStart != nil {
+		sw.OnSystemStart(index, sys, sc.Horizon(sys.Params()))
+	}
+	rep, value, err := sc.executeOn(ctx, sys)
 	if err != nil {
 		res.Err = err
 		return res

@@ -1,8 +1,12 @@
 package ftgcs
 
 import (
+	"bytes"
+	"context"
+	"encoding/json"
 	"errors"
 	"reflect"
+	"sync"
 	"testing"
 )
 
@@ -48,6 +52,83 @@ func TestSweepDeterministicAcrossWorkerCounts(t *testing.T) {
 		}
 		if !reflect.DeepEqual(baseline, results) {
 			t.Errorf("workers=%d results differ from sequential:\n%+v\n%+v", workers, baseline, results)
+		}
+	}
+}
+
+// TestSweepCancellationDeterminism is the cancellation half of the sweep
+// contract: a sweep canceled partway through yields, for every scenario
+// that completed before the cancellation, a result byte-identical to the
+// same scenario in an uncanceled sweep — across worker counts — while
+// interrupted and undispatched scenarios carry the context's error.
+func TestSweepCancellationDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full simulations")
+	}
+	baseline := Sweep{Workers: 4}.Run(sweepFixture(100))
+	for _, r := range baseline {
+		if r.Err != nil {
+			t.Fatalf("baseline scenario %s: %v", r.Name, r.Err)
+		}
+	}
+	// Canonical bytes of the parts of a result that a client would store.
+	enc := func(r SweepResult) []byte {
+		b, err := json.Marshal(struct {
+			Report  Report  `json:"report"`
+			Summary Summary `json:"summary"`
+		}{r.Report, r.Summary})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+
+	for _, workers := range []int{1, 2, 8} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var once sync.Once
+		sw := Sweep{
+			Workers: workers,
+			// Cancel the sweep as soon as its first scenario completes:
+			// "halfway" without wall-clock timing, so the test cannot flake
+			// into canceling nothing or everything.
+			OnScenarioDone: func(_ int, res SweepResult) {
+				if res.Err == nil {
+					once.Do(cancel)
+				}
+			},
+		}
+		results := sw.RunContext(ctx, sweepFixture(100))
+		cancel()
+
+		completed, interrupted := 0, 0
+		for i, r := range results {
+			if r.Err != nil {
+				interrupted++
+				if !errors.Is(r.Err, context.Canceled) {
+					t.Errorf("workers=%d scenario %s: Err = %v, want context.Canceled", workers, r.Name, r.Err)
+				}
+				continue
+			}
+			completed++
+			if !reflect.DeepEqual(baseline[i], r) {
+				t.Errorf("workers=%d scenario %s: completed result differs from uncanceled sweep:\n%+v\n%+v",
+					workers, r.Name, baseline[i], r)
+			}
+			if got, want := enc(r), enc(baseline[i]); !bytes.Equal(got, want) {
+				t.Errorf("workers=%d scenario %s: serialized result not byte-identical:\n%s\n%s",
+					workers, r.Name, got, want)
+			}
+		}
+		if completed == 0 {
+			t.Errorf("workers=%d: no scenario completed before the cancel", workers)
+		}
+		if workers == 1 {
+			// Sequential dispatch makes the split deterministic: scenario 0
+			// completes, triggers the cancel, and the other three are never
+			// dispatched.
+			if completed != 1 || interrupted != len(results)-1 {
+				t.Errorf("workers=1: completed=%d interrupted=%d, want 1/%d", completed, interrupted, len(results)-1)
+			}
 		}
 	}
 }
