@@ -1,0 +1,147 @@
+// ftgcs-manifest inspects experiment-grid manifests offline: the same
+// codec and expansion the server applies to POST /v1/manifests, without
+// running anything. Use it to lint a grid before submitting it, to pin
+// its content hash in a lab notebook, or to see exactly which jobs a
+// manifest will fan out into.
+//
+//	ftgcs-manifest validate examples/manifests/e1-grid.json
+//	ftgcs-manifest hash     examples/manifests/*.json
+//	ftgcs-manifest expand   examples/manifests/e6-grid.json
+//	ftgcs-manifest params
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"ftgcs"
+	"ftgcs/internal/manifest"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ftgcs-manifest:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("ftgcs-manifest", flag.ContinueOnError)
+	asJSON := fs.Bool("json", false, "expand: emit the full expansion as JSON instead of a summary")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), `usage: ftgcs-manifest [flags] <command> [file...]
+
+commands:
+  validate  parse, normalize and validate each manifest (exit non-zero on the first failure)
+  hash      print each manifest's content hash (stable under reformatting and spelled-out defaults)
+  expand    print each manifest's deduplicated job set and arm plan
+  params    list the sweepable axis parameters
+
+flags:
+`)
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cmd := fs.Arg(0)
+	files := fs.Args()[min(1, len(fs.Args())):]
+
+	switch cmd {
+	case "params":
+		for _, p := range manifest.Params() {
+			fmt.Fprintln(out, p)
+		}
+		return nil
+	case "validate", "hash", "expand":
+		if len(files) == 0 {
+			return fmt.Errorf("%s: no manifest files given", cmd)
+		}
+	case "":
+		fs.Usage()
+		return fmt.Errorf("no command given")
+	default:
+		fs.Usage()
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+
+	for _, path := range files {
+		m, err := loadManifest(path)
+		if err != nil {
+			return err
+		}
+		switch cmd {
+		case "validate":
+			exp, err := m.Expand(ftgcs.DefaultRegistry)
+			if err != nil {
+				return fmt.Errorf("%s: %w", path, err)
+			}
+			fmt.Fprintf(out, "%s: ok (%d arms, %d unique jobs)\n", path, len(exp.Arms), len(exp.Jobs))
+		case "hash":
+			h, err := m.Hash()
+			if err != nil {
+				return fmt.Errorf("%s: %w", path, err)
+			}
+			fmt.Fprintf(out, "%s  %s\n", h, path)
+		case "expand":
+			exp, err := m.Expand(ftgcs.DefaultRegistry)
+			if err != nil {
+				return fmt.Errorf("%s: %w", path, err)
+			}
+			if *asJSON {
+				enc := json.NewEncoder(out)
+				enc.SetIndent("", "  ")
+				if err := enc.Encode(exp); err != nil {
+					return err
+				}
+				continue
+			}
+			printExpansion(out, path, exp)
+		}
+	}
+	return nil
+}
+
+func loadManifest(path string) (manifest.Manifest, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return manifest.Manifest{}, err
+	}
+	defer f.Close()
+	m, err := manifest.Decode(f)
+	if err != nil {
+		return manifest.Manifest{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return m, nil
+}
+
+// printExpansion writes the human-readable expansion: the manifest's
+// identity, then each arm with its gates and grid points. Shared points
+// (deduplicated across arms) are marked so the unique-job arithmetic is
+// visible.
+func printExpansion(out io.Writer, path string, exp *manifest.Expansion) {
+	fmt.Fprintf(out, "%s\n  manifest %s\n  %d unique jobs across %d arms\n", path, exp.ManifestID, len(exp.Jobs), len(exp.Arms))
+	names := make(map[string]string, len(exp.Jobs))
+	for _, j := range exp.Jobs {
+		names[j.ID] = j.Name
+	}
+	seen := make(map[string]bool, len(exp.Jobs))
+	for _, arm := range exp.Arms {
+		fmt.Fprintf(out, "  arm %s (%d jobs", arm.Name, len(arm.JobIDs))
+		if len(arm.After) > 0 {
+			fmt.Fprintf(out, ", after %v", arm.After)
+		}
+		fmt.Fprintln(out, ")")
+		for _, id := range arm.JobIDs {
+			mark := ""
+			if seen[id] {
+				mark = "  (shared)"
+			}
+			seen[id] = true
+			fmt.Fprintf(out, "    %s  %s%s\n", id, names[id], mark)
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ftgcs"
+)
+
+const examplesDir = "../../examples/manifests"
+
+func exampleFiles(t *testing.T) []string {
+	t.Helper()
+	files, err := filepath.Glob(filepath.Join(examplesDir, "*.json"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no example manifests found: %v", err)
+	}
+	return files
+}
+
+// TestExamplesValidate: every committed example manifest validates and
+// expands against the default registry.
+func TestExamplesValidate(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(append([]string{"validate"}, exampleFiles(t)...), &out); err != nil {
+		t.Fatalf("validate: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "ok") {
+		t.Fatalf("no ok lines: %s", out.String())
+	}
+}
+
+// TestExamplesExpandShape pins the committed grids' advertised shape:
+// each expands to at least 8 deduplicated jobs and carries at least one
+// dependency edge, so the examples genuinely exercise the DAG path.
+func TestExamplesExpandShape(t *testing.T) {
+	for _, path := range exampleFiles(t) {
+		m, err := loadManifest(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exp, err := m.Expand(ftgcs.DefaultRegistry)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if len(exp.Jobs) < 8 {
+			t.Errorf("%s expands to %d unique jobs, want ≥ 8", path, len(exp.Jobs))
+		}
+		gated := false
+		for _, arm := range exp.Arms {
+			if len(arm.After) > 0 {
+				gated = true
+			}
+		}
+		if !gated {
+			t.Errorf("%s has no arm dependencies", path)
+		}
+	}
+}
+
+// TestHashStableAcrossRuns: the printed hash is deterministic and starts
+// with the content-address prefix.
+func TestHashStableAcrossRuns(t *testing.T) {
+	files := exampleFiles(t)
+	var a, b bytes.Buffer
+	if err := run(append([]string{"hash"}, files...), &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append([]string{"hash"}, files...), &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("hash output not deterministic:\n%s\n%s", a.String(), b.String())
+	}
+	for _, line := range strings.Split(strings.TrimSpace(a.String()), "\n") {
+		if !strings.HasPrefix(line, "sha256:") {
+			t.Fatalf("malformed hash line %q", line)
+		}
+	}
+}
+
+// TestExpandOutput: the human-readable expansion lists every arm and
+// marks nothing shared in e1 (its arms are disjoint).
+func TestExpandOutput(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"expand", filepath.Join(examplesDir, "e1-grid.json")}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"arm baseline", "arm attacked", "after [baseline]", "unique jobs"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("expand output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// TestExpandJSON: -json emits a decodable expansion.
+func TestExpandJSON(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-json", "expand", filepath.Join(examplesDir, "e6-grid.json")}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `"manifestId"`) {
+		t.Fatalf("json expansion missing manifestId:\n%s", out.String())
+	}
+}
+
+// TestParamsCommand lists the axis table.
+func TestParamsCommand(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"params"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"topology.size", "drift", "attack.name", "constants.c2"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("params output missing %q", want)
+		}
+	}
+}
+
+// TestBadInvocations: unknown commands, missing files and invalid
+// manifests fail loudly.
+func TestBadInvocations(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"frobnicate"}, &out); err == nil {
+		t.Error("unknown command accepted")
+	}
+	if err := run([]string{"validate"}, &out); err == nil {
+		t.Error("validate with no files accepted")
+	}
+	if err := run([]string{"hash", "does-not-exist.json"}, &out); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -23,6 +23,15 @@
 //	# what the registry knows; how the service is doing
 //	curl localhost:8080/v1/registry
 //	curl localhost:8080/v1/stats
+//
+// With -store DIR, completed results also persist to an on-disk
+// content-addressed store and survive restarts: resubmitting a spec (or
+// a whole manifest) a process lifetime later serves the stored bytes
+// ("cached":"disk") instead of recomputing.
+//
+//	# submit a whole experiment grid (arms × axes × seeds, dependency-ordered)
+//	curl -X POST 'localhost:8080/v1/manifests?wait=true' -d @examples/manifests/e1-grid.json
+//	curl localhost:8080/v1/manifests/sha256:...
 package main
 
 import (
@@ -37,7 +46,9 @@ import (
 	"time"
 
 	"ftgcs"
+	"ftgcs/internal/cas"
 	"ftgcs/internal/jobs"
+	"ftgcs/internal/manifest"
 )
 
 func main() {
@@ -57,8 +68,20 @@ func run(args []string) error {
 	waitLimit := fs.Duration("wait-limit", 2*time.Minute, "maximum blocking time for ?wait=true requests")
 	runLimit := fs.Duration("run-limit", 0, "per-job wall-clock budget; a job running longer is canceled (0 = unlimited)")
 	drain := fs.Duration("drain", 5*time.Second, "graceful-shutdown timeout: in-flight jobs are canceled, connections drained")
+	storeDir := fs.String("store", "", "durable result store directory; completed results persist across restarts (empty = memory only)")
+	storeMaxBytes := fs.Int64("store-max-bytes", 0, "on-disk store size budget; least-recently-used results are evicted (0 = unbounded)")
+	storeMaxAge := fs.Duration("store-max-age", 0, "evict stored results not accessed for this long (0 = keep forever)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	var store *cas.Store
+	if *storeDir != "" {
+		var err error
+		store, err = cas.Open(*storeDir, cas.Options{MaxBytes: *storeMaxBytes, MaxAge: *storeMaxAge})
+		if err != nil {
+			return fmt.Errorf("open result store: %w", err)
+		}
 	}
 
 	mgr := jobs.NewManager(jobs.Options{
@@ -68,10 +91,13 @@ func run(args []string) error {
 		CacheSize:    *cache,
 		SweepWorkers: *sweepWorkers,
 		RunLimit:     *runLimit,
+		Store:        store,
 	})
 	defer mgr.Close()
+	sched := manifest.NewScheduler(mgr, ftgcs.DefaultRegistry)
+	defer sched.Close()
 
-	handler := newHandler(&server{mgr: mgr, reg: ftgcs.DefaultRegistry, waitLimit: *waitLimit})
+	handler := newHandler(&server{mgr: mgr, sched: sched, store: store, reg: ftgcs.DefaultRegistry, waitLimit: *waitLimit})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
@@ -91,10 +117,12 @@ func run(args []string) error {
 	case <-ctx.Done():
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
-		// Close the manager first: it cancels in-flight runs (workers
-		// drain within a few simulation events) and releases every
+		// Stop manifest drivers, then close the manager: Close cancels
+		// in-flight runs (workers drain within a few simulation events),
+		// flushes completed results to the store, and releases every
 		// blocked ?wait=true request, so Shutdown can finish inside the
 		// drain timeout instead of stalling behind long simulations.
+		sched.Close()
 		mgr.Close()
 		return srv.Shutdown(shutdownCtx)
 	}

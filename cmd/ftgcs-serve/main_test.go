@@ -14,6 +14,7 @@ import (
 
 	"ftgcs"
 	"ftgcs/internal/jobs"
+	"ftgcs/internal/manifest"
 )
 
 func newTestServer(t *testing.T, o jobs.Options) (*httptest.Server, *jobs.Manager) {
@@ -23,7 +24,9 @@ func newTestServer(t *testing.T, o jobs.Options) (*httptest.Server, *jobs.Manage
 	}
 	mgr := jobs.NewManager(o)
 	t.Cleanup(mgr.Close)
-	ts := httptest.NewServer(newHandler(&server{mgr: mgr, reg: ftgcs.DefaultRegistry, waitLimit: time.Minute}))
+	sched := manifest.NewScheduler(mgr, ftgcs.DefaultRegistry)
+	t.Cleanup(sched.Close)
+	ts := httptest.NewServer(newHandler(&server{mgr: mgr, sched: sched, store: o.Store, reg: ftgcs.DefaultRegistry, waitLimit: time.Minute}))
 	t.Cleanup(ts.Close)
 	return ts, mgr
 }
@@ -64,7 +67,7 @@ type statusView struct {
 	ID       string          `json:"id"`
 	SpecHash string          `json:"specHash"`
 	State    string          `json:"state"`
-	Cached   bool            `json:"cached"`
+	Cached   string          `json:"cached"`
 	Result   json.RawMessage `json:"result"`
 	Error    string          `json:"error"`
 }
@@ -83,7 +86,7 @@ func TestSubmitTwiceIsCacheHitByteIdentical(t *testing.T) {
 	if err := json.Unmarshal(body1, &st1); err != nil {
 		t.Fatal(err)
 	}
-	if st1.State != "done" || st1.Cached || len(st1.Result) == 0 {
+	if st1.State != "done" || st1.Cached != "" || len(st1.Result) == 0 {
 		t.Fatalf("first POST should complete fresh: %+v", st1)
 	}
 
@@ -95,7 +98,7 @@ func TestSubmitTwiceIsCacheHitByteIdentical(t *testing.T) {
 	if err := json.Unmarshal(body2, &st2); err != nil {
 		t.Fatal(err)
 	}
-	if !st2.Cached {
+	if st2.Cached != "memory" {
 		t.Fatalf("second POST must be a cache hit: %s", body2)
 	}
 	if st2.ID != st1.ID {
@@ -105,7 +108,7 @@ func TestSubmitTwiceIsCacheHitByteIdentical(t *testing.T) {
 		t.Fatalf("cache hit result not byte-identical:\n%s\n%s", st1.Result, st2.Result)
 	}
 	// The full responses differ only in the cache-hit marker.
-	norm := bytes.Replace(body2, []byte(`"cached":true`), []byte(`"cached":false`), 1)
+	norm := bytes.Replace(body2, []byte(`,"cached":"memory"`), nil, 1)
 	if !bytes.Equal(body1, norm) {
 		t.Fatalf("responses differ beyond the cached marker:\n%s\n%s", body1, body2)
 	}
@@ -582,7 +585,7 @@ func TestCancelEndpoint(t *testing.T) {
 	if err := json.Unmarshal(body, &re); err != nil {
 		t.Fatal(err)
 	}
-	if re.Cached {
+	if re.Cached != "" {
 		t.Fatalf("resubmission of canceled spec served from cache: %s", body)
 	}
 	if _, err := mgr.Cancel(re.ID); err != nil {

@@ -10,14 +10,21 @@ import (
 	"time"
 
 	"ftgcs"
+	"ftgcs/internal/cas"
 	"ftgcs/internal/jobs"
+	"ftgcs/internal/manifest"
 	"ftgcs/internal/spec"
 )
 
-// server wires the job manager and registry behind the JSON API.
+// server wires the job manager, manifest scheduler and registry behind
+// the JSON API.
 type server struct {
-	mgr *jobs.Manager
-	reg *ftgcs.Registry
+	mgr   *jobs.Manager
+	sched *manifest.Scheduler
+	// store is the optional durable result store (nil without -store);
+	// surfaced here only for stats.
+	store *cas.Store
+	reg   *ftgcs.Registry
 	// waitLimit bounds how long a ?wait=true request may block.
 	waitLimit time.Duration
 }
@@ -27,14 +34,22 @@ type server struct {
 //	POST   /v1/experiments         submit one spec or a batch
 //	GET    /v1/experiments/{id}    poll a job by content-addressed ID
 //	DELETE /v1/experiments/{id}    cancel a queued or running job
+//	POST   /v1/manifests           submit an experiment grid manifest
+//	GET    /v1/manifests           list manifest runs
+//	GET    /v1/manifests/{id}      poll a manifest run
+//	DELETE /v1/manifests/{id}      cancel a manifest run's remaining arms
 //	GET    /v1/registry            enumerate registered names
-//	GET    /v1/stats               job/cache/queue counters
+//	GET    /v1/stats               job/cache/queue/store counters
 //	GET    /v1/healthz             liveness + manager stats
 func newHandler(s *server) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/experiments", s.handleSubmit)
 	mux.HandleFunc("GET /v1/experiments/{id}", s.handleGet)
 	mux.HandleFunc("DELETE /v1/experiments/{id}", s.handleCancel)
+	mux.HandleFunc("POST /v1/manifests", s.handleManifestSubmit)
+	mux.HandleFunc("GET /v1/manifests", s.handleManifestList)
+	mux.HandleFunc("GET /v1/manifests/{id}", s.handleManifestGet)
+	mux.HandleFunc("DELETE /v1/manifests/{id}", s.handleManifestCancel)
 	mux.HandleFunc("GET /v1/registry", s.handleRegistry)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
@@ -207,6 +222,91 @@ func (s *server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleManifestSubmit is POST /v1/manifests: submit a whole experiment
+// grid. The manifest is validated, expanded (axes × seeds, deduplicated
+// by job identity) and its arms scheduled respecting the After DAG.
+// Submission is idempotent on the manifest's content hash: re-posting a
+// known grid re-joins the existing run (200) instead of starting a new
+// one (201). ?wait=true blocks — bounded by -wait-limit — until every
+// job is terminal.
+func (s *server) handleManifestSubmit(w http.ResponseWriter, r *http.Request) {
+	m, err := manifest.Decode(r.Body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	st, created, err := s.sched.Submit(m)
+	switch {
+	case err == nil:
+	case errors.Is(err, manifest.ErrSchedulerClosed):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	default:
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if boolParam(r, "wait") {
+		wctx, cancel := context.WithTimeout(r.Context(), s.waitLimit)
+		defer cancel()
+		if settled, err := s.sched.Wait(wctx, st.ID); err == nil {
+			st = settled
+		} else if cur, ok := s.sched.Get(st.ID); ok {
+			st = cur // timeout: degrade to the async snapshot
+		}
+	}
+	code := http.StatusOK
+	if created {
+		code = http.StatusCreated
+	}
+	if st.State == manifest.ManifestRunning {
+		code = http.StatusAccepted
+	}
+	writeJSON(w, code, st)
+}
+
+func (s *server) handleManifestList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string][]manifest.Status{"manifests": s.sched.List()})
+}
+
+func (s *server) handleManifestGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if boolParam(r, "wait") {
+		wctx, cancel := context.WithTimeout(r.Context(), s.waitLimit)
+		defer cancel()
+		if st, err := s.sched.Wait(wctx, id); err == nil {
+			writeJSON(w, http.StatusOK, st)
+			return
+		}
+		// Unknown manifest or timeout: fall through to the plain lookup.
+	}
+	st, ok := s.sched.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown manifest %q", id))
+		return
+	}
+	code := http.StatusOK
+	if st.State == manifest.ManifestRunning {
+		code = http.StatusAccepted
+	}
+	writeJSON(w, code, st)
+}
+
+// handleManifestCancel is DELETE /v1/manifests/{id}: arms not yet
+// started never start and this run's in-flight jobs are canceled. The
+// run's record stays queryable; re-posting the manifest afterwards
+// starts a fresh run.
+func (s *server) handleManifestCancel(w http.ResponseWriter, r *http.Request) {
+	st, err := s.sched.Cancel(r.PathValue("id"))
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusOK, st)
+	case errors.Is(err, manifest.ErrUnknownManifest):
+		writeError(w, http.StatusNotFound, err)
+	default:
+		writeError(w, http.StatusInternalServerError, err)
+	}
+}
+
 // handleStats is GET /v1/stats: the manager's cumulative counters
 // (submitted/completed/failed/canceled/runs, cache hits/misses/evictions,
 // coalesce count) plus instantaneous gauges (queue depth, running jobs,
@@ -226,10 +326,14 @@ func (s *server) handleRegistry(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"status": "ok",
 		"stats":  s.mgr.Stats(),
-	})
+	}
+	if s.store != nil {
+		body["store"] = s.store.Stats()
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 // statusCode maps a job snapshot to its HTTP status: terminal work

@@ -1,0 +1,362 @@
+package cas
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// key derives a well-formed store key from any string.
+func key(s string) string {
+	sum := sha256.Sum256([]byte(s))
+	return "sha256:" + hex.EncodeToString(sum[:])
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte(`{"result":"x"}`)
+	k := key("a")
+	if _, ok := s.Get(k); ok {
+		t.Fatal("Get before Put reported a hit")
+	}
+	if err := s.Put(k, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(k)
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("Get = %q, %v; want %q, true", got, ok, payload)
+	}
+	if n := s.Len(); n != 1 {
+		t.Fatalf("Len = %d, want 1", n)
+	}
+	if b := s.Bytes(); b != int64(len(payload)) {
+		t.Fatalf("Bytes = %d, want %d", b, len(payload))
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Puts != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss / 1 put", st)
+	}
+}
+
+func TestMalformedKeyRejected(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{
+		"",
+		"sha256:short",
+		"md5:" + strings.Repeat("ab", 32),
+		"sha256:" + strings.Repeat("AB", 32), // uppercase
+		"sha256:../" + strings.Repeat("ab", 31) + "abcd", // traversal shape
+		"sha256:" + strings.Repeat("zz", 32),             // non-hex
+	} {
+		if err := s.Put(k, []byte("x")); err == nil {
+			t.Errorf("Put(%q) accepted a malformed key", k)
+		}
+		if _, ok := s.Get(k); ok {
+			t.Errorf("Get(%q) hit on a malformed key", k)
+		}
+	}
+}
+
+// TestReloadAcrossOpen is the durability core: a second Open on the same
+// directory serves everything the first stored, byte-identically.
+func TestReloadAcrossOpen(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string][]byte{}
+	for i := 0; i < 20; i++ {
+		k := key(fmt.Sprintf("obj-%d", i))
+		v := bytes.Repeat([]byte{byte(i)}, 10+i)
+		want[k] = v
+		if err := s1.Put(k, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != len(want) {
+		t.Fatalf("reloaded Len = %d, want %d", s2.Len(), len(want))
+	}
+	for k, v := range want {
+		got, ok := s2.Get(k)
+		if !ok || !bytes.Equal(got, v) {
+			t.Fatalf("reloaded Get(%s) = %q, %v; want %q", k, got, ok, v)
+		}
+	}
+}
+
+// TestCorruptObjectIsMiss: flipping bytes, truncating, or appending to an
+// object file turns reads into misses — never errors, never bad data —
+// and the damaged file is removed.
+func TestCorruptObjectIsMiss(t *testing.T) {
+	corruptions := map[string]func([]byte) []byte{
+		"flip-payload-byte": func(b []byte) []byte { b[len(b)-1] ^= 0xff; return b },
+		"flip-magic":        func(b []byte) []byte { b[0] ^= 0xff; return b },
+		"truncate-header":   func(b []byte) []byte { return b[:headerSize-3] },
+		"truncate-payload":  func(b []byte) []byte { return b[:headerSize+1] },
+		"append-garbage":    func(b []byte) []byte { return append(b, 'x') },
+		"empty":             func([]byte) []byte { return nil },
+	}
+	for name, corrupt := range corruptions {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			s, err := Open(dir, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			k := key(name)
+			if err := s.Put(k, []byte("precious result bytes")); err != nil {
+				t.Fatal(err)
+			}
+			path, err := s.path(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The corruption closures mutate in place; keep a pristine copy
+			// for the second round.
+			orig := append([]byte(nil), raw...)
+			if err := os.WriteFile(path, corrupt(raw), 0o666); err != nil {
+				t.Fatal(err)
+			}
+			if got, ok := s.Get(k); ok {
+				t.Fatalf("Get on corrupt object hit with %q", got)
+			}
+			if _, err := os.Stat(path); !os.IsNotExist(err) {
+				t.Errorf("corrupt object file not removed (err=%v)", err)
+			}
+			if st := s.Stats(); st.Corrupt != 1 {
+				t.Errorf("Corrupt counter = %d, want 1", st.Corrupt)
+			}
+			// And a reopen scan tolerates corruption too.
+			if err := s.Put(k, []byte("fresh")); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, corrupt(orig), 0o666); err != nil {
+				t.Fatal(err)
+			}
+			s2, err := Open(dir, Options{})
+			if err != nil {
+				t.Fatalf("Open over corrupt object: %v", err)
+			}
+			if _, ok := s2.Get(k); ok {
+				t.Fatal("reopened store served a corrupt object")
+			}
+		})
+	}
+}
+
+// TestGCSizeCap: the byte cap evicts oldest-accessed first; the newest
+// objects survive.
+func TestGCSizeCap(t *testing.T) {
+	clock := time.Unix(1000, 0)
+	opts := Options{MaxBytes: 100, now: func() time.Time { return clock }}
+	s, err := Open(t.TempDir(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 objects × 20 bytes; cap 100 keeps the newest 5.
+	var keys []string
+	for i := 0; i < 10; i++ {
+		clock = clock.Add(time.Second)
+		k := key(fmt.Sprintf("sized-%d", i))
+		keys = append(keys, k)
+		if err := s.Put(k, bytes.Repeat([]byte{'x'}, 20)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Bytes() > 100 {
+		t.Fatalf("Bytes = %d exceeds cap", s.Bytes())
+	}
+	for i, k := range keys {
+		_, ok := s.Get(k)
+		if want := i >= 5; ok != want {
+			t.Errorf("object %d present=%v, want %v", i, ok, want)
+		}
+	}
+	// A Get refreshes recency: touch the oldest survivor, add more, and it
+	// outlives objects written before it was touched.
+	clock = clock.Add(time.Second)
+	s.Get(keys[5])
+	for i := 10; i < 14; i++ {
+		clock = clock.Add(time.Second)
+		if err := s.Put(key(fmt.Sprintf("sized-%d", i)), bytes.Repeat([]byte{'x'}, 20)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := s.Get(keys[5]); !ok {
+		t.Error("recently touched object was evicted before colder ones")
+	}
+	if _, ok := s.Get(keys[6]); ok {
+		t.Error("cold object survived past the cap")
+	}
+}
+
+func TestGCMaxAge(t *testing.T) {
+	clock := time.Unix(1000, 0)
+	s, err := Open(t.TempDir(), Options{MaxAge: time.Minute, now: func() time.Time { return clock }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	old, fresh := key("old"), key("fresh")
+	if err := s.Put(old, []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	clock = clock.Add(2 * time.Minute)
+	if err := s.Put(fresh, []byte("fresh")); err != nil {
+		t.Fatal(err)
+	}
+	if n := s.GC(); n != 0 {
+		// Put already collected the expired object.
+		t.Logf("GC evicted %d more", n)
+	}
+	if _, ok := s.Get(old); ok {
+		t.Error("expired object survived age GC")
+	}
+	if _, ok := s.Get(fresh); !ok {
+		t.Error("fresh object was age-evicted")
+	}
+}
+
+// TestScanRemovesTempFiles: a crash mid-write leaves a temp file; Open
+// cleans it up and does not index it.
+func TestScanRemovesTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(key("real"), []byte("real")); err != nil {
+		t.Fatal(err)
+	}
+	shard := filepath.Dir(mustPath(t, s, key("real")))
+	stray := filepath.Join(shard, tmpPrefix+"crashed")
+	if err := os.WriteFile(stray, []byte("partial"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 (temp file indexed?)", s2.Len())
+	}
+	if _, err := os.Stat(stray); !os.IsNotExist(err) {
+		t.Error("leftover temp file not removed by scan")
+	}
+}
+
+// TestRecencySurvivesReopen: mtime carries access order across Open, so
+// GC after a restart still evicts the coldest objects first.
+func TestRecencySurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, hot := key("cold"), key("hot")
+	if err := s1.Put(cold, bytes.Repeat([]byte{'c'}, 30)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Put(hot, bytes.Repeat([]byte{'h'}, 30)); err != nil {
+		t.Fatal(err)
+	}
+	// Make the mtime gap robust to coarse filesystem timestamps.
+	past := time.Now().Add(-time.Hour)
+	if err := os.Chtimes(mustPath(t, s1, cold), past, past); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, Options{MaxBytes: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s2.Get(cold); ok {
+		t.Error("cold object survived reopen GC")
+	}
+	if _, ok := s2.Get(hot); !ok {
+		t.Error("hot object evicted by reopen GC")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := key("gone")
+	if err := s.Put(k, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete(k); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(k); ok {
+		t.Fatal("deleted object still served")
+	}
+	if err := s.Delete(k); err != nil {
+		t.Fatalf("double delete: %v", err)
+	}
+	if s.Len() != 0 || s.Bytes() != 0 {
+		t.Fatalf("Len/Bytes = %d/%d after delete, want 0/0", s.Len(), s.Bytes())
+	}
+}
+
+func TestConcurrentPutGet(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			for i := 0; i < 50; i++ {
+				k := key(fmt.Sprintf("c-%d", i))
+				v := []byte(fmt.Sprintf("value-%d", i))
+				if err := s.Put(k, v); err != nil {
+					done <- err
+					return
+				}
+				if got, ok := s.Get(k); ok && !bytes.Equal(got, v) {
+					done <- fmt.Errorf("goroutine %d: Get(%s) = %q, want %q", g, k, got, v)
+					return
+				}
+			}
+			done <- nil
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func mustPath(t *testing.T, s *Store, key string) string {
+	t.Helper()
+	p, err := s.path(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}

@@ -171,6 +171,13 @@ type Config struct {
 
 	// SampleInterval is the metric sampling period; 0 selects T/2.
 	SampleInterval float64
+	// HorizonHint, when positive, is the expected run horizon in
+	// simulated seconds. It is a preallocation hint only — metric series
+	// and per-round pulse bookkeeping are sized for it up front so the
+	// recording hot path does not reallocate — and has no effect on any
+	// simulated value. Runs may exceed the hint; slices then grow as
+	// before.
+	HorizonHint float64
 	// TrackClusters records per-cluster clock/FC/SC series (experiment
 	// E10); costs memory proportional to samples × clusters.
 	TrackClusters bool

@@ -81,7 +81,7 @@ func (s *System) sample(t float64) {
 
 	localCluster := 0.0
 	localNode := intraMax // cluster edges are physical edges too
-	for _, e := range s.cfg.Base.Edges() {
+	for _, e := range s.baseEdges {
 		b, c := e[0], e[1]
 		if !valid[b] || !valid[c] {
 			continue

@@ -68,7 +68,14 @@ type System struct {
 	sampleValid                           []bool
 	nbrClockScratch                       []float64
 
+	// baseEdges caches Base.Edges() — the sampler walks the edge list on
+	// every tick and the graph rebuilds (and re-sorts) it per call.
+	baseEdges [][2]graph.NodeID
+
 	sampleInterval float64
+	// expectedRounds, when positive, sizes the per-cluster pulse slices
+	// on their first use (from Config.HorizonHint).
+	expectedRounds int
 	started        bool
 }
 
@@ -100,10 +107,35 @@ func NewSystem(cfg Config) (*System, error) {
 		sampleHighs:    make([]float64, nc),
 		sampleClocks:   make([]float64, nc),
 		sampleValid:    make([]bool, nc),
+		baseEdges:      cfg.Base.Edges(),
 		sampleInterval: cfg.SampleInterval,
 	}
 	if s.sampleInterval <= 0 {
 		s.sampleInterval = cfg.Params.T / 2
+	}
+	if cfg.HorizonHint > 0 {
+		// Expected sample count for the standard series; +2 covers the
+		// fencepost and a final sample at the horizon itself.
+		samples := int(cfg.HorizonHint/s.sampleInterval) + 2
+		s.rec.Reserve(SeriesIntraSkew, samples)
+		s.rec.Reserve(SeriesLocalCluster, samples)
+		s.rec.Reserve(SeriesLocalNode, samples)
+		s.rec.Reserve(SeriesGlobal, samples)
+		s.rec.Reserve(SeriesFastFraction, samples)
+		if cfg.EnableGlobalSkew {
+			s.rec.Reserve(SeriesMaxEstLag, samples)
+			s.rec.Reserve(SeriesMaxEstViolations, samples)
+		}
+		if cfg.TrackClusters {
+			for c := 0; c < nc; c++ {
+				s.rec.Reserve(ClusterSeriesClock(c), samples)
+				s.rec.Reserve(ClusterSeriesFC(c), samples)
+				s.rec.Reserve(ClusterSeriesSC(c), samples)
+			}
+		}
+		// Rounds advance roughly every T seconds; +8 absorbs fast-mode
+		// compression of round length.
+		s.expectedRounds = int(cfg.HorizonHint/cfg.Params.T) + 8
 	}
 
 	faults := make(map[graph.NodeID]FaultSpec)
@@ -287,6 +319,11 @@ func (s *System) buildNode(v graph.NodeID, faults map[graph.NodeID]FaultSpec) er
 func (s *System) recordPulse(c graph.ClusterID, v graph.NodeID, r int, t float64) {
 	if s.nodes[v].faulty {
 		return
+	}
+	if s.pulseMin[c] == nil && s.expectedRounds > r {
+		s.pulseMin[c] = make([]float64, 0, s.expectedRounds+1)
+		s.pulseMax[c] = make([]float64, 0, s.expectedRounds+1)
+		s.pulseCount[c] = make([]int32, 0, s.expectedRounds+1)
 	}
 	for len(s.pulseMin[c]) <= r {
 		s.pulseMin[c] = append(s.pulseMin[c], math.Inf(1))

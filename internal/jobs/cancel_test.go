@@ -69,7 +69,7 @@ func TestCancelRunningJob(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if re.Cached || re.Coalesced {
+	if re.Cached != "" || re.Coalesced {
 		t.Fatalf("resubmission of a canceled spec must run afresh: %+v", re)
 	}
 	if _, err := m.Cancel(re.ID); err != nil {

@@ -18,6 +18,7 @@ import (
 	"context"
 	"crypto/sha256"
 	"encoding/hex"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"math"
@@ -26,6 +27,7 @@ import (
 	"time"
 
 	"ftgcs"
+	"ftgcs/internal/cas"
 	"ftgcs/internal/metrics"
 	"ftgcs/internal/spec"
 )
@@ -95,6 +97,11 @@ const (
 	StateCanceled State = "canceled"
 )
 
+// Terminal reports whether the state is final (done, failed, canceled).
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
 // Stat is a Welford mean/std aggregate with a 95% normal confidence
 // half-width. Std and CI95 are NaN (JSON null) below 2 samples.
 type Stat struct {
@@ -102,6 +109,28 @@ type Stat struct {
 	Mean float64
 	Std  float64
 	CI95 float64
+}
+
+// UnmarshalJSON is MarshalJSON's inverse (null → NaN), so a Result that
+// round-trips through the disk store re-encodes byte-identically.
+func (s *Stat) UnmarshalJSON(b []byte) error {
+	var aux struct {
+		N    int      `json:"n"`
+		Mean *float64 `json:"mean"`
+		Std  *float64 `json:"std"`
+		CI95 *float64 `json:"ci95"`
+	}
+	if err := json.Unmarshal(b, &aux); err != nil {
+		return err
+	}
+	f := func(p *float64) float64 {
+		if p == nil {
+			return math.NaN()
+		}
+		return *p
+	}
+	*s = Stat{N: aux.N, Mean: f(aux.Mean), Std: f(aux.Std), CI95: f(aux.CI95)}
+	return nil
 }
 
 // MarshalJSON uses the canonical float encoding (non-finite → null) with
@@ -190,14 +219,27 @@ type job struct {
 	prog *progressTracker
 }
 
+// CacheTier identifies which cache layer served a response. The empty
+// tier means the work was (or is being) freshly executed.
+type CacheTier string
+
+const (
+	// TierMemory: served from the in-process LRU.
+	TierMemory CacheTier = "memory"
+	// TierDisk: rehydrated from the on-disk content-addressed store — a
+	// different process (or an earlier life of this one) did the work.
+	TierDisk CacheTier = "disk"
+)
+
 // JobStatus is an external snapshot of a job, shaped for the HTTP API.
 type JobStatus struct {
 	ID       string `json:"id"`
 	SpecHash string `json:"specHash"`
 	State    State  `json:"state"`
-	// Cached is true when this response was served from the result cache
-	// (the work was NOT re-run).
-	Cached bool `json:"cached"`
+	// Cached names the cache tier that served this response ("memory" or
+	// "disk"); absent when the work was not served from a cache (it was,
+	// or is being, executed for this submission).
+	Cached CacheTier `json:"cached,omitempty"`
 	// Coalesced is true when the submission attached to an identical
 	// in-flight job instead of enqueuing new work.
 	Coalesced bool    `json:"coalesced,omitempty"`
@@ -243,9 +285,14 @@ type Stats struct {
 	CacheMisses uint64 `json:"cacheMisses"`
 	Coalesced   uint64 `json:"coalesced"`
 	Evicted     uint64 `json:"evicted"`
-	Queued      int    `json:"queued"`
-	Running     int    `json:"running"`
-	CacheLen    int    `json:"cacheLen"`
+	// DiskHits counts the subset of CacheHits answered by rehydrating a
+	// result from the on-disk store (zero without a store).
+	DiskHits uint64 `json:"diskHits"`
+	// DiskStored counts results durably written to the disk store.
+	DiskStored uint64 `json:"diskStored"`
+	Queued     int    `json:"queued"`
+	Running    int    `json:"running"`
+	CacheLen   int    `json:"cacheLen"`
 }
 
 // progressTracker aggregates live progress across one job's scenario
@@ -338,6 +385,12 @@ type Options struct {
 	// means no budget. The clock starts when the job starts running, not
 	// while it waits in the queue.
 	RunLimit time.Duration
+	// Store, when non-nil, adds a durable tier under the in-memory LRU:
+	// lookups go memory → disk → compute, and completed results are
+	// written through to disk asynchronously (Close drains the backlog,
+	// so a graceful shutdown never loses completed work). The caller owns
+	// the store's lifetime; the manager never closes it.
+	Store *cas.Store
 }
 
 // ErrQueueFull is returned by Submit when the bounded queue is at
@@ -406,6 +459,16 @@ type Manager struct {
 	running int
 	closed  bool
 
+	// Disk tier (nil store disables it). Completed results are appended
+	// to pendingStore under mu and written to disk by a dedicated storer
+	// goroutine, so finish never does IO under the lock. storeCond (on
+	// mu) wakes the storer; storeClosing tells it to drain and exit.
+	store        *cas.Store
+	pendingStore []storeItem
+	storeCond    *sync.Cond
+	storeClosing bool
+	storeWg      sync.WaitGroup
+
 	// TestHookBeforeRun, when set, runs in each worker before a job
 	// executes — tests use it to hold workers and fill the queue.
 	TestHookBeforeRun func()
@@ -436,12 +499,60 @@ func NewManager(o Options) *Manager {
 		quit:         make(chan struct{}),
 		active:       make(map[string]*job),
 		cache:        newLRUCache(o.CacheSize),
+		store:        o.Store,
+	}
+	if m.store != nil {
+		m.storeCond = sync.NewCond(&m.mu)
+		m.storeWg.Add(1)
+		go m.storer()
 	}
 	for i := 0; i < o.Workers; i++ {
 		m.wg.Add(1)
 		go m.worker()
 	}
 	return m
+}
+
+// storeItem is one completed result awaiting its disk write.
+type storeItem struct {
+	id  string
+	res *Result
+}
+
+// storer is the write-behind goroutine of the disk tier: it drains
+// pendingStore batches and writes each result's canonical bytes to the
+// store. Encoding and IO happen outside m.mu. It exits only when Close
+// has set storeClosing AND the backlog is empty, so every result that
+// finished before Close returns is durable.
+func (m *Manager) storer() {
+	defer m.storeWg.Done()
+	for {
+		m.mu.Lock()
+		for len(m.pendingStore) == 0 && !m.storeClosing {
+			m.storeCond.Wait()
+		}
+		if len(m.pendingStore) == 0 {
+			m.mu.Unlock()
+			return
+		}
+		batch := m.pendingStore
+		m.pendingStore = nil
+		m.mu.Unlock()
+
+		stored := uint64(0)
+		for _, it := range batch {
+			payload, err := json.Marshal(it.res)
+			if err != nil {
+				continue // cannot happen: Result marshalling is total
+			}
+			if err := m.store.Put(it.id, payload); err == nil {
+				stored++
+			}
+		}
+		m.mu.Lock()
+		m.stats.DiskStored += stored
+		m.mu.Unlock()
+	}
 }
 
 // Submit validates, dedupes and enqueues a request. The returned status
@@ -508,38 +619,74 @@ func (m *Manager) Submit(req Request) (JobStatus, error) {
 	m.active[id] = j
 	m.stats.Submitted++
 	m.stats.CacheMisses++ // neither coalesced nor cached: fresh work
-	return m.snapshot(j, false), nil
+	return m.snapshot(j, ""), nil
 }
 
-// serveLocked answers a submission from the in-flight index or the
-// result cache, overlaying the submitter's display name; callers hold
-// m.mu.
+// serveLocked answers a submission from the in-flight index, the memory
+// cache, or the disk store, overlaying the submitter's display name;
+// callers hold m.mu.
 func (m *Manager) serveLocked(id, name string) (JobStatus, bool) {
 	if j, ok := m.active[id]; ok {
 		m.stats.Coalesced++
-		st := m.snapshot(j, false).WithName(name)
+		st := m.snapshot(j, "").WithName(name)
 		st.Coalesced = true
 		return st, true
 	}
-	if j, ok := m.cache.get(id); ok {
-		m.stats.CacheHits++
-		return m.snapshot(j, true).WithName(name), true
+	if j, tier, ok := m.lookupLocked(id); ok {
+		return m.snapshot(j, tier).WithName(name), true
 	}
 	return JobStatus{}, false
 }
 
+// lookupLocked consults the result caches, memory first: a memory hit
+// refreshes LRU recency; a disk hit rehydrates the stored result into a
+// completed job record and promotes it into the memory LRU, so repeat
+// lookups hit memory. Callers hold m.mu.
+func (m *Manager) lookupLocked(id string) (*job, CacheTier, bool) {
+	if j, ok := m.cache.get(id); ok {
+		m.stats.CacheHits++
+		return j, TierMemory, true
+	}
+	if m.store == nil {
+		return nil, "", false
+	}
+	payload, ok := m.store.Get(id)
+	if !ok {
+		return nil, "", false
+	}
+	var res Result
+	if err := json.Unmarshal(payload, &res); err != nil {
+		// A valid envelope holding bytes we cannot decode (e.g. written
+		// by a future schema): treat as a miss and drop it.
+		m.store.Delete(id)
+		return nil, "", false
+	}
+	j := &job{id: id, specHash: res.SpecHash, state: StateDone, result: &res, done: closedChan}
+	m.stats.CacheHits++
+	m.stats.DiskHits++
+	m.stats.Evicted += uint64(m.cache.add(id, j))
+	return j, TierDisk, true
+}
+
+// closedChan is the pre-closed done channel shared by jobs rehydrated
+// from disk (their work finished in some earlier process life).
+var closedChan = func() chan struct{} {
+	ch := make(chan struct{})
+	close(ch)
+	return ch
+}()
+
 // Get returns a snapshot of the job with the given ID, looking through
-// both the in-flight index and the result cache (a cache lookup counts as
-// a hit and refreshes recency).
+// the in-flight index, the result cache, and the disk store (a cache
+// lookup counts as a hit and refreshes recency).
 func (m *Manager) Get(id string) (JobStatus, bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if j, ok := m.active[id]; ok {
-		return m.snapshot(j, false), true
+		return m.snapshot(j, ""), true
 	}
-	if j, ok := m.cache.get(id); ok {
-		m.stats.CacheHits++
-		return m.snapshot(j, true), true
+	if j, tier, ok := m.lookupLocked(id); ok {
+		return m.snapshot(j, tier), true
 	}
 	m.stats.CacheMisses++
 	return JobStatus{}, false
@@ -555,10 +702,8 @@ func (m *Manager) Wait(ctx context.Context, id string) (JobStatus, error) {
 	m.mu.Lock()
 	j, inflight := m.active[id]
 	if !inflight {
-		cached, ok := m.cache.get(id)
-		if ok {
-			m.stats.CacheHits++
-			st := m.snapshot(cached, true)
+		if cached, tier, ok := m.lookupLocked(id); ok {
+			st := m.snapshot(cached, tier)
 			m.mu.Unlock()
 			return st, nil
 		}
@@ -576,12 +721,12 @@ func (m *Manager) Wait(ctx context.Context, id string) (JobStatus, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if j.state == StateCanceled {
-		return m.snapshot(j, false), fmt.Errorf("jobs: job %s: %w", id, ErrCanceled)
+		return m.snapshot(j, ""), fmt.Errorf("jobs: job %s: %w", id, ErrCanceled)
 	}
 	// The job just finished; it is in the cache unless a flood of newer
 	// results already evicted it.
 	if cached, ok := m.cache.get(id); ok {
-		return m.snapshot(cached, false), nil
+		return m.snapshot(cached, ""), nil
 	}
 	return JobStatus{}, fmt.Errorf("jobs: job %s: %w", id, ErrEvicted)
 }
@@ -599,8 +744,8 @@ func (m *Manager) Cancel(id string) (JobStatus, error) {
 	m.mu.Lock()
 	j, ok := m.active[id]
 	if !ok {
-		if cached, okc := m.cache.get(id); okc {
-			st := m.snapshot(cached, true)
+		if cached, tier, okc := m.lookupLocked(id); okc {
+			st := m.snapshot(cached, tier)
 			m.mu.Unlock()
 			return st, ErrCompleted
 		}
@@ -612,7 +757,7 @@ func (m *Manager) Cancel(id string) (JobStatus, error) {
 		// Never picked up: finish it here. The job object stays in the
 		// channel until a worker (or Close) drains and skips it.
 		m.finishLocked(j, nil, ErrCanceled)
-		st := m.snapshot(j, false)
+		st := m.snapshot(j, "")
 		m.mu.Unlock()
 		return st, nil
 	}
@@ -624,11 +769,11 @@ func (m *Manager) Cancel(id string) (JobStatus, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if j.state == StateCanceled {
-		return m.snapshot(j, false), nil
+		return m.snapshot(j, ""), nil
 	}
 	// The run won the race and completed before noticing the cancel; its
 	// result is valid and cached.
-	return m.snapshot(j, false), ErrCompleted
+	return m.snapshot(j, ""), ErrCompleted
 }
 
 // Stats returns a copy of the counters plus current gauges.
@@ -665,14 +810,29 @@ func (m *Manager) Close() {
 		case j := <-m.queue:
 			m.finish(j, nil, ErrClosed)
 		default:
+			m.flushStore()
 			return
 		}
 	}
 }
 
+// flushStore tells the storer to drain everything still pending and
+// waits for it: after Close returns, every result that completed before
+// the shutdown is durable on disk. No-op without a store.
+func (m *Manager) flushStore() {
+	if m.store == nil {
+		return
+	}
+	m.mu.Lock()
+	m.storeClosing = true
+	m.storeCond.Broadcast()
+	m.mu.Unlock()
+	m.storeWg.Wait()
+}
+
 // snapshot builds an external view; callers hold m.mu.
-func (m *Manager) snapshot(j *job, cached bool) JobStatus {
-	st := JobStatus{ID: j.id, SpecHash: j.specHash, State: j.state, Cached: cached, Result: j.result}
+func (m *Manager) snapshot(j *job, tier CacheTier) JobStatus {
+	st := JobStatus{ID: j.id, SpecHash: j.specHash, State: j.state, Cached: tier, Result: j.result}
 	if j.err != nil {
 		st.Error = j.err.Error()
 		// A canceled job is always retryable: whatever interrupted it
@@ -781,6 +941,14 @@ func (m *Manager) finishLocked(j *job, res *Result, err error) {
 	delete(m.active, j.id)
 	if j.state != StateCanceled {
 		m.stats.Evicted += uint64(m.cache.add(j.id, j))
+	}
+	if j.state == StateDone && m.store != nil {
+		// Write-behind to the disk tier; the storer goroutine picks it
+		// up, and Close drains the backlog before returning. Failures
+		// stay memory-only: they are cheap to reproduce and a failed
+		// payload is not worth disk space across restarts.
+		m.pendingStore = append(m.pendingStore, storeItem{id: j.id, res: j.result})
+		m.storeCond.Signal()
 	}
 	close(j.done)
 }

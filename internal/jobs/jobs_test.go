@@ -43,7 +43,7 @@ func TestSubmitRunAndCacheHit(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if st.State != StateQueued || st.Cached {
+	if st.State != StateQueued || st.Cached != "" {
 		t.Fatalf("fresh submission should be queued and uncached: %+v", st)
 	}
 	if !strings.HasPrefix(st.ID, "sha256:") || !strings.HasPrefix(st.SpecHash, "sha256:") {
@@ -68,7 +68,7 @@ func TestSubmitRunAndCacheHit(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !st2.Cached || st2.State != StateDone || st2.Result == nil {
+	if st2.Cached != TierMemory || st2.State != StateDone || st2.Result == nil {
 		t.Fatalf("resubmission should be a cache hit: %+v", st2)
 	}
 	second, err := json.Marshal(st2.Result)
@@ -107,7 +107,7 @@ func TestCacheHitCarriesCallerName(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !st2.Cached || st2.Result == nil {
+	if st2.Cached != TierMemory || st2.Result == nil {
 		t.Fatalf("same experiment under a new name should cache-hit: %+v", st2)
 	}
 	if st2.Result.Name != "second" {
@@ -404,7 +404,7 @@ func TestLRUEvictionRecomputes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if st.Cached {
+	if st.Cached != "" {
 		t.Fatal("evicted result cannot be served from cache")
 	}
 	if st.ID != ids[0] {
@@ -537,7 +537,7 @@ func TestDeterministicFailuresAreCached(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !st2.Cached || st2.State != StateFailed || st2.Error != final.Error {
+	if st2.Cached != TierMemory || st2.State != StateFailed || st2.Error != final.Error {
 		t.Fatalf("failed jobs should be cached: %+v", st2)
 	}
 	if s := m.Stats(); s.Runs != 1 {

@@ -1,0 +1,200 @@
+package jobs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"os"
+	"testing"
+
+	"ftgcs/internal/cas"
+)
+
+func nan() float64 { return math.NaN() }
+
+func openStore(t *testing.T, dir string) *cas.Store {
+	t.Helper()
+	s, err := cas.Open(dir, cas.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestRestartServesFromDisk is the durability core at the manager level:
+// a second manager on the same store directory serves the first's work
+// as a "disk"-tier hit, byte-identical, with zero recomputation.
+func TestRestartServesFromDisk(t *testing.T) {
+	dir := t.TempDir()
+
+	m1 := NewManager(Options{Workers: 1, Store: openStore(t, dir)})
+	st, err := m1.Submit(Request{Spec: quickSpec(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := waitDone(t, m1, st.ID)
+	first, err := json.Marshal(final.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1.Close() // flushes the write-behind queue
+
+	m2 := NewManager(Options{Workers: 1, Store: openStore(t, dir)})
+	defer m2.Close()
+	st2, err := m2.Submit(Request{Spec: quickSpec(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Cached != TierDisk || st2.State != StateDone || st2.Result == nil {
+		t.Fatalf("restart resubmission should hit the disk tier: %+v", st2)
+	}
+	second, err := json.Marshal(st2.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatalf("disk-tier result not byte-identical:\n%s\n%s", first, second)
+	}
+	if s := m2.Stats(); s.Runs != 0 || s.DiskHits != 1 {
+		t.Fatalf("restart must not recompute: %+v", s)
+	}
+
+	// The disk hit was promoted into memory: the next lookup is a
+	// memory-tier hit.
+	st3, err := m2.Submit(Request{Spec: quickSpec(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st3.Cached != TierMemory {
+		t.Fatalf("promoted result should serve from memory: %+v", st3)
+	}
+}
+
+// TestCloseFlushesToDisk pins the shutdown guarantee: results completed
+// before Close are on disk when Close returns, even though writes are
+// asynchronous.
+func TestCloseFlushesToDisk(t *testing.T) {
+	dir := t.TempDir()
+	store := openStore(t, dir)
+	m := NewManager(Options{Workers: 2, Store: store})
+
+	var ids []string
+	for seed := int64(1); seed <= 3; seed++ {
+		st, err := m.Submit(Request{Spec: quickSpec(seed)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, st.ID)
+	}
+	for _, id := range ids {
+		waitDone(t, m, id)
+	}
+	m.Close()
+
+	for _, id := range ids {
+		if _, ok := store.Get(id); !ok {
+			t.Errorf("result %s not on disk after Close", id)
+		}
+	}
+	if st := store.Stats(); st.Puts != 3 {
+		t.Errorf("store puts = %d, want 3", st.Puts)
+	}
+}
+
+// TestCorruptDiskObjectRecomputes: a store object damaged on disk reads
+// as a miss, so the manager silently recomputes instead of crashing or
+// serving bad data.
+func TestCorruptDiskObjectRecomputes(t *testing.T) {
+	dir := t.TempDir()
+
+	m1 := NewManager(Options{Workers: 1, Store: openStore(t, dir)})
+	st, err := m1.Submit(Request{Spec: quickSpec(5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := waitDone(t, m1, st.ID)
+	want, err := json.Marshal(final.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1.Close()
+
+	// Truncate the one object file on disk.
+	store := openStore(t, dir)
+	paths, err := objectPaths(dir)
+	if err != nil || len(paths) != 1 {
+		t.Fatalf("objects on disk = %v (err %v), want exactly 1", paths, err)
+	}
+	if err := os.Truncate(paths[0], 10); err != nil {
+		t.Fatal(err)
+	}
+
+	m2 := NewManager(Options{Workers: 1, Store: store})
+	defer m2.Close()
+	st2, err := m2.Submit(Request{Spec: quickSpec(5)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Cached != "" {
+		t.Fatalf("corrupt object must not serve as a hit: %+v", st2)
+	}
+	re := waitDone(t, m2, st2.ID)
+	got, err := json.Marshal(re.Result)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, got) {
+		t.Fatalf("recomputed result differs from original:\n%s\n%s", want, got)
+	}
+	if s := m2.Stats(); s.Runs != 1 {
+		t.Fatalf("expected exactly one recomputation: %+v", s)
+	}
+}
+
+// objectPaths lists every .obj file under a store directory.
+func objectPaths(dir string) ([]string, error) {
+	var out []string
+	shards, err := os.ReadDir(dir + "/objects")
+	if err != nil {
+		return nil, err
+	}
+	for _, sh := range shards {
+		files, err := os.ReadDir(dir + "/objects/" + sh.Name())
+		if err != nil {
+			return nil, err
+		}
+		for _, f := range files {
+			out = append(out, dir+"/objects/"+sh.Name()+"/"+f.Name())
+		}
+	}
+	return out, nil
+}
+
+// TestStatRoundTrip: the replicate aggregate codec is its own inverse —
+// a Result carrying NaN std/CI (n == 1 replicates are impossible, but
+// n == 2 with identical values yields std 0; NaN appears via the mean of
+// an empty series) survives the disk round trip byte-identically.
+func TestStatRoundTrip(t *testing.T) {
+	cases := []Stat{
+		{N: 3, Mean: 1.5, Std: 0.25, CI95: 0.283},
+		{N: 1, Mean: 2, Std: nan(), CI95: nan()},
+		{N: 0, Mean: nan(), Std: nan(), CI95: nan()},
+	}
+	for _, c := range cases {
+		b1, err := json.Marshal(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Stat
+		if err := json.Unmarshal(b1, &back); err != nil {
+			t.Fatal(err)
+		}
+		b2, err := json.Marshal(back)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(b1, b2) {
+			t.Errorf("Stat round trip not stable: %s vs %s", b1, b2)
+		}
+	}
+}

@@ -1,0 +1,445 @@
+package manifest
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"ftgcs"
+	"ftgcs/internal/jobs"
+)
+
+// ManifestState is a manifest run's aggregate lifecycle position.
+type ManifestState string
+
+const (
+	// ManifestRunning: at least one arm still has non-terminal jobs.
+	ManifestRunning ManifestState = "running"
+	// ManifestDone: every job completed successfully.
+	ManifestDone ManifestState = "done"
+	// ManifestFailed: every job is terminal and at least one failed.
+	ManifestFailed ManifestState = "failed"
+	// ManifestCanceled: the run was canceled before all jobs completed.
+	ManifestCanceled ManifestState = "canceled"
+)
+
+// JobStatus is one expanded job's position inside a manifest run. State
+// "" means the scheduler has not submitted it yet (its arm is waiting on
+// a dependency).
+type JobStatus struct {
+	Name   string         `json:"name"`
+	ID     string         `json:"id"`
+	State  jobs.State     `json:"state,omitempty"`
+	Cached jobs.CacheTier `json:"cached,omitempty"`
+	Error  string         `json:"error,omitempty"`
+}
+
+// ArmStatus aggregates one arm's jobs.
+type ArmStatus struct {
+	Name  string        `json:"name"`
+	After []string      `json:"after,omitempty"`
+	State ManifestState `json:"state"`
+	Jobs  []JobStatus   `json:"jobs"`
+}
+
+// Status is a complete manifest run snapshot: identity, aggregate state,
+// job counts by outcome, and the per-arm detail. Job results are NOT
+// embedded (a grid's series payloads can be large); clients fetch them
+// per job ID through the experiment API.
+type Status struct {
+	ID    string        `json:"id"`
+	Name  string        `json:"name,omitempty"`
+	State ManifestState `json:"state"`
+	// Counts over the deduplicated job set.
+	Total    int `json:"total"`
+	Pending  int `json:"pending"`
+	Active   int `json:"active"`
+	Done     int `json:"done"`
+	Failed   int `json:"failed"`
+	Canceled int `json:"canceled"`
+	// FromCache counts jobs answered without a fresh run (memory or disk
+	// tier) — on a replay after restart this equals Total.
+	FromCache int         `json:"fromCache"`
+	Arms      []ArmStatus `json:"arms"`
+}
+
+// jobTrack is the scheduler's record of one deduplicated job. Shared
+// jobs (the same grid point reached from two arms) have ONE track: the
+// job manager coalesces the duplicate submissions, and both arms record
+// the same terminal snapshot here.
+type jobTrack struct {
+	name   string
+	state  jobs.State // "" until first submitted
+	cached jobs.CacheTier
+	err    string
+}
+
+// record is one manifest run.
+type record struct {
+	id     string
+	name   string
+	exp    *Expansion
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{} // closed when the driver exits
+	// Guarded by Scheduler.mu:
+	tracks   map[string]*jobTrack
+	canceled bool
+}
+
+// Scheduler expands manifests and drives their arm DAGs through a
+// jobs.Manager: arms with no pending dependencies run concurrently, each
+// arm's grid points run concurrently within it, and an arm listed in
+// another's After gate holds that arm back until every one of its jobs
+// is terminal. Dependencies are ordering, not success gates — a failed
+// baseline still releases its dependents (their specs are independent;
+// the ordering exists so e.g. a baseline's results land first).
+type Scheduler struct {
+	mgr *jobs.Manager
+	reg *ftgcs.Registry
+
+	mu     sync.Mutex
+	recs   map[string]*record
+	order  []string
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewScheduler returns a scheduler submitting through mgr and validating
+// against reg (nil means ftgcs.DefaultRegistry).
+func NewScheduler(mgr *jobs.Manager, reg *ftgcs.Registry) *Scheduler {
+	return &Scheduler{mgr: mgr, reg: reg, recs: make(map[string]*record)}
+}
+
+// ErrSchedulerClosed is returned by Submit after Close.
+var ErrSchedulerClosed = errors.New("manifest: scheduler closed")
+
+// ErrUnknownManifest is returned for IDs the scheduler has never run.
+var ErrUnknownManifest = errors.New("manifest: unknown manifest")
+
+// Submit validates, expands and starts (or re-joins) a manifest run.
+// Submission is idempotent on the manifest's content hash: resubmitting
+// a known manifest returns the existing run's status — except a
+// *canceled* run, which is replaced by a fresh one (cancel-then-repost
+// is the natural retry). The second return reports whether a new run
+// started.
+func (s *Scheduler) Submit(m Manifest) (Status, bool, error) {
+	exp, err := m.Expand(s.reg)
+	if err != nil {
+		return Status{}, false, err
+	}
+	name := m.Name
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return Status{}, false, ErrSchedulerClosed
+	}
+	if rec, ok := s.recs[exp.ManifestID]; ok && !rec.canceled {
+		return s.statusLocked(rec), false, nil
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	rec := &record{
+		id:     exp.ManifestID,
+		name:   name,
+		exp:    exp,
+		ctx:    ctx,
+		cancel: cancel,
+		done:   make(chan struct{}),
+		tracks: make(map[string]*jobTrack, len(exp.Jobs)),
+	}
+	for _, j := range exp.Jobs {
+		rec.tracks[j.ID] = &jobTrack{name: j.Name}
+	}
+	if _, replacing := s.recs[rec.id]; !replacing {
+		s.order = append(s.order, rec.id)
+	}
+	s.recs[rec.id] = rec
+	s.wg.Add(1)
+	go s.drive(rec)
+	return s.statusLocked(rec), true, nil
+}
+
+// Get returns the status of a known manifest run.
+func (s *Scheduler) Get(id string) (Status, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.recs[id]
+	if !ok {
+		return Status{}, false
+	}
+	return s.statusLocked(rec), true
+}
+
+// List returns every run's status in submission order.
+func (s *Scheduler) List() []Status {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Status, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.statusLocked(s.recs[id]))
+	}
+	return out
+}
+
+// Cancel stops a run: arms not yet started never start, and this run's
+// in-flight jobs are canceled in the manager (a job simultaneously
+// wanted by another submitter completes for them if its run wins the
+// race; see jobs.Cancel). Cancel does not wait for the driver to wind
+// down; poll Get for the settled status.
+func (s *Scheduler) Cancel(id string) (Status, error) {
+	s.mu.Lock()
+	rec, ok := s.recs[id]
+	if !ok {
+		s.mu.Unlock()
+		return Status{}, fmt.Errorf("%w: %s", ErrUnknownManifest, id)
+	}
+	rec.canceled = true
+	rec.cancel()
+	var inflight []string
+	for jid, tr := range rec.tracks {
+		if tr.state == jobs.StateQueued || tr.state == jobs.StateRunning {
+			inflight = append(inflight, jid)
+		}
+	}
+	st := s.statusLocked(rec)
+	s.mu.Unlock()
+
+	for _, jid := range inflight {
+		// Best-effort reap; a job that wins the race and completes anyway
+		// (ErrCompleted) is recorded with its real outcome.
+		if final, err := s.mgr.Cancel(jid); err == nil || errors.Is(err, jobs.ErrCompleted) {
+			s.setTrack(rec, jid, final.State, final.Cached, final.Error)
+		}
+	}
+	return st, nil
+}
+
+// Close cancels every run and waits for all drivers to exit. It does not
+// close the job manager (the caller owns it).
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	for _, rec := range s.recs {
+		rec.cancel()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// Wait blocks until the run's driver has exited (every job terminal or
+// abandoned by cancel) and returns the settled status.
+func (s *Scheduler) Wait(ctx context.Context, id string) (Status, error) {
+	s.mu.Lock()
+	rec, ok := s.recs[id]
+	s.mu.Unlock()
+	if !ok {
+		return Status{}, fmt.Errorf("%w: %s", ErrUnknownManifest, id)
+	}
+	select {
+	case <-rec.done:
+	case <-ctx.Done():
+		return Status{}, ctx.Err()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.statusLocked(rec), nil
+}
+
+// drive runs one manifest: one goroutine per arm, each gated on its
+// dependencies' completion channels.
+func (s *Scheduler) drive(rec *record) {
+	defer s.wg.Done()
+	defer close(rec.done)
+
+	armDone := make(map[string]chan struct{}, len(rec.exp.Arms))
+	for _, ap := range rec.exp.Arms {
+		armDone[ap.Name] = make(chan struct{})
+	}
+	jobsByID := make(map[string]Job, len(rec.exp.Jobs))
+	for _, j := range rec.exp.Jobs {
+		jobsByID[j.ID] = j
+	}
+
+	var wg sync.WaitGroup
+	for _, ap := range rec.exp.Arms {
+		wg.Add(1)
+		go func(ap ArmPlan) {
+			defer wg.Done()
+			defer close(armDone[ap.Name])
+			for _, dep := range ap.After {
+				select {
+				case <-armDone[dep]:
+				case <-rec.ctx.Done():
+					return
+				}
+			}
+			if rec.ctx.Err() != nil {
+				return
+			}
+			var jwg sync.WaitGroup
+			for _, jid := range ap.JobIDs {
+				jwg.Add(1)
+				go func(j Job) {
+					defer jwg.Done()
+					s.runJob(rec, j)
+				}(jobsByID[jid])
+			}
+			jwg.Wait()
+		}(ap)
+	}
+	wg.Wait()
+}
+
+// runJob submits one job and records its terminal snapshot, retrying
+// transient manager conditions: a full queue backs off until a slot
+// frees, an evicted-before-read result resubmits (the recomputation is
+// deduplicated if still cached anywhere).
+func (s *Scheduler) runJob(rec *record, j Job) {
+	evictions := 0
+	for {
+		if rec.ctx.Err() != nil {
+			return
+		}
+		st, err := s.mgr.Submit(j.Request)
+		switch {
+		case err == nil:
+		case errors.Is(err, jobs.ErrQueueFull):
+			select {
+			case <-rec.ctx.Done():
+				return
+			case <-time.After(10 * time.Millisecond):
+			}
+			continue
+		case errors.Is(err, jobs.ErrClosed):
+			s.setTrack(rec, j.ID, jobs.StateCanceled, "", "job manager closed")
+			return
+		default:
+			s.setTrack(rec, j.ID, jobs.StateFailed, "", err.Error())
+			return
+		}
+		// The submission snapshot carries the cache tier; keep it even
+		// after Wait (whose snapshot reports the by-then-warm memory tier).
+		s.setTrack(rec, j.ID, st.State, st.Cached, st.Error)
+		if st.State.Terminal() {
+			return
+		}
+		final, err := s.mgr.Wait(rec.ctx, st.ID)
+		switch {
+		case err == nil:
+			s.setTrack(rec, j.ID, final.State, st.Cached, final.Error)
+			return
+		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+			return // manifest canceled; Cancel reaps the in-flight job
+		case errors.Is(err, jobs.ErrCanceled):
+			s.setTrack(rec, j.ID, jobs.StateCanceled, "", jobs.ErrCanceled.Error())
+			return
+		case errors.Is(err, jobs.ErrEvicted) || errors.Is(err, jobs.ErrUnknownJob):
+			// Completed but fell out of the cache before we read it:
+			// resubmit. Give up eventually rather than loop forever on a
+			// pathologically small cache.
+			if evictions++; evictions > 3 {
+				s.setTrack(rec, j.ID, jobs.StateFailed, "", err.Error())
+				return
+			}
+			continue
+		default:
+			s.setTrack(rec, j.ID, jobs.StateFailed, "", err.Error())
+			return
+		}
+	}
+}
+
+// setTrack records a job observation.
+func (s *Scheduler) setTrack(rec *record, id string, state jobs.State, tier jobs.CacheTier, errMsg string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tr := rec.tracks[id]
+	// The first terminal observation wins: a second arm sharing the job
+	// reports the same outcome later (possibly with a warmer cache tier
+	// after promotion), and must not downgrade what was recorded.
+	if tr.state.Terminal() {
+		return
+	}
+	tr.state = state
+	tr.cached = tier
+	tr.err = errMsg
+}
+
+// statusLocked assembles a Status snapshot; callers hold s.mu.
+func (s *Scheduler) statusLocked(rec *record) Status {
+	st := Status{ID: rec.id, Name: rec.name, Total: len(rec.exp.Jobs)}
+	for _, j := range rec.exp.Jobs {
+		tr := rec.tracks[j.ID]
+		switch tr.state {
+		case jobs.StateDone:
+			st.Done++
+		case jobs.StateFailed:
+			st.Failed++
+		case jobs.StateCanceled:
+			st.Canceled++
+		case jobs.StateQueued, jobs.StateRunning:
+			st.Active++
+		default:
+			st.Pending++
+		}
+		if tr.cached != "" {
+			st.FromCache++
+		}
+	}
+	settled := st.Pending == 0 && st.Active == 0
+	switch {
+	case rec.canceled || (settled && st.Canceled > 0):
+		st.State = ManifestCanceled
+	case !settled:
+		st.State = ManifestRunning
+	case st.Failed > 0:
+		st.State = ManifestFailed
+	default:
+		st.State = ManifestDone
+	}
+	for _, ap := range rec.exp.Arms {
+		as := ArmStatus{Name: ap.Name, After: ap.After}
+		var done, failed, canceled, pending, active int
+		for _, jid := range ap.JobIDs {
+			tr := rec.tracks[jid]
+			as.Jobs = append(as.Jobs, JobStatus{
+				Name:   tr.name,
+				ID:     jid,
+				State:  tr.state,
+				Cached: tr.cached,
+				Error:  tr.err,
+			})
+			switch tr.state {
+			case jobs.StateDone:
+				done++
+			case jobs.StateFailed:
+				failed++
+			case jobs.StateCanceled:
+				canceled++
+			case jobs.StateQueued, jobs.StateRunning:
+				active++
+			default:
+				pending++
+			}
+		}
+		switch {
+		case rec.canceled && pending+active > 0, canceled > 0 && pending+active == 0:
+			as.State = ManifestCanceled
+		case pending+active > 0:
+			as.State = ManifestRunning
+		case failed > 0:
+			as.State = ManifestFailed
+		default:
+			as.State = ManifestDone
+		}
+		st.Arms = append(st.Arms, as)
+	}
+	return st
+}

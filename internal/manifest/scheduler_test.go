@@ -1,0 +1,259 @@
+package manifest
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+
+	"ftgcs/internal/cas"
+	"ftgcs/internal/jobs"
+)
+
+func waitSettled(t *testing.T, s *Scheduler, id string) Status {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	st, err := s.Wait(ctx, id)
+	if err != nil {
+		t.Fatalf("wait %s: %v", id, err)
+	}
+	return st
+}
+
+// TestSchedulerRunsGrid drives the canonical fixture end to end through
+// a real manager: everything completes, the deduplicated totals add up,
+// and resubmission re-joins the existing run instead of recomputing.
+func TestSchedulerRunsGrid(t *testing.T) {
+	mgr := jobs.NewManager(jobs.Options{Workers: 4})
+	defer mgr.Close()
+	s := NewScheduler(mgr, nil)
+	defer s.Close()
+
+	st, created, err := s.Submit(gridManifest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !created || st.Total != 7 {
+		t.Fatalf("submit: created=%v %+v", created, st)
+	}
+	final := waitSettled(t, s, st.ID)
+	if final.State != ManifestDone || final.Done != 7 || final.Failed != 0 {
+		t.Fatalf("grid did not complete: %+v", final)
+	}
+	for _, arm := range final.Arms {
+		if arm.State != ManifestDone {
+			t.Fatalf("arm %q not done: %+v", arm.Name, arm)
+		}
+		for _, j := range arm.Jobs {
+			if j.State != jobs.StateDone || j.Error != "" {
+				t.Fatalf("job %q: %+v", j.Name, j)
+			}
+		}
+	}
+
+	st2, created2, err := s.Submit(gridManifest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if created2 || st2.ID != st.ID || st2.State != ManifestDone {
+		t.Fatalf("resubmission not idempotent: created=%v %+v", created2, st2)
+	}
+	if mgr.Stats().Runs != 7 {
+		t.Fatalf("runs = %d, want exactly 7 (no recomputation)", mgr.Stats().Runs)
+	}
+}
+
+// TestSchedulerDependencyOrdering holds the single worker hostage and
+// checks the gated arm's jobs are not even submitted while the baseline
+// arm is still in flight.
+func TestSchedulerDependencyOrdering(t *testing.T) {
+	release := make(chan struct{})
+	mgr := jobs.NewManager(jobs.Options{Workers: 1})
+	mgr.TestHookBeforeRun = func() { <-release }
+	defer mgr.Close()
+	s := NewScheduler(mgr, nil)
+	defer s.Close()
+
+	st, _, err := s.Submit(gridManifest())
+	if err != nil {
+		close(release)
+		t.Fatal(err)
+	}
+
+	// Wait until the baseline job is submitted, then assert every sweep
+	// job is still pending (state "").
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		cur, ok := s.Get(st.ID)
+		if !ok {
+			t.Fatal("run vanished")
+		}
+		var baseline, sweep *ArmStatus
+		for i := range cur.Arms {
+			switch cur.Arms[i].Name {
+			case "baseline":
+				baseline = &cur.Arms[i]
+			case "sweep":
+				sweep = &cur.Arms[i]
+			}
+		}
+		if baseline.Jobs[0].State != "" {
+			for _, j := range sweep.Jobs {
+				if j.State != "" {
+					close(release)
+					t.Fatalf("sweep job %q submitted before baseline finished: %+v", j.Name, j)
+				}
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			close(release)
+			t.Fatal("baseline never submitted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	close(release)
+	final := waitSettled(t, s, st.ID)
+	if final.State != ManifestDone {
+		t.Fatalf("grid did not complete after release: %+v", final)
+	}
+}
+
+// TestSchedulerCancel: canceling a held run stops it — gated arms never
+// start, the in-flight job lands canceled, and a resubmission starts a
+// fresh run (canceled work is never cached).
+func TestSchedulerCancel(t *testing.T) {
+	release := make(chan struct{})
+	var once sync.Once
+	unblock := func() { once.Do(func() { close(release) }) }
+	defer unblock()
+	mgr := jobs.NewManager(jobs.Options{Workers: 1})
+	mgr.TestHookBeforeRun = func() { <-release }
+	defer mgr.Close()
+	s := NewScheduler(mgr, nil)
+	defer s.Close()
+
+	st, _, err := s.Submit(gridManifest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Let the baseline submission land first.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		cur, _ := s.Get(st.ID)
+		if cur.Active > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("nothing became active")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	if _, err := s.Cancel(st.ID); err != nil {
+		t.Fatal(err)
+	}
+	final := waitSettled(t, s, st.ID)
+	if final.State != ManifestCanceled {
+		t.Fatalf("state after cancel: %+v", final)
+	}
+	if final.Done != 0 {
+		t.Fatalf("canceled run reports completed work: %+v", final)
+	}
+
+	// Cancel-then-resubmit starts a fresh run.
+	unblock()
+	st2, created, err := s.Submit(gridManifest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !created || st2.ID != st.ID {
+		t.Fatalf("resubmission after cancel should start fresh: created=%v %+v", created, st2)
+	}
+	if fin := waitSettled(t, s, st2.ID); fin.State != ManifestDone {
+		t.Fatalf("fresh run did not complete: %+v", fin)
+	}
+}
+
+// TestSchedulerReplayFromDisk is the package-level acceptance test for
+// the durability story: run a manifest, tear the whole stack down, bring
+// up a fresh manager+scheduler on the same store directory, resubmit the
+// same manifest — every job must be served from the disk tier with zero
+// recomputation, and every result byte-identical to the first run.
+func TestSchedulerReplayFromDisk(t *testing.T) {
+	dir := t.TempDir()
+	open := func() (*jobs.Manager, *Scheduler) {
+		store, err := cas.Open(dir, cas.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mgr := jobs.NewManager(jobs.Options{Workers: 4, Store: store})
+		return mgr, NewScheduler(mgr, nil)
+	}
+
+	mgr1, s1 := open()
+	st, _, err := s1.Submit(gridManifest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := waitSettled(t, s1, st.ID)
+	if first.State != ManifestDone {
+		t.Fatalf("first run: %+v", first)
+	}
+	firstBytes := make(map[string][]byte)
+	for _, arm := range first.Arms {
+		for _, j := range arm.Jobs {
+			js, ok := mgr1.Get(j.ID)
+			if !ok || js.Result == nil {
+				t.Fatalf("job %s has no result", j.ID)
+			}
+			b, err := json.Marshal(js.Result)
+			if err != nil {
+				t.Fatal(err)
+			}
+			firstBytes[j.ID] = b
+		}
+	}
+	s1.Close()
+	mgr1.Close()
+
+	mgr2, s2 := open()
+	defer mgr2.Close()
+	defer s2.Close()
+	st2, created, err := s2.Submit(gridManifest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !created || st2.ID != st.ID {
+		t.Fatalf("replay submit: created=%v id=%s want %s", created, st2.ID, st.ID)
+	}
+	replay := waitSettled(t, s2, st2.ID)
+	if replay.State != ManifestDone || replay.FromCache != replay.Total {
+		t.Fatalf("replay not fully cache-served: %+v", replay)
+	}
+	for _, arm := range replay.Arms {
+		for _, j := range arm.Jobs {
+			if j.Cached != jobs.TierDisk && j.Cached != jobs.TierMemory {
+				t.Fatalf("job %q not cache-served: %+v", j.Name, j)
+			}
+			js, ok := mgr2.Get(j.ID)
+			if !ok || js.Result == nil {
+				t.Fatalf("replayed job %s has no result", j.ID)
+			}
+			b, err := json.Marshal(js.Result)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(firstBytes[j.ID], b) {
+				t.Fatalf("job %s not byte-identical across restart:\n%s\n%s", j.ID, firstBytes[j.ID], b)
+			}
+		}
+	}
+	if s := mgr2.Stats(); s.Runs != 0 {
+		t.Fatalf("replay recomputed %d jobs", s.Runs)
+	}
+}

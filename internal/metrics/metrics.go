@@ -106,6 +106,12 @@ func (s *Series) MaxAfter(start float64) float64 {
 type Recorder struct {
 	series map[string]*Series
 	order  []string
+	// reserve holds per-name capacity hints (Reserve): a series is still
+	// created lazily on its first Observe — presence semantics are
+	// unchanged — but it is born with its full expected capacity, so a
+	// run whose sample count is known up front appends without a single
+	// growth reallocation.
+	reserve map[string]int
 }
 
 // NewRecorder returns an empty recorder.
@@ -113,11 +119,32 @@ func NewRecorder() *Recorder {
 	return &Recorder{series: make(map[string]*Series)}
 }
 
+// Reserve registers a capacity hint for the named series: when (if) the
+// series is created by Observe, its Times/Values are preallocated to hold
+// n samples. Reserving never creates the series — a reserved name that is
+// never observed stays absent, exactly as before — and reserving an
+// already-created series is a no-op. Callers that know the sample count
+// at build time (horizon / sampleInterval) use this to keep the recording
+// hot path allocation-free.
+func (r *Recorder) Reserve(name string, n int) {
+	if n <= 0 || r.series[name] != nil {
+		return
+	}
+	if r.reserve == nil {
+		r.reserve = make(map[string]int)
+	}
+	r.reserve[name] = n
+}
+
 // Observe appends a sample to the named series, creating it if needed.
 func (r *Recorder) Observe(name string, t, v float64) {
 	s, ok := r.series[name]
 	if !ok {
 		s = &Series{Name: name}
+		if n := r.reserve[name]; n > 0 {
+			s.Times = make([]float64, 0, n)
+			s.Values = make([]float64, 0, n)
+		}
 		r.series[name] = s
 		r.order = append(r.order, name)
 	}

@@ -362,6 +362,7 @@ func (s *Scenario) Build() (*System, error) {
 		Faults:           faults,
 		EnableGlobalSkew: !s.disableGlobalSkew,
 		SampleInterval:   s.sampleInterval,
+		HorizonHint:      s.Horizon(p),
 		StaggerStart:     s.staggerStart,
 		TrackRounds:      s.trackRounds,
 		TrackClusters:    s.trackClusters,

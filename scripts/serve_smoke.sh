@@ -3,11 +3,14 @@
 #
 # Builds ftgcs-serve, boots it on an ephemeral port, submits the same
 # example spec twice, and asserts that the second response is a cache hit
-# ("cached":true) whose payload is byte-identical to the first modulo
+# ("cached":"memory") whose payload is byte-identical to the first modulo
 # that one marker — the content-addressed dedup/cache guarantee. Then
 # submits a long-horizon spec, cancels it via DELETE, and asserts the
 # canceled state, that the canceled ID is not cached, and that the server
-# is still live and able to run fresh work afterward.
+# is still live and able to run fresh work afterward. Finally boots a
+# store-backed server, runs a whole manifest grid, restarts the process
+# on the same -store directory, and asserts the replay is served entirely
+# from disk with byte-identical results.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -21,18 +24,24 @@ trap cleanup EXIT
 
 go build -o "$tmp/ftgcs-serve" ./cmd/ftgcs-serve
 
-"$tmp/ftgcs-serve" -addr 127.0.0.1:0 >"$tmp/serve.log" 2>&1 &
-pid=$!
+# boot LOGFILE [extra server flags...] — start a server on an ephemeral
+# port, wait for its address line, set $pid and $base.
+boot() {
+  local log=$1; shift
+  "$tmp/ftgcs-serve" -addr 127.0.0.1:0 "$@" >"$log" 2>&1 &
+  pid=$!
+  local addr=""
+  for _ in $(seq 1 100); do
+    addr=$(sed -n 's/^ftgcs-serve listening on //p' "$log" | head -1)
+    [ -n "$addr" ] && break
+    kill -0 "$pid" 2>/dev/null || { echo "server died:"; cat "$log"; exit 1; }
+    sleep 0.1
+  done
+  [ -n "$addr" ] || { echo "server never reported its address:"; cat "$log"; exit 1; }
+  base="http://$addr"
+}
 
-addr=""
-for _ in $(seq 1 100); do
-  addr=$(sed -n 's/^ftgcs-serve listening on //p' "$tmp/serve.log" | head -1)
-  [ -n "$addr" ] && break
-  kill -0 "$pid" 2>/dev/null || { echo "server died:"; cat "$tmp/serve.log"; exit 1; }
-  sleep 0.1
-done
-[ -n "$addr" ] || { echo "server never reported its address:"; cat "$tmp/serve.log"; exit 1; }
-base="http://$addr"
+boot "$tmp/serve.log"
 echo "server up at $base"
 
 curl -fsS "$base/v1/healthz" | grep -q '"status":"ok"'
@@ -42,15 +51,16 @@ req="{\"spec\": $(cat examples/specs/line-quickstart.json)}"
 
 curl -fsS -X POST -d "$req" "$base/v1/experiments?wait=true" >"$tmp/r1.json"
 grep -q '"state":"done"' "$tmp/r1.json"
-grep -q '"cached":false' "$tmp/r1.json"
+# Fresh work carries no cache-tier marker.
+! grep -q '"cached"' "$tmp/r1.json"
 
 curl -fsS -X POST -d "$req" "$base/v1/experiments?wait=true" >"$tmp/r2.json"
 grep -q '"state":"done"' "$tmp/r2.json"
-grep -q '"cached":true' "$tmp/r2.json" || { echo "second submission was not a cache hit:"; cat "$tmp/r2.json"; exit 1; }
+grep -q '"cached":"memory"' "$tmp/r2.json" || { echo "second submission was not a cache hit:"; cat "$tmp/r2.json"; exit 1; }
 
 # The responses must agree byte-for-byte once the cache marker is
 # normalized: same content-addressed ID, same result bytes.
-sed 's/"cached":true/"cached":false/' "$tmp/r2.json" >"$tmp/r2norm.json"
+sed 's/,"cached":"memory"//' "$tmp/r2.json" >"$tmp/r2norm.json"
 if ! cmp -s "$tmp/r1.json" "$tmp/r2norm.json"; then
   echo "cache hit was not byte-identical:"
   diff "$tmp/r1.json" "$tmp/r2norm.json" || true
@@ -82,7 +92,47 @@ curl -fsS "$base/v1/stats" | grep -q '"canceled":1'
 req3="{\"spec\": $(sed 's/"seed": 1/"seed": 42/' examples/specs/line-quickstart.json)}"
 curl -fsS -X POST -d "$req3" "$base/v1/experiments?wait=true" >"$tmp/c3.json"
 grep -q '"state":"done"' "$tmp/c3.json" || { echo "post-cancel submission did not run:"; cat "$tmp/c3.json"; exit 1; }
-grep -q '"cached":false' "$tmp/c3.json"
+! grep -q '"cached"' "$tmp/c3.json"
 curl -fsS "$base/v1/healthz" | grep -q '"status":"ok"'
 
 echo "serve smoke OK: long-horizon job canceled via DELETE, not cached, server live"
+
+# --- Persistence leg: a manifest grid must survive a server restart. ---
+
+kill "$pid" && wait "$pid" 2>/dev/null || true
+boot "$tmp/serve2.log" -store "$tmp/store"
+echo "store-backed server up at $base"
+curl -fsS "$base/v1/healthz" | grep -q '"store"'
+
+curl -fsS -X POST -d @examples/manifests/e1-grid.json "$base/v1/manifests?wait=true" >"$tmp/m1.json"
+grep -q '"state":"done"' "$tmp/m1.json" || { echo "manifest run did not complete:"; cat "$tmp/m1.json"; exit 1; }
+grep -q '"total":9' "$tmp/m1.json"
+# The sweep arm is gated on the baseline arm and everything ran fresh.
+! grep -q '"cached"' "$tmp/m1.json"
+
+# Keep one job's full result to compare across the restart.
+jid=$(grep -o '"id":"sha256:[0-9a-f]*"' "$tmp/m1.json" | tail -1 | cut -d'"' -f4)
+curl -fsS "$base/v1/experiments/$jid" >"$tmp/j1.json"
+
+# Graceful shutdown flushes the write-behind store queue.
+kill "$pid" && wait "$pid" 2>/dev/null || true
+boot "$tmp/serve3.log" -store "$tmp/store"
+echo "rebooted on the same store at $base"
+
+curl -fsS -X POST -d @examples/manifests/e1-grid.json "$base/v1/manifests?wait=true" >"$tmp/m2.json"
+grep -q '"state":"done"' "$tmp/m2.json" || { echo "manifest replay did not complete:"; cat "$tmp/m2.json"; exit 1; }
+grep -q '"fromCache":9' "$tmp/m2.json" || { echo "replay not fully cache-served:"; cat "$tmp/m2.json"; exit 1; }
+grep -q '"cached":"disk"' "$tmp/m2.json" || { echo "replay did not touch the disk tier:"; cat "$tmp/m2.json"; exit 1; }
+curl -fsS "$base/v1/stats" | grep -q '"runs":0' || { echo "replay recomputed work"; exit 1; }
+
+# The replayed result is byte-identical modulo the cache-tier marker.
+curl -fsS "$base/v1/experiments/$jid" >"$tmp/j2.json"
+sed 's/,"cached":"memory"//;s/,"cached":"disk"//' "$tmp/j1.json" >"$tmp/j1norm.json"
+sed 's/,"cached":"memory"//;s/,"cached":"disk"//' "$tmp/j2.json" >"$tmp/j2norm.json"
+if ! cmp -s "$tmp/j1norm.json" "$tmp/j2norm.json"; then
+  echo "restart replay was not byte-identical:"
+  diff "$tmp/j1norm.json" "$tmp/j2norm.json" || true
+  exit 1
+fi
+
+echo "serve smoke OK: manifest grid replayed from disk after restart, byte-identical"
