@@ -53,3 +53,61 @@ func TestSimSecondSteadyStateAllocs(t *testing.T) {
 		t.Errorf("steady-state simulation allocates %.1f per simulated second, want ≤ 4", avg)
 	}
 }
+
+// benchGridConfig is the BenchmarkSystemBuild configuration (112 nodes),
+// shared by the build/reset allocation pins.
+func benchGridConfig() ftgcs.Config {
+	return ftgcs.Config{
+		Topology:    ftgcs.Grid(4, 4),
+		ClusterSize: 7,
+		FaultBudget: 2,
+		Rho:         3e-3,
+		Delay:       1e-3,
+		Uncertainty: 1e-4,
+		C2:          4,
+		Eps:         0.25,
+	}
+}
+
+// TestSystemBuildAllocs pins the wiring cost of a 112-node system. The
+// lazy RNG seeding and batched cluster buffers brought this from ~8800
+// to ~7700 allocations; the pin catches silent regressions (every alloc
+// here is paid once per scenario in a sweep, or once per worker with
+// arena reuse).
+func TestSystemBuildAllocs(t *testing.T) {
+	if sim.RaceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	cfg := benchGridConfig()
+	avg := testing.AllocsPerRun(10, func() {
+		if _, err := ftgcs.New(cfg); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > 8200 {
+		t.Errorf("SystemBuild allocates %.0f, want ≤ 8200 (~7700 expected)", avg)
+	}
+}
+
+// TestSystemResetAllocs pins the arena-reset cost on the same system: a
+// reset re-derives RNG streams in place and reboxes the per-node rate
+// models, but must stay two orders of magnitude below a rebuild (~7700).
+func TestSystemResetAllocs(t *testing.T) {
+	if sim.RaceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	sys, err := ftgcs.New(benchGridConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := int64(0)
+	avg := testing.AllocsPerRun(10, func() {
+		seed++
+		if err := sys.Reset(seed); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > 160 {
+		t.Errorf("System.Reset allocates %.0f, want ≤ 160 (~113 expected)", avg)
+	}
+}

@@ -115,6 +115,32 @@ func BenchmarkSystemBuild(b *testing.B) {
 	}
 }
 
+// BenchmarkSystemReset measures rewinding the BenchmarkSystemBuild system
+// in place — the per-additional-seed setup cost of a replicate batch. The
+// ratio to BenchmarkSystemBuild is the rebuild tax the reuse path kills.
+func BenchmarkSystemReset(b *testing.B) {
+	cfg := ftgcs.Config{
+		Topology:    ftgcs.Grid(4, 4),
+		ClusterSize: 7,
+		FaultBudget: 2,
+		Rho:         3e-3,
+		Delay:       1e-3,
+		Uncertainty: 1e-4,
+		C2:          4,
+		Eps:         0.25,
+	}
+	sys, err := ftgcs.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sys.Reset(int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkDeriveParams measures the full constant derivation.
 func BenchmarkDeriveParams(b *testing.B) {
 	for i := 0; i < b.N; i++ {

@@ -25,6 +25,15 @@ func NewHardwareClock(model RateModel) *HardwareClock {
 	return &HardwareClock{model: model}
 }
 
+// Reset rewinds the clock to read 0 at time 0 under a new rate model.
+// Stateful models (RandomWalk caches rates drawn from its RNG) must be
+// rebuilt from a freshly derived stream rather than reused, which is why
+// the model is a parameter instead of being retained.
+func (c *HardwareClock) Reset(model RateModel) {
+	c.model = model
+	c.anchorT, c.anchorH = 0, 0
+}
+
 // Read returns H(t). t must be ≥ the largest time previously passed to Read
 // or Rate (monotone queries); violating this indicates a scheduling bug and
 // returns the anchored value without rewinding.

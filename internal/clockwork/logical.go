@@ -33,6 +33,14 @@ func NewLogicalClock(hw *HardwareClock, phi, mu float64) *LogicalClock {
 	return &LogicalClock{hw: hw, phi: phi, mu: mu, delta: 1}
 }
 
+// Reset rewinds the clock to its newly constructed state: value 0 at time
+// 0, δ=1, γ=0. The shared HardwareClock is reset separately (several
+// logical clocks run off one oscillator).
+func (lc *LogicalClock) Reset() {
+	lc.delta, lc.gamma = 1, 0
+	lc.anchorT, lc.anchorL = 0, 0
+}
+
 // multiplier returns (1+ϕδ)(1+µγ), the factor applied to the hardware rate.
 func (lc *LogicalClock) multiplier() float64 {
 	m := 1 + lc.phi*lc.delta

@@ -166,15 +166,19 @@ func New(eng *sim.Engine, cfg Config) (*Instance, error) {
 			selfIdx = int32(i)
 		}
 	}
+	// One backing array for the three dense per-round buffers: systems
+	// build one instance per (node, adjacent cluster), so shaving two
+	// allocations per instance measurably cuts SystemBuild.
+	buf := make([]float64, 3*n)
 	in := &Instance{
 		cfg:       cfg,
 		eng:       eng,
 		senders:   senders,
 		senderIdx: senderIdx,
 		selfIdx:   selfIdx,
-		recv:      make([]float64, n),
-		pending:   make([]float64, n),
-		offsets:   make([]float64, n),
+		recv:      buf[:n:n],
+		pending:   buf[n : 2*n : 2*n],
+		offsets:   buf[2*n:],
 	}
 	clearTimes(in.recv)
 	clearTimes(in.pending)
@@ -186,6 +190,20 @@ func clearTimes(ts []float64) {
 	for i := range ts {
 		ts[i] = math.NaN()
 	}
+}
+
+// Reset rewinds the instance to its unstarted state — round 0, empty
+// reception buffers, zero counters — reusing every buffer New allocated.
+// Any phase timers the instance had scheduled must be discarded by the
+// caller (core resets the whole engine); the instance itself holds no
+// event handles.
+func (in *Instance) Reset() {
+	in.round = 0
+	in.ph = 0
+	in.roundStartL = 0
+	clearTimes(in.recv)
+	clearTimes(in.pending)
+	in.stats = Stats{}
 }
 
 // Start begins round 1 at the engine's current time (normally 0, matching

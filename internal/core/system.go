@@ -38,7 +38,14 @@ type node struct {
 
 	gcsStats gcs.Stats
 	faulty   bool
-	crashAt  float64 // +Inf when not crashing
+	fault    FaultSpec // zero value unless faulty; kept for Reset
+	crashAt  float64   // +Inf when not crashing
+
+	// Per-node RNG streams, kept so Reset can rewind them in place
+	// (Reseed) instead of allocating fresh ones. byzRng is nil unless the
+	// node runs a Byzantine strategy.
+	driftRng *sim.RNG
+	byzRng   *sim.RNG
 
 	// Round tracking (Config.TrackRounds).
 	roundTimes  []float64
@@ -71,6 +78,10 @@ type System struct {
 	// baseEdges caches Base.Edges() — the sampler walks the edge list on
 	// every tick and the graph rebuilds (and re-sorts) it per call.
 	baseEdges [][2]graph.NodeID
+
+	// delayRng feeds the transport delay model; kept so Reset can rewind
+	// it in place.
+	delayRng *sim.RNG
 
 	sampleInterval float64
 	// expectedRounds, when positive, sizes the per-cluster pulse slices
@@ -108,6 +119,7 @@ func NewSystem(cfg Config) (*System, error) {
 		sampleClocks:   make([]float64, nc),
 		sampleValid:    make([]bool, nc),
 		baseEdges:      cfg.Base.Edges(),
+		delayRng:       delayRng,
 		sampleInterval: cfg.SampleInterval,
 	}
 	if s.sampleInterval <= 0 {
@@ -164,15 +176,16 @@ func (s *System) buildNode(v graph.NodeID, faults map[graph.NodeID]FaultSpec) er
 
 	fault, isFaulty := faults[v]
 	n.faulty = isFaulty
+	n.fault = fault
 
 	// Hardware clock.
-	driftRng := sim.NewRNG(cfg.Seed, 100+uint64(v))
+	n.driftRng = sim.NewRNG(cfg.Seed, 100+uint64(v))
 	var model clockwork.RateModel
 	switch {
 	case isFaulty && fault.OffSpecRate != 0:
 		model = clockwork.Constant{Rate: fault.OffSpecRate}
 	default:
-		model = buildDrift(cfg.driftModel(), p, s.aug, v, driftRng)
+		model = buildDrift(cfg.driftModel(), p, s.aug, v, n.driftRng)
 	}
 	n.hw = clockwork.NewHardwareClock(model)
 	n.main = clockwork.NewLogicalClock(n.hw, p.Phi, p.Mu)
@@ -180,12 +193,13 @@ func (s *System) buildNode(v graph.NodeID, faults map[graph.NodeID]FaultSpec) er
 	// Strategy-driven Byzantine nodes run no protocol at all; if the
 	// strategy is adaptive it receives the node's incoming pulses.
 	if isFaulty && fault.Strategy != nil {
+		n.byzRng = sim.NewRNG(cfg.Seed, 900+uint64(v))
 		handler, err := fault.Strategy.Install(byzantine.Ctx{
 			Eng:       s.eng,
 			Net:       s.net,
 			Self:      v,
 			Params:    p,
-			Rng:       sim.NewRNG(cfg.Seed, 900+uint64(v)),
+			Rng:       n.byzRng,
 			Neighbors: s.aug.Net.Neighbors(v),
 		})
 		if err != nil {
@@ -400,9 +414,10 @@ func (s *System) Start() error {
 			continue // strategy-driven Byzantine node
 		}
 		if s.cfg.TrackRounds {
-			n.roundTimes = []float64{0}
-			n.roundValues = []float64{0}
-			n.roundModes = []int8{0}
+			// Truncate-and-seed so a reset system reuses the trace arrays.
+			n.roundTimes = append(n.roundTimes[:0], 0)
+			n.roundValues = append(n.roundValues[:0], 0)
+			n.roundModes = append(n.roundModes[:0], 0)
 		}
 		n := n
 		startAll := func() error {
@@ -440,6 +455,85 @@ func (s *System) Start() error {
 		}
 	}
 	s.scheduleSampler()
+	return nil
+}
+
+// Reset rewinds a built system to a fresh pre-run state under a new seed,
+// reusing everything NewSystem allocated: the graph augmentation, neighbor
+// tables, engine event slab, cluster reception buffers, metric series
+// backing arrays and pulse bookkeeping all survive. A Run after
+// Reset(seed) produces output byte-identical to a fresh NewSystem with
+// Seed=seed: the engine's sequence counter restarts at 0 and Byzantine
+// strategies are re-installed in build order with freshly derived RNG
+// streams, so the (time, seq) event stream replays exactly. Stateful
+// per-node models (drift rate schedules, the delay model) are rebuilt from
+// the new seed's streams; the structural wiring (instances, observers,
+// routing closures) is retained.
+//
+// Reset must not be called while Run/RunContext is in flight. On error
+// (a Byzantine strategy failed to re-install) the system is left
+// half-reset and must be discarded.
+func (s *System) Reset(seed int64) error {
+	cfg := &s.cfg
+	cfg.Seed = seed
+	p := cfg.Params
+	s.eng.Reset()
+	s.delayRng.Reseed(seed, 1)
+	s.net.Reset(cfg.delayModel().Build(p, s.delayRng))
+	s.rec.Reset()
+	for c := range s.pulseMin {
+		// recordPulse's prealloc branch keys on nil, so a truncated slice
+		// keeps its capacity and a never-used nil slice stays nil.
+		s.pulseMin[c] = s.pulseMin[c][:0]
+		s.pulseMax[c] = s.pulseMax[c][:0]
+		s.pulseCount[c] = s.pulseCount[c][:0]
+	}
+	// Per-node rewind mirrors buildNode's iteration order exactly:
+	// strategy installations schedule events before Start, and replaying
+	// them in build order with seq restarted at 0 is what makes the reset
+	// run's event stream identical to a fresh build's.
+	for v, n := range s.nodes {
+		n.driftRng.Reseed(seed, 100+uint64(v))
+		var model clockwork.RateModel
+		switch {
+		case n.faulty && n.fault.OffSpecRate != 0:
+			model = clockwork.Constant{Rate: n.fault.OffSpecRate}
+		default:
+			model = buildDrift(cfg.driftModel(), p, s.aug, graph.NodeID(v), n.driftRng)
+		}
+		n.hw.Reset(model)
+		n.main.Reset()
+		if n.faulty && n.fault.Strategy != nil {
+			n.byzRng.Reseed(seed, 900+uint64(v))
+			handler, err := n.fault.Strategy.Install(byzantine.Ctx{
+				Eng:       s.eng,
+				Net:       s.net,
+				Self:      graph.NodeID(v),
+				Params:    p,
+				Rng:       n.byzRng,
+				Neighbors: s.aug.Net.Neighbors(graph.NodeID(v)),
+			})
+			if err != nil {
+				return err
+			}
+			// Unconditional: a nil handler clears the previous install's.
+			s.net.OnPulse(graph.NodeID(v), handler)
+			continue
+		}
+		n.inst.Reset()
+		for i, obs := range n.observers {
+			n.obsClocks[i].Reset()
+			obs.Reset()
+		}
+		if n.maxEst != nil {
+			n.maxEst.Reset()
+		}
+		n.gcsStats = gcs.Stats{}
+		n.roundTimes = n.roundTimes[:0]
+		n.roundValues = n.roundValues[:0]
+		n.roundModes = n.roundModes[:0]
+	}
+	s.started = false
 	return nil
 }
 

@@ -100,6 +100,19 @@ func New(eng *sim.Engine, cfg Config) (*Estimator, error) {
 	}, nil
 }
 
+// Reset rewinds the estimator to its unstarted state, keeping the group
+// tables and scratch allocated (clear on the counts map retains its
+// buckets). The level timer handle is dropped to the zero Handle — the
+// engine reset that accompanies a system reset has already discarded the
+// event, and a zero Handle behaves as canceled.
+func (e *Estimator) Reset() {
+	e.anchorT, e.anchorH, e.anchorM = 0, 0, 0
+	e.sentLevel = 0
+	clear(e.counts)
+	e.levelTimer = sim.Handle{}
+	e.stats = Stats{}
+}
+
 // Start begins local growth at the engine's current time.
 func (e *Estimator) Start() error {
 	e.anchorT = e.eng.Now()

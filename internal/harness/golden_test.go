@@ -46,6 +46,35 @@ func TestExperimentTablesGolden(t *testing.T) {
 	compareGolden(t, "golden_quick_seed1_ablations.txt", abl.Bytes())
 }
 
+// TestExperimentTablesGoldenNoReuse repeats the golden regeneration with
+// the sweep runner's system-reuse fast path disabled. Together with
+// TestExperimentTablesGolden (which runs with reuse enabled, the default)
+// this is the differential proof that arena-reset reuse is byte-invisible
+// across the full E1–E14 and A1–A3 harness: both paths must reproduce the
+// same committed goldens — which themselves predate the reuse machinery.
+func TestExperimentTablesGoldenNoReuse(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full quick-mode regeneration (~30s) skipped in -short")
+	}
+	rc := RunConfig{Quick: true, Seed: 1, NoReuse: true}
+
+	var got bytes.Buffer
+	if err := RunAll(rc, &got); err != nil {
+		t.Fatal(err)
+	}
+	compareGolden(t, "golden_quick_seed1_experiments.txt", got.Bytes())
+
+	var abl bytes.Buffer
+	for _, e := range Ablations() {
+		tbl, err := e.Run(rc)
+		if err != nil {
+			t.Fatalf("%s: %v", e.ID, err)
+		}
+		tbl.Render(&abl)
+	}
+	compareGolden(t, "golden_quick_seed1_ablations.txt", abl.Bytes())
+}
+
 func compareGolden(t *testing.T, name string, got []byte) {
 	t.Helper()
 	want, err := os.ReadFile(filepath.Join("testdata", name))

@@ -23,6 +23,10 @@ type RunConfig struct {
 	Workers int
 	// Progress, when non-nil, receives one line per sub-run.
 	Progress io.Writer
+	// NoReuse disables the sweep runner's system-reuse fast path, forcing
+	// a fresh build per scenario. Tables are byte-identical either way
+	// (that is the reset contract); the differential golden test runs both.
+	NoReuse bool
 	// Ctx, when non-nil, cancels in-flight sweeps (the CLI wires SIGINT
 	// here): the running experiment returns the context's error and
 	// RunAll stops before starting the next one. Completed experiments'

@@ -380,6 +380,11 @@ type Options struct {
 	// SweepWorkers bounds each job's internal ftgcs.Sweep pool
 	// (≤0: GOMAXPROCS). Only replicated jobs fan out.
 	SweepWorkers int
+	// NoReuse disables the sweep's system-reuse fast path, rebuilding the
+	// system for every replicate seed instead of resetting one in place.
+	// Results are identical either way (the reset contract); this is an
+	// escape hatch and the rebuild arm of the reuse benchmarks.
+	NoReuse bool
 	// RunLimit is a per-job wall-clock budget: a job still executing
 	// after this long is canceled (state canceled, never cached). Zero
 	// means no budget. The clock starts when the job starts running, not
@@ -447,6 +452,7 @@ func isCancellation(err error) bool {
 type Manager struct {
 	reg          *ftgcs.Registry
 	sweepWorkers int
+	noReuse      bool
 	runLimit     time.Duration
 	queue        chan *job
 	quit         chan struct{}
@@ -494,6 +500,7 @@ func NewManager(o Options) *Manager {
 	m := &Manager{
 		reg:          o.Registry,
 		sweepWorkers: o.SweepWorkers,
+		noReuse:      o.NoReuse,
 		runLimit:     o.RunLimit,
 		queue:        make(chan *job, o.QueueDepth),
 		quit:         make(chan struct{}),
@@ -985,6 +992,7 @@ func (m *Manager) execute(j *job) (*Result, error) {
 	}
 	sw := ftgcs.Sweep{
 		Workers:        m.sweepWorkers,
+		NoReuse:        m.noReuse,
 		OnSystemStart:  j.prog.start,
 		OnScenarioDone: j.prog.done,
 	}
@@ -1042,6 +1050,9 @@ func (m *Manager) execute(j *job) (*Result, error) {
 
 // captureSeries is the observer that snapshots the standard skew series
 // for IncludeSeries requests, in a fixed order for byte-stable payloads.
+// Series are deep-copied: the raw pointers alias live recorder state that
+// a subsequent System.Reset truncates in place, and the captured payload
+// outlives the run (it is stored on the job result).
 func captureSeries(sys *ftgcs.System) (any, error) {
 	names := []string{
 		ftgcs.SeriesIntraSkew,
@@ -1053,7 +1064,7 @@ func captureSeries(sys *ftgcs.System) (any, error) {
 	out := make([]*metrics.Series, 0, len(names))
 	for _, name := range names {
 		if s := sys.Series(name); s != nil {
-			out = append(out, s)
+			out = append(out, s.Clone())
 		}
 	}
 	return out, nil

@@ -24,7 +24,7 @@ func quickSpec(seed int64) spec.ScenarioSpec {
 	}
 }
 
-func waitDone(t *testing.T, m *Manager, id string) JobStatus {
+func waitDone(t testing.TB, m *Manager, id string) JobStatus {
 	t.Helper()
 	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
 	defer cancel()

@@ -24,6 +24,18 @@ func (s *Series) Append(t, v float64) {
 	s.Values = append(s.Values, v)
 }
 
+// Clone returns a deep copy sharing no backing arrays with the receiver.
+// Consumers that keep a series beyond the producing run — result caches,
+// sweep observers on reusable systems — must clone: Recorder.Reset
+// truncates the original's arrays in place for the next run.
+func (s *Series) Clone() *Series {
+	return &Series{
+		Name:   s.Name,
+		Times:  append([]float64(nil), s.Times...),
+		Values: append([]float64(nil), s.Values...),
+	}
+}
+
 // Len returns the number of samples.
 func (s *Series) Len() int { return len(s.Values) }
 
@@ -112,6 +124,11 @@ type Recorder struct {
 	// run whose sample count is known up front appends without a single
 	// growth reallocation.
 	reserve map[string]int
+	// pool holds series parked by Reset, keyed by name: absent from the
+	// recorder (Names/Series behave exactly as on a fresh recorder) but
+	// keeping their backing arrays, which the next Observe of the same
+	// name adopts instead of allocating.
+	pool map[string]*Series
 }
 
 // NewRecorder returns an empty recorder.
@@ -136,19 +153,48 @@ func (r *Recorder) Reserve(name string, n int) {
 	r.reserve[name] = n
 }
 
-// Observe appends a sample to the named series, creating it if needed.
+// Observe appends a sample to the named series, creating it if needed. A
+// series parked by Reset under the same name is revived with its backing
+// arrays intact instead of being reallocated.
 func (r *Recorder) Observe(name string, t, v float64) {
 	s, ok := r.series[name]
 	if !ok {
-		s = &Series{Name: name}
-		if n := r.reserve[name]; n > 0 {
-			s.Times = make([]float64, 0, n)
-			s.Values = make([]float64, 0, n)
+		if ps := r.pool[name]; ps != nil {
+			s = ps
+			delete(r.pool, name)
+		} else {
+			s = &Series{Name: name}
+			if n := r.reserve[name]; n > 0 {
+				s.Times = make([]float64, 0, n)
+				s.Values = make([]float64, 0, n)
+			}
 		}
 		r.series[name] = s
 		r.order = append(r.order, name)
 	}
 	s.Append(t, v)
+}
+
+// Reset empties the recorder for a fresh run while keeping the recorded
+// series' backing arrays. Observable semantics match a newly constructed
+// recorder exactly — Names is empty and every Series lookup returns nil
+// until the name is observed again; a series that existed before the
+// reset but is never re-observed stays absent (presence is load-bearing:
+// Summarize and the CSV/JSON exporters key off it). Reserve hints
+// persist. Callers holding Series pointers across a Reset see their
+// arrays truncated in place — Clone before resetting to keep a run's
+// data.
+func (r *Recorder) Reset() {
+	if len(r.series) > 0 && r.pool == nil {
+		r.pool = make(map[string]*Series, len(r.series))
+	}
+	for name, s := range r.series {
+		s.Times = s.Times[:0]
+		s.Values = s.Values[:0]
+		r.pool[name] = s
+		delete(r.series, name)
+	}
+	r.order = r.order[:0]
 }
 
 // Series returns the named series, or nil.

@@ -1,0 +1,84 @@
+package metrics
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestRecorderResetPresenceSemantics pins the load-bearing property of
+// Recorder.Reset: afterwards the recorder is observably indistinguishable
+// from a new one — lookups return nil, Names is empty, and a name that is
+// never re-observed stays absent (Summarize and the exporters key off
+// presence).
+func TestRecorderResetPresenceSemantics(t *testing.T) {
+	r := NewRecorder()
+	r.Observe("a", 1, 10)
+	r.Observe("b", 1, 20)
+	r.Observe("a", 2, 11)
+
+	r.Reset()
+
+	if names := r.Names(); len(names) != 0 {
+		t.Fatalf("Names after reset = %v, want empty", names)
+	}
+	if r.Series("a") != nil || r.Series("b") != nil {
+		t.Fatal("Series lookup non-nil after reset")
+	}
+
+	// Re-observe only "a": "b" must stay absent.
+	r.Observe("a", 5, 50)
+	if got := r.Names(); !reflect.DeepEqual(got, []string{"a"}) {
+		t.Fatalf("Names = %v, want [a]", got)
+	}
+	if r.Series("b") != nil {
+		t.Fatal("unobserved series b resurrected by reset")
+	}
+	s := r.Series("a")
+	if s == nil || s.Len() != 1 || s.Times[0] != 5 || s.Values[0] != 50 {
+		t.Fatalf("series a after reset+observe = %+v, want single (5, 50) sample", s)
+	}
+}
+
+// TestRecorderResetReusesBacking verifies the pooling that makes Reset an
+// allocation win: a re-observed series gets its previous backing arrays
+// (same object, same capacity) instead of fresh ones.
+func TestRecorderResetReusesBacking(t *testing.T) {
+	r := NewRecorder()
+	for i := 0; i < 100; i++ {
+		r.Observe("a", float64(i), float64(i))
+	}
+	before := r.Series("a")
+	capT, capV := cap(before.Times), cap(before.Values)
+
+	r.Reset()
+	r.Observe("a", 0, 0)
+
+	after := r.Series("a")
+	if after != before {
+		t.Fatal("reset+observe allocated a new Series object instead of reviving the pooled one")
+	}
+	if cap(after.Times) != capT || cap(after.Values) != capV {
+		t.Fatalf("backing capacity changed across reset: times %d→%d, values %d→%d",
+			capT, cap(after.Times), capV, cap(after.Values))
+	}
+	if after.Len() != 1 {
+		t.Fatalf("revived series has %d samples, want 1 (old data must be truncated)", after.Len())
+	}
+}
+
+// TestSeriesCloneIndependence verifies Clone severs all sharing: mutating
+// the original (as Reset does, truncating in place) cannot affect a clone.
+func TestSeriesCloneIndependence(t *testing.T) {
+	s := &Series{Name: "x"}
+	s.Append(1, 10)
+	s.Append(2, 20)
+	c := s.Clone()
+
+	s.Times = s.Times[:0]
+	s.Values = s.Values[:0]
+	s.Append(9, 90)
+
+	if c.Name != "x" || c.Len() != 2 || c.Times[0] != 1 || c.Values[1] != 20 {
+		t.Fatalf("clone corrupted by mutation of original: %+v", c)
+	}
+}

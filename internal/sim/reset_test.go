@@ -1,0 +1,134 @@
+package sim
+
+import (
+	"context"
+	"testing"
+)
+
+// traceEvents schedules a fixed pattern of events (including one that is
+// canceled and one that chains a child) and returns the firing trace after
+// running to the horizon.
+func traceEvents(t *testing.T, e *Engine) []string {
+	t.Helper()
+	var trace []string
+	rec := func(name string) func(*Engine) {
+		return func(eng *Engine) { trace = append(trace, name) }
+	}
+	e.MustSchedule(1, "a", rec("a"))
+	e.MustSchedule(3, "c", rec("c"))
+	e.MustSchedule(2, "b", func(eng *Engine) {
+		trace = append(trace, "b")
+		eng.MustSchedule(2.5, "b-child", rec("b-child"))
+	})
+	h := e.MustSchedule(2.75, "doomed", rec("doomed"))
+	e.MustSchedule(1.5, "canceler", func(eng *Engine) {
+		trace = append(trace, "canceler")
+		eng.Cancel(h)
+	})
+	if err := e.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	return trace
+}
+
+// TestEngineResetReplaysIdentically runs the same schedule on a fresh
+// engine and on a reset engine and requires identical traces, times and
+// event counts — Reset must restore the exact (now, seq) ordering state of
+// a new engine.
+func TestEngineResetReplaysIdentically(t *testing.T) {
+	fresh := NewEngine()
+	want := traceEvents(t, fresh)
+
+	e := NewEngine()
+	first := traceEvents(t, e)
+	e.Reset()
+	if e.Now() != 0 {
+		t.Fatalf("Now after reset = %v, want 0", e.Now())
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending after reset = %d, want 0", e.Pending())
+	}
+	if e.Processed() != 0 {
+		t.Fatalf("Processed after reset = %d, want 0", e.Processed())
+	}
+	second := traceEvents(t, e)
+
+	if len(first) != len(want) || len(second) != len(want) {
+		t.Fatalf("trace lengths: fresh %d, first %d, second %d", len(want), len(first), len(second))
+	}
+	for i := range want {
+		if first[i] != want[i] || second[i] != want[i] {
+			t.Fatalf("trace[%d]: fresh %q, first %q, post-reset %q", i, want[i], first[i], second[i])
+		}
+	}
+}
+
+// TestEngineResetStaleHandles verifies generation-counter safety: a handle
+// obtained before a Reset must neither cancel nor report live any event
+// scheduled after the Reset, even when the slot is recycled.
+func TestEngineResetStaleHandles(t *testing.T) {
+	e := NewEngine()
+	stale := make([]Handle, 0, 8)
+	for i := 0; i < 8; i++ {
+		stale = append(stale, e.MustSchedule(float64(i+1), "pre", func(*Engine) {}))
+	}
+	e.Reset()
+
+	fired := 0
+	for i := 0; i < 8; i++ {
+		e.MustSchedule(float64(i+1), "post", func(*Engine) { fired++ })
+	}
+	for _, h := range stale {
+		if !h.Canceled() {
+			t.Fatalf("stale handle %+v not reported canceled after reset", h)
+		}
+		if e.Cancel(h) {
+			t.Fatalf("stale handle %+v canceled a recycled slot", h)
+		}
+	}
+	if err := e.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 8 {
+		t.Fatalf("fired %d of 8 post-reset events (stale cancel leaked through)", fired)
+	}
+}
+
+// TestEngineResetAfterCancelInterrupt exercises the cancel-then-reuse
+// path: a run interrupted by context cancellation leaves pending events
+// behind; Reset must discard all of them and support a clean replay.
+func TestEngineResetAfterCancelInterrupt(t *testing.T) {
+	e := NewEngine()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	count := 0
+	// Enough events that cancellation (polled every ctxCheckInterval) is
+	// guaranteed to land with plenty of the queue still pending.
+	for i := 0; i < 4*ctxCheckInterval; i++ {
+		e.MustSchedule(float64(i+1), "tick", func(*Engine) {
+			count++
+			if count == 10 {
+				cancel()
+			}
+		})
+	}
+	if err := e.RunContext(ctx, 1e6); err == nil {
+		t.Fatal("expected cancellation error")
+	}
+	if e.Pending() == 0 {
+		t.Fatal("expected pending events after interrupt")
+	}
+	e.Reset()
+	if e.Pending() != 0 || e.Now() != 0 || e.Processed() != 0 {
+		t.Fatalf("dirty state after reset: pending=%d now=%v processed=%d",
+			e.Pending(), e.Now(), e.Processed())
+	}
+	fired := 0
+	e.MustSchedule(1, "fresh", func(*Engine) { fired++ })
+	if err := e.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+}

@@ -2,11 +2,20 @@ package sim
 
 import "math/rand"
 
-// RNG wraps a deterministic random source. Every simulation component draws
-// from its own stream derived from the master seed, so adding or removing a
-// component does not perturb the randomness seen by others.
+// RNG is a deterministic random stream. Every simulation component draws
+// from its own stream derived from the master seed, so adding or removing
+// a component does not perturb the randomness seen by others.
+//
+// Seeding is lazy: math/rand's source costs ~5KB and a several-hundred-
+// step initialization loop, so the underlying generator is materialized on
+// the first draw. Streams that are wired but never drawn from (per-node
+// drift streams under deterministic rate models — the common case) cost
+// one small struct and nothing else. The draw sequence is byte-identical
+// to an eagerly seeded rand.New(rand.NewSource(seed)).
 type RNG struct {
-	*rand.Rand
+	rand   *rand.Rand
+	seed   int64
+	seeded bool // rand is positioned at the start of stream `seed`
 }
 
 // splitMix64 advances a 64-bit state and returns a well-mixed output. It is
@@ -28,8 +37,38 @@ func DeriveSeed(master int64, stream uint64) int64 {
 
 // NewRNG returns an independent random stream for the given component.
 func NewRNG(master int64, stream uint64) *RNG {
-	return &RNG{Rand: rand.New(rand.NewSource(DeriveSeed(master, stream)))}
+	return &RNG{seed: DeriveSeed(master, stream)}
 }
+
+// Reseed rewinds the stream in place to a fresh derivation of (master,
+// stream): subsequent draws are byte-identical to a new NewRNG(master,
+// stream). The underlying source (if one was ever materialized) is
+// reused, so arena-style system resets re-derive every stream without
+// reallocating.
+func (r *RNG) Reseed(master int64, stream uint64) {
+	r.seed = DeriveSeed(master, stream)
+	r.seeded = false
+}
+
+// src returns the underlying generator, seeding it on first use (or first
+// use after a Reseed).
+func (r *RNG) src() *rand.Rand {
+	if !r.seeded {
+		if r.rand == nil {
+			r.rand = rand.New(rand.NewSource(r.seed))
+		} else {
+			r.rand.Seed(r.seed)
+		}
+		r.seeded = true
+	}
+	return r.rand
+}
+
+// Float64 returns a sample uniformly distributed in [0, 1).
+func (r *RNG) Float64() float64 { return r.src().Float64() }
+
+// Intn returns a uniform sample from [0, n); it panics when n ≤ 0.
+func (r *RNG) Intn(n int) int { return r.src().Intn(n) }
 
 // UniformIn returns a sample uniformly distributed in [lo, hi].
 func (r *RNG) UniformIn(lo, hi float64) float64 {

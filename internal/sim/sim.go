@@ -346,6 +346,31 @@ func (e *Engine) Cancel(h Handle) bool {
 	return true
 }
 
+// Reset rewinds the engine to its newly constructed state — time 0, empty
+// queue, sequence counter 0, zero events processed — while keeping the
+// event slab, heap array and free list allocated for reuse. Every pending
+// event is released: slot generation counters survive the reset (they are
+// bumped, never rewound), so Handles issued before a Reset remain
+// permanently canceled and can never cancel an event scheduled after it.
+// The configured event limit is retained.
+//
+// The slab-slot recycling order after a Reset differs from a fresh
+// engine's append order, but slot identity is invisible to execution:
+// events fire strictly by (time, seq), and Reset restarts seq at 0, so a
+// reset engine replays a byte-identical event stream for the same inputs.
+//
+// Reset must not be called while Run/RunContext is in flight.
+func (e *Engine) Reset() {
+	for _, id := range e.heap {
+		e.release(id)
+	}
+	e.heap = e.heap[:0]
+	e.seq = 0
+	e.setNow(0)
+	e.processed.Store(0)
+	e.stopped.Store(false)
+}
+
 // Stop makes the current Run/RunContext return after the in-flight event
 // completes. It is safe to call from any goroutine — this is the
 // cooperative cross-goroutine stop for runs driven without a Context.

@@ -186,6 +186,17 @@ func NewNetwork(eng *sim.Engine, g *graph.Graph, delays DelayModel) *Network {
 	}
 }
 
+// Reset clears the transport counters and swaps in a freshly built delay
+// model for a new run (stateful models carry RNG streams that must be
+// re-derived from the new seed). Registered handlers survive: the per-node
+// routing closures reference node state that persists across a system
+// reset. The cached bounds are re-read from the new model.
+func (n *Network) Reset(delays DelayModel) {
+	n.delays = delays
+	n.d, n.u = delays.Bounds()
+	n.stats = Stats{}
+}
+
 // OnPulse registers the pulse handler of node v (overwriting any previous
 // one).
 func (n *Network) OnPulse(v graph.NodeID, h Handler) {

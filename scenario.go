@@ -3,6 +3,7 @@ package ftgcs
 import (
 	"context"
 	"fmt"
+	"reflect"
 	"sort"
 
 	"ftgcs/internal/core"
@@ -338,19 +339,7 @@ func (s *Scenario) Build() (*System, error) {
 	if err != nil {
 		return nil, fmt.Errorf("ftgcs: %w", err)
 	}
-	faults := append([]FaultSpec(nil), s.faults...)
-	if s.perClusterAttack != nil {
-		count := s.perClusterCount
-		if count <= 0 || count > topo.N() {
-			count = topo.N()
-		}
-		for c := 0; c < count; c++ {
-			faults = append(faults, FaultSpec{
-				Node:     c*s.k + s.k - 1,
-				Strategy: s.perClusterAttack(),
-			})
-		}
-	}
+	faults := s.expandFaults(topo)
 	sys, err := core.NewSystem(core.Config{
 		Base:             topo,
 		K:                s.k,
@@ -372,6 +361,123 @@ func (s *Scenario) Build() (*System, error) {
 		return nil, fmt.Errorf("ftgcs: %w", err)
 	}
 	return &System{sys: sys, b: coreBackend{sys}, p: p}, nil
+}
+
+// expandFaults resolves the scenario's full fault list against the given
+// topology: the explicit WithFaults/WithAttack specs plus the per-cluster
+// attack plants (one fresh constructor instance at the last member of each
+// selected cluster).
+func (s *Scenario) expandFaults(topo *Topology) []FaultSpec {
+	faults := append([]FaultSpec(nil), s.faults...)
+	if s.perClusterAttack != nil {
+		count := s.perClusterCount
+		if count <= 0 || count > topo.N() {
+			count = topo.N()
+		}
+		for c := 0; c < count; c++ {
+			faults = append(faults, FaultSpec{
+				Node:     c*s.k + s.k - 1,
+				Strategy: s.perClusterAttack(),
+			})
+		}
+	}
+	return faults
+}
+
+// sameModel reports whether two model values (drift, delay, attack
+// strategies — any interface-typed configuration knob) are provably the
+// same build input. It is deliberately conservative: dynamic types must
+// match exactly, and non-comparable types (or function-backed models)
+// never compare equal, so callers fall back to rebuilding rather than
+// reusing a system built from different inputs.
+func sameModel(a, b any) bool {
+	if a == nil || b == nil {
+		return a == nil && b == nil
+	}
+	ta, tb := reflect.TypeOf(a), reflect.TypeOf(b)
+	if ta != tb || !ta.Comparable() {
+		return false
+	}
+	return a == b
+}
+
+// sameBuild reports whether building s would produce a System structurally
+// identical to one built from prev — same topology, geometry, derived
+// constants, models, fault set and instrumentation — differing at most in
+// seed. When true, a system built from prev can be Reset to s's seed
+// instead of rebuilt (the Sweep reuse path). Conservative by design: any
+// input it cannot prove equal (named topologies, whose resolution is
+// seed-dependent; function-valued knobs like mode overrides or custom
+// backends; non-comparable model types) disqualifies reuse.
+func (s *Scenario) sameBuild(prev *Scenario) bool {
+	if s == nil || prev == nil || s.err != nil || prev.err != nil {
+		return false
+	}
+	// Custom backends wire themselves; no reset contract to rely on.
+	if s.backend != nil || prev.backend != nil {
+		return false
+	}
+	// Named topologies resolve with the seed (randomized families), so only
+	// a shared pinned *Topology is a provably seed-independent build input.
+	if s.topology == nil || s.topology != prev.topology {
+		return false
+	}
+	if s.k != prev.k || s.f != prev.f {
+		return false
+	}
+	if s.rho != prev.rho || s.maxDelay != prev.maxDelay || s.uncertainty != prev.uncertainty {
+		return false
+	}
+	if s.preset != prev.preset || s.c2 != prev.c2 || s.eps != prev.eps {
+		return false
+	}
+	if (s.derived == nil) != (prev.derived == nil) {
+		return false
+	}
+	if s.derived != nil && *s.derived != *prev.derived {
+		return false
+	}
+	if !sameModel(s.driftModel, prev.driftModel) || !sameModel(s.delayModel, prev.delayModel) {
+		return false
+	}
+	// Compare the expanded fault lists (explicit specs plus per-cluster
+	// plants) so spec-compiled replicates — which carry fresh
+	// WithAttackPerCluster closures per compile but resolve to the same
+	// registered strategy values — still qualify.
+	fa, fb := s.expandFaults(s.topology), prev.expandFaults(prev.topology)
+	if len(fa) != len(fb) {
+		return false
+	}
+	for i := range fa {
+		if fa[i].Node != fb[i].Node || fa[i].CrashAt != fb[i].CrashAt || fa[i].OffSpecRate != fb[i].OffSpecRate {
+			return false
+		}
+		if !sameModel(fa[i].Strategy, fb[i].Strategy) {
+			return false
+		}
+	}
+	if s.disableGlobalSkew != prev.disableGlobalSkew || s.sampleInterval != prev.sampleInterval {
+		return false
+	}
+	if s.horizon != prev.horizon || s.horizonRounds != prev.horizonRounds {
+		return false
+	}
+	if s.staggerStart != prev.staggerStart {
+		return false
+	}
+	if s.trackRounds != prev.trackRounds || s.trackClusters != prev.trackClusters {
+		return false
+	}
+	// Mode overrides are opaque functions baked into the built system.
+	if s.modeOverride != nil || prev.modeOverride != nil {
+		return false
+	}
+	// Mid-run hooks mutate the system in ways the reset contract cannot
+	// account for; observers merely read and are excluded from the key.
+	if len(s.hooks) > 0 || len(prev.hooks) > 0 {
+		return false
+	}
+	return true
 }
 
 // Horizon returns the simulated duration in seconds for the given derived

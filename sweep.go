@@ -38,6 +38,12 @@ type Sweep struct {
 	Workers int
 	// BaseSeed seeds scenarios that did not set WithSeed.
 	BaseSeed int64
+	// NoReuse disables the per-worker system-reuse fast path: every
+	// scenario gets a freshly built System even when consecutive scenarios
+	// on a worker share a build key. Reuse is semantically invisible —
+	// Reset guarantees byte-identical results — so this exists as an
+	// escape hatch and for differential testing of that guarantee.
+	NoReuse bool
 
 	// OnSystemStart, when set, is called from a worker goroutine right
 	// after a scenario's System is built, immediately before it runs. The
@@ -88,8 +94,12 @@ func (sw Sweep) run(ctx context.Context, scenarios []*Scenario) []SweepResult {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Each worker keeps the last system it built and reuses it via
+			// Reset when the next scenario shares the build key — replicate
+			// batches pay one build instead of one per seed.
+			var cache workerCache
 			for i := range jobs {
-				res := sw.runOne(ctx, scenarios[i], i)
+				res := sw.runOne(ctx, scenarios[i], i, &cache)
 				if sw.OnScenarioDone != nil {
 					sw.OnScenarioDone(i, res)
 				}
@@ -121,13 +131,49 @@ func (sw Sweep) run(ctx context.Context, scenarios []*Scenario) []SweepResult {
 	return out
 }
 
+// workerCache holds one worker's reusable system alongside the scenario
+// that built (or last reset) it — the build key for the next reuse check.
+type workerCache struct {
+	sc  *Scenario
+	sys *System
+}
+
+// acquireSystem returns a system ready to run sc: the worker's cached
+// system rewound to sc's seed when the build keys match, a fresh build
+// otherwise. The cache is updated to the returned system (and dropped
+// entirely when a Reset fails, leaving the old system in an undefined
+// state).
+func (sw Sweep) acquireSystem(sc *Scenario, cache *workerCache) (*System, error) {
+	if cache != nil && !sw.NoReuse && cache.sys != nil &&
+		cache.sys.CanReset() && sc.sameBuild(cache.sc) {
+		if err := cache.sys.Reset(sc.seed); err == nil {
+			cache.sc = sc
+			return cache.sys, nil
+		}
+		cache.sc, cache.sys = nil, nil
+	}
+	sys, err := sc.Build()
+	if err != nil {
+		return nil, err
+	}
+	if cache != nil {
+		cache.sc, cache.sys = sc, sys
+	}
+	return sys, nil
+}
+
 // runOne executes a single scenario, converting panics into errors so one
 // bad scenario cannot take down the whole sweep.
-func (sw Sweep) runOne(ctx context.Context, sc *Scenario, index int) (res SweepResult) {
+func (sw Sweep) runOne(ctx context.Context, sc *Scenario, index int, cache *workerCache) (res SweepResult) {
 	res = SweepResult{Index: index, Name: sc.Name()}
 	defer func() {
 		if r := recover(); r != nil {
 			res.Err = fmt.Errorf("ftgcs: scenario %d (%s) panicked: %v", index, sc.Name(), r)
+			// A panic mid-run leaves the system in an unknown state; never
+			// offer it for reuse.
+			if cache != nil {
+				cache.sc, cache.sys = nil, nil
+			}
 		}
 	}()
 	// A scenario dispatched in the same instant the sweep was canceled
@@ -141,7 +187,7 @@ func (sw Sweep) runOne(ctx context.Context, sc *Scenario, index int) (res SweepR
 	if _, ok := sc.Seeded(); !ok {
 		sc = sc.With(WithSeed(sw.BaseSeed + int64(index)))
 	}
-	sys, err := sc.Build()
+	sys, err := sw.acquireSystem(sc, cache)
 	if err != nil {
 		res.Err = err
 		return res
