@@ -24,6 +24,11 @@
 //	curl localhost:8080/v1/registry
 //	curl localhost:8080/v1/stats
 //
+//	# observability: Prometheus metrics, per-job lifecycle trace, live SSE watch
+//	curl localhost:8080/metrics
+//	curl localhost:8080/v1/experiments/sha256:.../trace
+//	curl -N 'localhost:8080/v1/experiments/sha256:...?watch=true'
+//
 // With -store DIR, completed results also persist to an on-disk
 // content-addressed store and survive restarts: resubmitting a spec (or
 // a whole manifest) a process lifetime later serves the stored bytes
@@ -71,6 +76,7 @@ func run(args []string) error {
 	storeDir := fs.String("store", "", "durable result store directory; completed results persist across restarts (empty = memory only)")
 	storeMaxBytes := fs.Int64("store-max-bytes", 0, "on-disk store size budget; least-recently-used results are evicted (0 = unbounded)")
 	storeMaxAge := fs.Duration("store-max-age", 0, "evict stored results not accessed for this long (0 = keep forever)")
+	pprofFlag := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (off by default)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -97,7 +103,7 @@ func run(args []string) error {
 	sched := manifest.NewScheduler(mgr, ftgcs.DefaultRegistry)
 	defer sched.Close()
 
-	handler := newHandler(&server{mgr: mgr, sched: sched, store: store, reg: ftgcs.DefaultRegistry, waitLimit: *waitLimit})
+	handler := newHandler(&server{mgr: mgr, sched: sched, store: store, reg: ftgcs.DefaultRegistry, waitLimit: *waitLimit, enablePprof: *pprofFlag})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"strings"
 	"time"
 
@@ -14,6 +15,7 @@ import (
 	"ftgcs/internal/jobs"
 	"ftgcs/internal/manifest"
 	"ftgcs/internal/spec"
+	"ftgcs/internal/telemetry"
 )
 
 // server wires the job manager, manifest scheduler and registry behind
@@ -27,6 +29,17 @@ type server struct {
 	reg   *ftgcs.Registry
 	// waitLimit bounds how long a ?wait=true request may block.
 	waitLimit time.Duration
+	// tel is the telemetry registry scraped by GET /metrics; derived from
+	// the manager's registry in newHandler when left nil.
+	tel *telemetry.Registry
+	// httpDur is the request-latency histogram, labeled by matched route
+	// pattern and status class; populated by newHandler.
+	httpDur *telemetry.HistogramVec
+	// enablePprof mounts net/http/pprof under /debug/pprof/ (-pprof flag).
+	enablePprof bool
+	// watchPoll is the ?watch=true progress sampling cadence; newHandler
+	// defaults it to 100ms when zero (tests shorten it).
+	watchPoll time.Duration
 }
 
 // newHandler builds the route table.
@@ -41,10 +54,28 @@ type server struct {
 //	GET    /v1/registry            enumerate registered names
 //	GET    /v1/stats               job/cache/queue/store counters
 //	GET    /v1/healthz             liveness + manager stats
+//	GET    /v1/experiments/{id}/trace  lifecycle span list for a job
+//	GET    /metrics                Prometheus text exposition
+//
+// GET /v1/experiments/{id}?watch=true upgrades the poll into an SSE
+// stream; -pprof additionally mounts /debug/pprof/.
 func newHandler(s *server) http.Handler {
+	if s.tel == nil {
+		s.tel = s.mgr.Telemetry()
+	}
+	if s.watchPoll <= 0 {
+		s.watchPoll = 100 * time.Millisecond
+	}
+	s.httpDur = s.tel.HistogramVec("ftgcs_http_request_duration_seconds",
+		"HTTP request latency by route pattern and status class.",
+		telemetry.DurationBuckets, "route", "status")
+	if s.store != nil {
+		registerStoreMetrics(s.tel, s.store)
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/experiments", s.handleSubmit)
 	mux.HandleFunc("GET /v1/experiments/{id}", s.handleGet)
+	mux.HandleFunc("GET /v1/experiments/{id}/trace", s.handleTrace)
 	mux.HandleFunc("DELETE /v1/experiments/{id}", s.handleCancel)
 	mux.HandleFunc("POST /v1/manifests", s.handleManifestSubmit)
 	mux.HandleFunc("GET /v1/manifests", s.handleManifestList)
@@ -53,7 +84,17 @@ func newHandler(s *server) http.Handler {
 	mux.HandleFunc("GET /v1/registry", s.handleRegistry)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
-	return mux
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if s.enablePprof {
+		// Explicit wiring instead of the package's init-time registration
+		// on DefaultServeMux: profiling stays opt-in per process.
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
+	return s.instrumented(mux)
 }
 
 // postBody is the POST /v1/experiments envelope: either a single spec
@@ -181,6 +222,10 @@ func (s *server) await(ctx context.Context, st jobs.JobStatus) (jobs.JobStatus, 
 
 func (s *server) handleGet(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
+	if boolParam(r, "watch") {
+		s.handleWatch(w, r)
+		return
+	}
 	if boolParam(r, "wait") {
 		wctx, cancel := context.WithTimeout(r.Context(), s.waitLimit)
 		defer cancel()
@@ -310,9 +355,10 @@ func (s *server) handleManifestCancel(w http.ResponseWriter, r *http.Request) {
 // handleStats is GET /v1/stats: the manager's cumulative counters
 // (submitted/completed/failed/canceled/runs, cache hits/misses/evictions,
 // coalesce count) plus instantaneous gauges (queue depth, running jobs,
-// cache length).
+// cache length). The numbers come from the same snapshot /v1/healthz and
+// GET /metrics read.
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, s.mgr.Stats())
+	writeJSON(w, http.StatusOK, s.snapshotStats().Stats)
 }
 
 func (s *server) handleRegistry(w http.ResponseWriter, _ *http.Request) {
@@ -326,14 +372,7 @@ func (s *server) handleRegistry(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	body := map[string]any{
-		"status": "ok",
-		"stats":  s.mgr.Stats(),
-	}
-	if s.store != nil {
-		body["store"] = s.store.Stats()
-	}
-	writeJSON(w, http.StatusOK, body)
+	writeJSON(w, http.StatusOK, s.snapshotStats())
 }
 
 // statusCode maps a job snapshot to its HTTP status: terminal work

@@ -80,6 +80,11 @@ type Stats struct {
 	// Corrupt counts objects that failed the checksum on read or scan and
 	// were removed (each read as a miss, not an error).
 	Corrupt uint64 `json:"corrupt"`
+	// BytesRead/BytesWritten total the payload bytes served by Get hits
+	// and persisted by successful Puts — the store's IO volume, distinct
+	// from Bytes (what is resident now).
+	BytesRead    uint64 `json:"bytesRead"`
+	BytesWritten uint64 `json:"bytesWritten"`
 }
 
 // Store is an on-disk content-addressed object store. All methods are
@@ -222,6 +227,7 @@ func (s *Store) Get(key string) (payload []byte, ok bool) {
 		s.bytes += int64(len(payload))
 	}
 	s.stats.Hits++
+	s.stats.BytesRead += uint64(len(payload))
 	os.Chtimes(path, now, now) // best-effort: recency durability
 	return payload, true
 }
@@ -288,6 +294,7 @@ func (s *Store) Put(key string, payload []byte) error {
 		s.bytes += int64(len(payload))
 	}
 	s.stats.Puts++
+	s.stats.BytesWritten += uint64(len(payload))
 	s.gcLocked()
 	return nil
 }

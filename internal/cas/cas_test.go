@@ -360,3 +360,36 @@ func mustPath(t *testing.T, s *Store, key string) string {
 	}
 	return p
 }
+
+// TestByteCounters: BytesWritten totals successful Put payloads,
+// BytesRead totals Get-hit payloads; misses and re-reads account
+// correctly.
+func TestByteCounters(t *testing.T) {
+	s, err := Open(t.TempDir(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := []byte("0123456789"), []byte("0123")
+	if err := s.Put(key("a"), a); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(key("b"), b); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(key("a")); !ok {
+		t.Fatal("miss on a")
+	}
+	if _, ok := s.Get(key("a")); !ok {
+		t.Fatal("miss on a (second read)")
+	}
+	if _, ok := s.Get(key("absent")); ok {
+		t.Fatal("hit on absent key")
+	}
+	st := s.Stats()
+	if want := uint64(len(a) + len(b)); st.BytesWritten != want {
+		t.Errorf("BytesWritten = %d, want %d", st.BytesWritten, want)
+	}
+	if want := uint64(2 * len(a)); st.BytesRead != want {
+		t.Errorf("BytesRead = %d, want %d (misses must not count)", st.BytesRead, want)
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"ftgcs/internal/cas"
 	"ftgcs/internal/metrics"
 	"ftgcs/internal/spec"
+	"ftgcs/internal/telemetry"
 )
 
 // MaxReplicate bounds the replication fan-out of a single request.
@@ -204,6 +205,19 @@ type job struct {
 	topo *ftgcs.Topology
 	done chan struct{}
 
+	// trace is the job's lifecycle record (submitted → queued → building
+	// → running[replicate i/n] → aggregating → storing → terminal). Set
+	// at Submit, never reassigned, internally synchronized — safe to
+	// read without the manager's mutex. It survives into the result
+	// cache alongside the job, so /trace works for completed work; jobs
+	// rehydrated from disk carry none (their execution happened in a
+	// different process life).
+	trace *telemetry.Trace
+	// enqueuedAt/startedAt feed the queue-wait and run-duration
+	// histograms; written under the manager's mutex.
+	enqueuedAt time.Time
+	startedAt  time.Time
+
 	// ctx governs the job's execution; cancel aborts it (Cancel, Close).
 	// Both are set at Submit and never change, so they may be used
 	// without the manager's mutex.
@@ -270,7 +284,10 @@ type Progress struct {
 	Replicates int `json:"replicates"`
 }
 
-// Stats are the manager's cumulative counters plus instantaneous gauges.
+// Stats are the manager's cumulative counters plus instantaneous
+// gauges. Every counter is read from the telemetry registry's
+// instruments — the same ones GET /metrics scrapes — so the JSON and
+// Prometheus views of the service can never disagree about a count.
 type Stats struct {
 	Submitted uint64 `json:"submitted"` // new jobs accepted onto the queue
 	Completed uint64 `json:"completed"`
@@ -307,10 +324,22 @@ type progressTracker struct {
 	doneEvents   uint64
 	doneFraction float64
 	doneRuns     int
+	// onDone, when set, fires under mu as each run finishes with the
+	// new done count — the ordering guarantee lets the manager emit
+	// "running[replicate i/n]" trace phases in completion order even
+	// when sweep workers finish out of order.
+	onDone func(done, total int)
+}
+
+// progressSource is the slice of *ftgcs.System the tracker needs: a
+// monotone, cross-goroutine-safe progress snapshot. Narrowing to an
+// interface keeps the tracker testable with deterministic fakes.
+type progressSource interface {
+	Progress() ftgcs.Progress
 }
 
 type trackedRun struct {
-	sys     *ftgcs.System
+	src     progressSource
 	horizon float64
 }
 
@@ -331,9 +360,14 @@ func runFraction(now, horizon float64) float64 {
 
 // start registers an in-flight system (Sweep.OnSystemStart).
 func (p *progressTracker) start(index int, sys *ftgcs.System, horizon float64) {
+	p.startRun(index, sys, horizon)
+}
+
+// startRun is start over the narrow progressSource interface.
+func (p *progressTracker) startRun(index int, src progressSource, horizon float64) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	p.inFlight[index] = trackedRun{sys: sys, horizon: horizon}
+	p.inFlight[index] = trackedRun{src: src, horizon: horizon}
 }
 
 // done freezes a finished run's contribution (Sweep.OnScenarioDone).
@@ -342,11 +376,14 @@ func (p *progressTracker) done(index int, _ ftgcs.SweepResult) {
 	defer p.mu.Unlock()
 	if tr, ok := p.inFlight[index]; ok {
 		delete(p.inFlight, index)
-		sp := tr.sys.Progress()
+		sp := tr.src.Progress()
 		p.doneEvents += sp.Events
 		p.doneFraction += runFraction(sp.Now, tr.horizon)
 	}
 	p.doneRuns++
+	if p.onDone != nil {
+		p.onDone(p.doneRuns, p.n)
+	}
 }
 
 // snapshot sums frozen and live contributions.
@@ -356,7 +393,7 @@ func (p *progressTracker) snapshot() Progress {
 	pr := Progress{Events: p.doneEvents, Replicate: p.doneRuns, Replicates: p.n}
 	frac := p.doneFraction
 	for _, tr := range p.inFlight {
-		sp := tr.sys.Progress()
+		sp := tr.src.Progress()
 		pr.Events += sp.Events
 		frac += runFraction(sp.Now, tr.horizon)
 	}
@@ -396,6 +433,11 @@ type Options struct {
 	// so a graceful shutdown never loses completed work). The caller owns
 	// the store's lifetime; the manager never closes it.
 	Store *cas.Store
+	// Telemetry is the registry the manager registers its instruments on
+	// (queue-wait/run-duration histograms, cache and lifecycle counters,
+	// occupancy gauges); nil creates a private one. Metric names are
+	// fixed, so at most one Manager may share a registry.
+	Telemetry *telemetry.Registry
 }
 
 // ErrQueueFull is returned by Submit when the bounded queue is at
@@ -458,10 +500,14 @@ type Manager struct {
 	quit         chan struct{}
 	wg           sync.WaitGroup
 
+	// tel is the registry every counter below lives on; met caches the
+	// resolved instruments so the job path never does a name lookup.
+	tel *telemetry.Registry
+	met *managerMetrics
+
 	mu      sync.Mutex
 	active  map[string]*job // queued or running
 	cache   *lruCache       // completed (done or failed: failures are deterministic too)
-	stats   Stats
 	running int
 	closed  bool
 
@@ -478,6 +524,61 @@ type Manager struct {
 	// TestHookBeforeRun, when set, runs in each worker before a job
 	// executes — tests use it to hold workers and fill the queue.
 	TestHookBeforeRun func()
+}
+
+// managerMetrics is the manager's instrument bundle. Children of the
+// labeled families are resolved once here, so recording on the job path
+// is a bare atomic op — no name or label lookups.
+type managerMetrics struct {
+	submitted  *telemetry.Counter
+	runs       *telemetry.Counter
+	coalesced  *telemetry.Counter
+	misses     *telemetry.Counter
+	evicted    *telemetry.Counter
+	diskStored *telemetry.Counter
+	replicates *telemetry.Counter
+
+	hitsMemory, hitsDisk           *telemetry.Counter // ftgcs_jobs_cache_hits_total{tier}
+	done, failed, canceled         *telemetry.Counter // ftgcs_jobs_terminal_total{state}
+	runDone, runFailed, runCanceld *telemetry.Histogram
+
+	queueWait *telemetry.Histogram
+}
+
+func newManagerMetrics(reg *telemetry.Registry) *managerMetrics {
+	terminal := reg.CounterVec("ftgcs_jobs_terminal_total",
+		"Jobs reaching a terminal state, by state.", "state")
+	hits := reg.CounterVec("ftgcs_jobs_cache_hits_total",
+		"Result-cache hits, by serving tier.", "tier")
+	runDur := reg.HistogramVec("ftgcs_jobs_run_duration_seconds",
+		"Wall-clock execution time from worker pickup to terminal state, by outcome.",
+		nil, "outcome")
+	return &managerMetrics{
+		submitted: reg.Counter("ftgcs_jobs_submitted_total",
+			"New jobs accepted onto the queue."),
+		runs: reg.Counter("ftgcs_jobs_runs_total",
+			"Job executions started (cache hits and coalesced submissions run nothing)."),
+		coalesced: reg.Counter("ftgcs_jobs_coalesced_total",
+			"Submissions coalesced onto an identical in-flight job."),
+		misses: reg.Counter("ftgcs_jobs_cache_misses_total",
+			"Result-cache lookups that enqueued fresh work or missed entirely."),
+		evicted: reg.Counter("ftgcs_jobs_cache_evictions_total",
+			"Results evicted from the in-memory LRU."),
+		diskStored: reg.Counter("ftgcs_jobs_disk_stored_total",
+			"Results durably written to the disk store."),
+		replicates: reg.Counter("ftgcs_jobs_replicates_completed_total",
+			"Individual replicate runs completed, across all jobs."),
+		hitsMemory: hits.With(string(TierMemory)),
+		hitsDisk:   hits.With(string(TierDisk)),
+		done:       terminal.With(string(StateDone)),
+		failed:     terminal.With(string(StateFailed)),
+		canceled:   terminal.With(string(StateCanceled)),
+		runDone:    runDur.With(string(StateDone)),
+		runFailed:  runDur.With(string(StateFailed)),
+		runCanceld: runDur.With(string(StateCanceled)),
+		queueWait: reg.Histogram("ftgcs_jobs_queue_wait_seconds",
+			"Time jobs spend queued before a worker picks them up.", nil),
+	}
 }
 
 // NewManager starts the workers and returns the manager.
@@ -497,6 +598,9 @@ func NewManager(o Options) *Manager {
 	if o.SweepWorkers <= 0 {
 		o.SweepWorkers = runtime.GOMAXPROCS(0)
 	}
+	if o.Telemetry == nil {
+		o.Telemetry = telemetry.NewRegistry()
+	}
 	m := &Manager{
 		reg:          o.Registry,
 		sweepWorkers: o.SweepWorkers,
@@ -507,7 +611,18 @@ func NewManager(o Options) *Manager {
 		active:       make(map[string]*job),
 		cache:        newLRUCache(o.CacheSize),
 		store:        o.Store,
+		tel:          o.Telemetry,
+		met:          newManagerMetrics(o.Telemetry),
 	}
+	m.tel.GaugeFunc("ftgcs_jobs_queue_depth",
+		"Jobs waiting in the bounded queue.",
+		func() float64 { return float64(len(m.queue)) })
+	m.tel.GaugeFunc("ftgcs_jobs_workers_busy",
+		"Workers currently executing a job.",
+		func() float64 { m.mu.Lock(); defer m.mu.Unlock(); return float64(m.running) })
+	m.tel.GaugeFunc("ftgcs_jobs_cache_entries",
+		"Completed results held in the in-memory LRU.",
+		func() float64 { m.mu.Lock(); defer m.mu.Unlock(); return float64(m.cache.len()) })
 	if m.store != nil {
 		m.storeCond = sync.NewCond(&m.mu)
 		m.storeWg.Add(1)
@@ -520,10 +635,16 @@ func NewManager(o Options) *Manager {
 	return m
 }
 
-// storeItem is one completed result awaiting its disk write.
+// Telemetry returns the registry the manager's instruments live on —
+// the one GET /metrics should scrape.
+func (m *Manager) Telemetry() *telemetry.Registry { return m.tel }
+
+// storeItem is one completed result awaiting its disk write. endSpan
+// closes the job trace's "storing" span once the bytes are durable.
 type storeItem struct {
-	id  string
-	res *Result
+	id      string
+	res     *Result
+	endSpan func()
 }
 
 // storer is the write-behind goroutine of the disk tier: it drains
@@ -546,19 +667,17 @@ func (m *Manager) storer() {
 		m.pendingStore = nil
 		m.mu.Unlock()
 
-		stored := uint64(0)
 		for _, it := range batch {
 			payload, err := json.Marshal(it.res)
-			if err != nil {
-				continue // cannot happen: Result marshalling is total
+			if err == nil {
+				if err := m.store.Put(it.id, payload); err == nil {
+					m.met.diskStored.Inc()
+				}
 			}
-			if err := m.store.Put(it.id, payload); err == nil {
-				stored++
+			if it.endSpan != nil {
+				it.endSpan()
 			}
 		}
-		m.mu.Lock()
-		m.stats.DiskStored += stored
-		m.mu.Unlock()
 	}
 }
 
@@ -601,6 +720,12 @@ func (m *Manager) Submit(req Request) (JobStatus, error) {
 		return JobStatus{}, ErrQueueFull
 	}
 
+	// The trace starts here so the "submitted" span covers validation
+	// and the topology build — the submission cost dedup exists to
+	// avoid. Discarded if a racing identical submission wins below.
+	trace := telemetry.NewTrace()
+	trace.Phase("submitted")
+
 	topo, err := req.Spec.Resolve(m.reg)
 	if err != nil {
 		return JobStatus{}, err
@@ -616,16 +741,18 @@ func (m *Manager) Submit(req Request) (JobStatus, error) {
 		return st, nil
 	}
 	ctx, cancel := context.WithCancel(context.Background())
-	j := &job{id: id, specHash: specHash, req: req, topo: topo, state: StateQueued, done: make(chan struct{}), ctx: ctx, cancel: cancel}
+	j := &job{id: id, specHash: specHash, req: req, topo: topo, trace: trace, state: StateQueued, done: make(chan struct{}), ctx: ctx, cancel: cancel}
 	select {
 	case m.queue <- j:
 	default:
 		cancel()
 		return JobStatus{}, ErrQueueFull
 	}
+	j.enqueuedAt = time.Now()
+	trace.Phase("queued")
 	m.active[id] = j
-	m.stats.Submitted++
-	m.stats.CacheMisses++ // neither coalesced nor cached: fresh work
+	m.met.submitted.Inc()
+	m.met.misses.Inc() // neither coalesced nor cached: fresh work
 	return m.snapshot(j, ""), nil
 }
 
@@ -634,7 +761,7 @@ func (m *Manager) Submit(req Request) (JobStatus, error) {
 // callers hold m.mu.
 func (m *Manager) serveLocked(id, name string) (JobStatus, bool) {
 	if j, ok := m.active[id]; ok {
-		m.stats.Coalesced++
+		m.met.coalesced.Inc()
 		st := m.snapshot(j, "").WithName(name)
 		st.Coalesced = true
 		return st, true
@@ -651,7 +778,7 @@ func (m *Manager) serveLocked(id, name string) (JobStatus, bool) {
 // lookups hit memory. Callers hold m.mu.
 func (m *Manager) lookupLocked(id string) (*job, CacheTier, bool) {
 	if j, ok := m.cache.get(id); ok {
-		m.stats.CacheHits++
+		m.met.hitsMemory.Inc()
 		return j, TierMemory, true
 	}
 	if m.store == nil {
@@ -669,9 +796,8 @@ func (m *Manager) lookupLocked(id string) (*job, CacheTier, bool) {
 		return nil, "", false
 	}
 	j := &job{id: id, specHash: res.SpecHash, state: StateDone, result: &res, done: closedChan}
-	m.stats.CacheHits++
-	m.stats.DiskHits++
-	m.stats.Evicted += uint64(m.cache.add(id, j))
+	m.met.hitsDisk.Inc()
+	m.met.evicted.Add(uint64(m.cache.add(id, j)))
 	return j, TierDisk, true
 }
 
@@ -695,7 +821,7 @@ func (m *Manager) Get(id string) (JobStatus, bool) {
 	if j, tier, ok := m.lookupLocked(id); ok {
 		return m.snapshot(j, tier), true
 	}
-	m.stats.CacheMisses++
+	m.met.misses.Inc()
 	return JobStatus{}, false
 }
 
@@ -783,15 +909,81 @@ func (m *Manager) Cancel(id string) (JobStatus, error) {
 	return m.snapshot(j, ""), ErrCompleted
 }
 
-// Stats returns a copy of the counters plus current gauges.
+// Done exposes a job's completion signal for streaming observers
+// (the server's ?watch=true SSE handler): the channel is closed once
+// the job reaches a terminal state — immediately for cached results —
+// and the snapshot function stays valid even after a canceled job is
+// dropped from every index, so a watcher can always render the
+// terminal state it was waiting for.
+func (m *Manager) Done(id string) (<-chan struct{}, func() JobStatus, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var j *job
+	var tier CacheTier
+	if a, ok := m.active[id]; ok {
+		j = a
+	} else if c, t, ok := m.lookupLocked(id); ok {
+		j, tier = c, t
+	} else {
+		return nil, nil, false
+	}
+	snap := func() JobStatus {
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		return m.snapshot(j, tier)
+	}
+	return j.done, snap, true
+}
+
+// TraceInfo is the trace endpoint's payload: the job's lifecycle spans
+// plus enough envelope to orient the reader.
+type TraceInfo struct {
+	ID       string           `json:"id"`
+	SpecHash string           `json:"specHash"`
+	State    State            `json:"state"`
+	Spans    []telemetry.Span `json:"spans"`
+}
+
+// Trace returns the lifecycle trace of an active or completed job.
+// Traces are retained alongside cached results; jobs rehydrated from
+// the disk store carry none (their execution happened in a different
+// process life), and canceled jobs are dropped entirely — both report
+// ok=false, like an unknown ID.
+func (m *Manager) Trace(id string) (TraceInfo, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.active[id]
+	if !ok {
+		j, ok = m.cache.get(id)
+	}
+	if !ok || j.trace == nil {
+		return TraceInfo{}, false
+	}
+	return TraceInfo{ID: j.id, SpecHash: j.specHash, State: j.state, Spans: j.trace.Snapshot()}, true
+}
+
+// Stats assembles the snapshot from the telemetry instruments (the
+// counters) and the manager's live state (the gauges) in one pass.
 func (m *Manager) Stats() Stats {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	st := m.stats
-	st.Queued = len(m.queue)
-	st.Running = m.running
-	st.CacheLen = m.cache.len()
-	return st
+	mem, disk := m.met.hitsMemory.Value(), m.met.hitsDisk.Value()
+	return Stats{
+		Submitted:   m.met.submitted.Value(),
+		Completed:   m.met.done.Value(),
+		Failed:      m.met.failed.Value(),
+		Canceled:    m.met.canceled.Value(),
+		Runs:        m.met.runs.Value(),
+		CacheHits:   mem + disk,
+		CacheMisses: m.met.misses.Value(),
+		Coalesced:   m.met.coalesced.Value(),
+		Evicted:     m.met.evicted.Value(),
+		DiskHits:    disk,
+		DiskStored:  m.met.diskStored.Value(),
+		Queued:      len(m.queue),
+		Running:     m.running,
+		CacheLen:    m.cache.len(),
+	}
 }
 
 // Close cancels in-flight runs instead of waiting them out: every active
@@ -899,9 +1091,12 @@ func (m *Manager) worker() {
 				continue
 			}
 			j.state = StateRunning
+			j.startedAt = time.Now()
 			j.prog = newProgressTracker(j.req.Replicate)
 			m.running++
-			m.stats.Runs++
+			m.met.runs.Inc()
+			m.met.queueWait.Observe(j.startedAt.Sub(j.enqueuedAt).Seconds())
+			j.trace.Phase("building")
 			m.mu.Unlock()
 			res, err := m.execute(j)
 			m.finish(j, res, err)
@@ -922,41 +1117,56 @@ func (m *Manager) finish(j *job, res *Result, err error) {
 // in a terminal state is left untouched: a queued job canceled by Cancel
 // is finished there and its stale queue entry drained later.
 func (m *Manager) finishLocked(j *job, res *Result, err error) {
+	ran := false
 	switch j.state {
 	case StateDone, StateFailed, StateCanceled:
 		return
 	case StateRunning:
 		m.running--
+		ran = true
 	}
 	j.cancel() // release the context (and its budget timer, if any)
+	var runDur *telemetry.Histogram
 	switch {
 	case err == nil:
 		j.state = StateDone
 		j.result = res
-		m.stats.Completed++
+		m.met.done.Inc()
+		runDur = m.met.runDone
 	case isCancellation(err):
 		j.state = StateCanceled
 		j.err = err
-		m.stats.Canceled++
+		m.met.canceled.Inc()
+		runDur = m.met.runCanceld
 	default:
 		j.state = StateFailed
 		j.err = err
-		m.stats.Failed++
+		m.met.failed.Inc()
+		runDur = m.met.runFailed
+	}
+	if ran {
+		// Jobs canceled while still queued never ran; only executions
+		// feed the run-duration histogram.
+		runDur.Observe(time.Since(j.startedAt).Seconds())
 	}
 	j.topo = nil // the cache keeps jobs around; don't pin their graphs too
-	j.prog = nil // nor their in-flight systems
+	j.prog = nil // nor their in-flight systems (the trace stays: it is
+	// the job's durable lifecycle record, served by /trace)
 	delete(m.active, j.id)
 	if j.state != StateCanceled {
-		m.stats.Evicted += uint64(m.cache.add(j.id, j))
+		m.met.evicted.Add(uint64(m.cache.add(j.id, j)))
 	}
 	if j.state == StateDone && m.store != nil {
 		// Write-behind to the disk tier; the storer goroutine picks it
 		// up, and Close drains the backlog before returning. Failures
 		// stay memory-only: they are cheap to reproduce and a failed
-		// payload is not worth disk space across restarts.
-		m.pendingStore = append(m.pendingStore, storeItem{id: j.id, res: j.result})
+		// payload is not worth disk space across restarts. The trace's
+		// "storing" span opens now and closes when the bytes are
+		// durable, overlapping the terminal marker below.
+		m.pendingStore = append(m.pendingStore, storeItem{id: j.id, res: j.result, endSpan: j.trace.StartSpan("storing")})
 		m.storeCond.Signal()
 	}
+	j.trace.Finish(string(j.state))
 	close(j.done)
 }
 
@@ -990,6 +1200,18 @@ func (m *Manager) execute(j *job) (*Result, error) {
 		runCtx, cancel = context.WithTimeout(runCtx, m.runLimit)
 		defer cancel()
 	}
+	// Trace the run as one phase per replicate completion, advanced in
+	// completion order (the tracker serializes out-of-order sweep
+	// workers); the last completion rolls the chain into "aggregating".
+	j.prog.onDone = func(done, total int) {
+		m.met.replicates.Inc()
+		if done < total {
+			j.trace.Phase(fmt.Sprintf("running[replicate %d/%d]", done+1, total))
+		} else {
+			j.trace.Phase("aggregating")
+		}
+	}
+	j.trace.Phase(fmt.Sprintf("running[replicate 1/%d]", n))
 	sw := ftgcs.Sweep{
 		Workers:        m.sweepWorkers,
 		NoReuse:        m.noReuse,

@@ -1,0 +1,154 @@
+package jobs
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"ftgcs"
+)
+
+// fakeSource is a deterministic progressSource: a run whose progress is
+// advanced explicitly by the test instead of by a simulation.
+type fakeSource struct {
+	events  atomic.Uint64
+	nowBits atomic.Uint64 // float64 bits of sim time
+}
+
+func (f *fakeSource) advance(events uint64, now float64) {
+	f.events.Add(events)
+	// Monotone store: tests only ever move now forward.
+	f.nowBits.Store(math.Float64bits(now))
+}
+
+func (f *fakeSource) Progress() ftgcs.Progress {
+	return ftgcs.Progress{Events: f.events.Load(), Now: math.Float64frombits(f.nowBits.Load())}
+}
+
+// TestProgressTrackerMonotoneUnderConcurrency is the property test for
+// the tracker: with runs starting, advancing and finishing out of order
+// on several goroutines, every observed snapshot must be monotone in
+// Events, SimFraction and Replicate, SimFraction must stay within
+// [0, 1], and the final snapshot must be exactly complete.
+func TestProgressTrackerMonotoneUnderConcurrency(t *testing.T) {
+	const n = 16 // replicate count
+	const horizon = 10.0
+	p := newProgressTracker(n)
+
+	// A snapshot reader races the writers for the whole test, asserting
+	// monotonicity on every observation.
+	stop := make(chan struct{})
+	var readerWG sync.WaitGroup
+	readerWG.Add(1)
+	violations := make(chan string, 8)
+	go func() {
+		defer readerWG.Done()
+		var last Progress
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			cur := p.snapshot()
+			switch {
+			case cur.Events < last.Events:
+				violations <- "Events regressed"
+			case cur.SimFraction < last.SimFraction-1e-12:
+				violations <- "SimFraction regressed"
+			case cur.Replicate < last.Replicate:
+				violations <- "Replicate regressed"
+			case cur.SimFraction < 0 || cur.SimFraction > 1+1e-12:
+				violations <- "SimFraction out of [0,1]"
+			case cur.Replicates != n:
+				violations <- "Replicates changed"
+			}
+			last = cur
+		}
+	}()
+
+	// Writers complete the runs OUT OF ORDER: each worker pulls the next
+	// run index from a shuffled order, advances it in small steps, then
+	// freezes it via done().
+	order := rand.New(rand.NewSource(42)).Perm(n)
+	var next atomic.Int64
+	var writerWG sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		writerWG.Add(1)
+		go func() {
+			defer writerWG.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				idx := order[i]
+				src := &fakeSource{}
+				p.startRun(idx, src, horizon)
+				for step := 1; step <= 10; step++ {
+					src.advance(100, horizon*float64(step)/10)
+				}
+				p.done(idx, ftgcs.SweepResult{})
+			}
+		}()
+	}
+	writerWG.Wait()
+	close(stop)
+	readerWG.Wait()
+	close(violations)
+	for v := range violations {
+		t.Error(v)
+	}
+
+	final := p.snapshot()
+	if final.Replicate != n || final.Replicates != n {
+		t.Errorf("final replicate = %d/%d, want %d/%d", final.Replicate, final.Replicates, n, n)
+	}
+	if final.Events != n*10*100 {
+		t.Errorf("final events = %d, want %d", final.Events, n*10*100)
+	}
+	if final.SimFraction != 1 {
+		t.Errorf("final simFraction = %v, want 1", final.SimFraction)
+	}
+}
+
+// TestProgressTrackerOnDoneOrdering: the onDone hook must see the done
+// counter strictly increasing 1..n even when runs finish out of order on
+// many goroutines — this is the guarantee the manager relies on to emit
+// "running[replicate i/n]" trace phases in completion order.
+func TestProgressTrackerOnDoneOrdering(t *testing.T) {
+	const n = 32
+	p := newProgressTracker(n)
+	var mu sync.Mutex
+	var seen []int
+	p.onDone = func(done, total int) {
+		if total != n {
+			t.Errorf("onDone total = %d, want %d", total, n)
+		}
+		mu.Lock()
+		seen = append(seen, done)
+		mu.Unlock()
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(idx int) {
+			defer wg.Done()
+			src := &fakeSource{}
+			p.startRun(idx, src, 1)
+			src.advance(1, 1)
+			p.done(idx, ftgcs.SweepResult{})
+		}(i)
+	}
+	wg.Wait()
+	if len(seen) != n {
+		t.Fatalf("onDone fired %d times, want %d", len(seen), n)
+	}
+	for i, d := range seen {
+		if d != i+1 {
+			t.Fatalf("onDone sequence %v: position %d is %d, want %d", seen, i, d, i+1)
+		}
+	}
+}

@@ -1,0 +1,179 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestPrometheusExpositionGolden pins the exposition output byte for
+// byte: stable metric names, HELP/TYPE lines, family ordering by name,
+// label ordering, histogram bucket lines with le last, _sum/_count.
+func TestPrometheusExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_requests_total", "Requests handled.")
+	c.Add(3)
+	g := r.Gauge("test_queue_depth", "Jobs waiting.")
+	g.Set(2)
+	r.GaugeFunc("test_workers_busy", "Busy workers.", func() float64 { return 1 })
+	cv := r.CounterVec("test_cache_hits_total", "Cache hits by tier.", "tier")
+	cv.With("memory").Add(5)
+	cv.With("disk").Inc()
+	h := r.Histogram("test_wait_seconds", "Queue wait.", []float64{0.1, 1, 10})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(0.5)
+	h.Observe(100)
+	hv := r.HistogramVec("test_http_seconds", "HTTP latency.", []float64{0.5}, "route", "status")
+	hv.With("/v1/x", "2xx").Observe(0.25)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP test_cache_hits_total Cache hits by tier.
+# TYPE test_cache_hits_total counter
+test_cache_hits_total{tier="disk"} 1
+test_cache_hits_total{tier="memory"} 5
+# HELP test_http_seconds HTTP latency.
+# TYPE test_http_seconds histogram
+test_http_seconds_bucket{route="/v1/x",status="2xx",le="0.5"} 1
+test_http_seconds_bucket{route="/v1/x",status="2xx",le="+Inf"} 1
+test_http_seconds_sum{route="/v1/x",status="2xx"} 0.25
+test_http_seconds_count{route="/v1/x",status="2xx"} 1
+# HELP test_queue_depth Jobs waiting.
+# TYPE test_queue_depth gauge
+test_queue_depth 2
+# HELP test_requests_total Requests handled.
+# TYPE test_requests_total counter
+test_requests_total 3
+# HELP test_wait_seconds Queue wait.
+# TYPE test_wait_seconds histogram
+test_wait_seconds_bucket{le="0.1"} 1
+test_wait_seconds_bucket{le="1"} 3
+test_wait_seconds_bucket{le="10"} 3
+test_wait_seconds_bucket{le="+Inf"} 4
+test_wait_seconds_sum 101.05
+test_wait_seconds_count 4
+# HELP test_workers_busy Busy workers.
+# TYPE test_workers_busy gauge
+test_workers_busy 1
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestHistogramCumulativity asserts the bucket invariant directly: each
+// _bucket line is a running total, +Inf equals _count, and boundary
+// values land in the bucket whose upper bound they equal (le is
+// inclusive).
+func TestHistogramCumulativity(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 2, 3, 5, 7} {
+		h.Observe(v)
+	}
+	ss := h.samples()
+	// 4 buckets (3 + Inf), then _sum, _count.
+	if len(ss) != 6 {
+		t.Fatalf("got %d samples, want 6", len(ss))
+	}
+	wantCum := []float64{2, 4, 5, 7} // ≤1: {0.5,1}; ≤2: +{1.5,2}; ≤4: +{3}; +Inf: +{5,7}
+	prev := -1.0
+	for i, want := range wantCum {
+		if ss[i].value != want {
+			t.Errorf("bucket %d cumulative count = %v, want %v", i, ss[i].value, want)
+		}
+		if ss[i].value < prev {
+			t.Errorf("bucket %d count %v regressed below %v", i, ss[i].value, prev)
+		}
+		prev = ss[i].value
+	}
+	if count := ss[5].value; count != wantCum[len(wantCum)-1] {
+		t.Errorf("_count %v != +Inf bucket %v", count, wantCum[len(wantCum)-1])
+	}
+	if sum := ss[4].value; sum != 0.5+1+1.5+2+3+5+7 {
+		t.Errorf("_sum = %v", sum)
+	}
+}
+
+// TestHistogramConcurrentObserve hammers one histogram from many
+// goroutines and checks nothing is lost (the CAS sum loop and atomic
+// bucket counts must not drop observations).
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := newHistogram([]float64{0.5})
+	const goroutines, per = 8, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != goroutines*per {
+		t.Errorf("count = %d, want %d", h.Count(), goroutines*per)
+	}
+	if h.Sum() != goroutines*per {
+		t.Errorf("sum = %v, want %v", h.Sum(), goroutines*per)
+	}
+}
+
+func TestRegistryPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	r := NewRegistry()
+	r.Counter("a_total", "x")
+	mustPanic("duplicate", func() { r.Counter("a_total", "x") })
+	mustPanic("bad name", func() { r.Counter("0bad", "x") })
+	mustPanic("bad name chars", func() { r.Counter("a-b", "x") })
+	mustPanic("bad buckets", func() { r.Histogram("h", "x", []float64{1, 1}) })
+	mustPanic("no labels", func() { r.CounterVec("v_total", "x") })
+	cv := r.CounterVec("w_total", "x", "tier")
+	mustPanic("label arity", func() { cv.With("a", "b") })
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		0:                "0",
+		1:                "1",
+		0.25:             "0.25",
+		math.Inf(1):      "+Inf",
+		math.Inf(-1):     "-Inf",
+		1.5e-9:           "1.5e-09",
+		123456789.123456: "1.23456789123456e+08",
+	}
+	for in, want := range cases {
+		if got := formatFloat(in); got != want {
+			t.Errorf("formatFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("esc_total", `line1
+line2 \ "quoted"`, "name")
+	cv.With("a\"b\\c\nd").Inc()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "# HELP esc_total line1\\nline2 \\\\ \"quoted\"\n" +
+		"# TYPE esc_total counter\n" +
+		`esc_total{name="a\"b\\c\nd"} 1` + "\n"
+	if got := b.String(); got != want {
+		t.Errorf("escaping mismatch:\ngot  %q\nwant %q", got, want)
+	}
+}

@@ -7,7 +7,11 @@
 # that one marker — the content-addressed dedup/cache guarantee. Then
 # submits a long-horizon spec, cancels it via DELETE, and asserts the
 # canceled state, that the canceled ID is not cached, and that the server
-# is still live and able to run fresh work afterward. Finally boots a
+# is still live and able to run fresh work afterward. An observability
+# leg scrapes /metrics around a submission (run counter moves, queue-wait
+# histogram fills, HTTP latency is labeled by route pattern), follows a
+# job over SSE until its terminal done event, and fetches its lifecycle
+# trace. Finally boots a
 # store-backed server, runs a whole manifest grid, restarts the process
 # on the same -store directory, and asserts the replay is served entirely
 # from disk with byte-identical results.
@@ -96,6 +100,40 @@ grep -q '"state":"done"' "$tmp/c3.json" || { echo "post-cancel submission did no
 curl -fsS "$base/v1/healthz" | grep -q '"status":"ok"'
 
 echo "serve smoke OK: long-horizon job canceled via DELETE, not cached, server live"
+
+# --- Observability leg: metrics move with work; watch streams to done. ---
+
+curl -fsS "$base/metrics" >"$tmp/metrics1.txt"
+grep -q '^# TYPE ftgcs_jobs_runs_total counter' "$tmp/metrics1.txt"
+runs1=$(sed -n 's/^ftgcs_jobs_runs_total //p' "$tmp/metrics1.txt")
+[ -n "$runs1" ] || { echo "no runs counter in /metrics"; exit 1; }
+
+req5="{\"spec\": $(sed 's/"seed": 1/"seed": 43/' examples/specs/line-quickstart.json)}"
+curl -fsS -X POST -d "$req5" "$base/v1/experiments?wait=true" >/dev/null
+
+curl -fsS "$base/metrics" >"$tmp/metrics2.txt"
+runs2=$(sed -n 's/^ftgcs_jobs_runs_total //p' "$tmp/metrics2.txt")
+[ "$runs2" -gt "$runs1" ] || { echo "runs counter did not move ($runs1 -> $runs2)"; exit 1; }
+qw=$(sed -n 's/^ftgcs_jobs_queue_wait_seconds_count //p' "$tmp/metrics2.txt")
+[ "${qw:-0}" -gt 0 ] || { echo "queue-wait histogram empty"; exit 1; }
+# The middleware labels requests by route pattern, never by raw URL.
+grep -q 'route="POST /v1/experiments"' "$tmp/metrics2.txt" || { echo "no HTTP latency sample"; exit 1; }
+
+# Watch a job over SSE: the stream must terminate with a done event
+# carrying the terminal state, and the trace endpoint must serve the
+# completed lifecycle.
+req6="{\"spec\": $(sed 's/"seed": 1/"seed": 44/' examples/specs/line-quickstart.json)}"
+curl -fsS -X POST -d "$req6" "$base/v1/experiments" >"$tmp/w1.json"
+wid=$(sed -n 's/.*"id":"\(sha256:[0-9a-f]*\)".*/\1/p' "$tmp/w1.json")
+[ -n "$wid" ] || { echo "no job id in watch submit:"; cat "$tmp/w1.json"; exit 1; }
+curl -fsSN --max-time 60 "$base/v1/experiments/$wid?watch=true" >"$tmp/w2.txt"
+grep -q '^event: done' "$tmp/w2.txt" || { echo "watch stream had no done event:"; cat "$tmp/w2.txt"; exit 1; }
+tail -3 "$tmp/w2.txt" | grep -q '"state":"done"' || { echo "watch did not end terminal:"; cat "$tmp/w2.txt"; exit 1; }
+curl -fsS "$base/v1/experiments/$wid/trace" >"$tmp/w3.json"
+grep -q '"name":"submitted"' "$tmp/w3.json" && grep -q '"name":"done"' "$tmp/w3.json" \
+  || { echo "trace missing lifecycle spans:"; cat "$tmp/w3.json"; exit 1; }
+
+echo "serve smoke OK: metrics moved with work, SSE watch ended terminal, trace served"
 
 # --- Persistence leg: a manifest grid must survive a server restart. ---
 
