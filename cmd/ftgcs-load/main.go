@@ -1,0 +1,306 @@
+// ftgcs-load is the committed load harness for ftgcs-serve: it drives
+// concurrent experiment submissions at a controlled cache-hit ratio
+// against a running server and reports throughput, latency percentiles
+// and rejection counts as one JSON document (schema "ftgcs-load-v1",
+// the BENCH_5.json series).
+//
+// The workload models a fleet of clients sharing an experiment service:
+// each of -concurrency workers submits with ?wait=true, drawing either
+// from a small pre-warmed pool of hot specs (a cache hit on the server,
+// probability -hit-ratio) or a never-repeated fresh spec (a miss that
+// must simulate). Workers identify themselves with round-robin
+// X-Client-ID values so per-client admission accounting is exercised,
+// and they are well-behaved under rejection: a 429/503 is counted, the
+// Retry-After header is honored (capped by -max-backoff), and the
+// worker resumes.
+//
+//	ftgcs-serve -addr :8080 -admit-rate 200 &
+//	ftgcs-load -addr localhost:8080 -duration 10s -concurrency 32 \
+//	           -hit-ratio 0.5 -out BENCH_5.json
+//
+// Every knob is seeded and deterministic on the client side; wall-clock
+// numbers vary with the host, which is why snapshots record the config
+// and git revision alongside the results.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "ftgcs-load:", err)
+		os.Exit(1)
+	}
+}
+
+// runConfig is the knob set, echoed verbatim into the report so a
+// snapshot is self-describing.
+type runConfig struct {
+	Addr        string  `json:"addr"`
+	Duration    string  `json:"duration"`
+	Concurrency int     `json:"concurrency"`
+	HitRatio    float64 `json:"hit_ratio"`
+	HotSpecs    int     `json:"hot_specs"`
+	Clients     int     `json:"clients"`
+	Seed        int64   `json:"seed"`
+	Size        int     `json:"size"`
+	HorizonSec  int     `json:"horizon_s"`
+}
+
+// totals are the raw counters summed across workers.
+type totals struct {
+	Requests    int64 `json:"requests"`
+	Done        int64 `json:"done"`
+	CacheHits   int64 `json:"cache_hits"`
+	Rejected429 int64 `json:"rejected_429"`
+	Rejected503 int64 `json:"rejected_503"`
+	Errors      int64 `json:"errors"`
+}
+
+// latencySummary is the done-request latency distribution, milliseconds.
+type latencySummary struct {
+	Mean float64 `json:"mean"`
+	P50  float64 `json:"p50"`
+	P95  float64 `json:"p95"`
+	P99  float64 `json:"p99"`
+	Max  float64 `json:"max"`
+}
+
+// report is the whole output document.
+type report struct {
+	Schema           string         `json:"schema"`
+	GitRev           string         `json:"git_rev,omitempty"`
+	GOOS             string         `json:"goos"`
+	GOARCH           string         `json:"goarch"`
+	Config           runConfig      `json:"config"`
+	Totals           totals         `json:"totals"`
+	WallSeconds      float64        `json:"wall_seconds"`
+	QPS              float64        `json:"qps"`
+	AchievedHitRatio float64        `json:"achieved_hit_ratio"`
+	RejectionRate    float64        `json:"rejection_rate"`
+	LatencyMS        latencySummary `json:"latency_ms"`
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("ftgcs-load", flag.ContinueOnError)
+	addr := fs.String("addr", "localhost:8080", "host:port of the ftgcs-serve instance to drive")
+	duration := fs.Duration("duration", 10*time.Second, "how long to drive load")
+	concurrency := fs.Int("concurrency", 32, "concurrent submitting workers")
+	hitRatio := fs.Float64("hit-ratio", 0.5, "fraction of submissions drawn from the pre-warmed hot-spec pool (server cache hits)")
+	hot := fs.Int("hot", 16, "size of the hot-spec pool")
+	clients := fs.Int("clients", 8, "distinct X-Client-ID identities, assigned round-robin to workers")
+	seed := fs.Int64("seed", 1, "base seed: hot specs use seed..seed+hot-1, fresh specs count up from seed+1e6")
+	size := fs.Int("size", 2, "topology size of the generated line specs")
+	horizon := fs.Int("horizon", 2, "simulated horizon per spec, seconds (sets per-miss compute cost)")
+	maxBackoff := fs.Duration("max-backoff", 2*time.Second, "cap on the Retry-After wait honored after a rejection")
+	out := fs.String("out", "", "write the JSON report here (default stdout)")
+	gitRev := fs.String("git-rev", "", "git revision to record in the report")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *concurrency < 1 || *hot < 1 || *clients < 1 {
+		return fmt.Errorf("concurrency, hot and clients must all be ≥ 1")
+	}
+	if *hitRatio < 0 || *hitRatio > 1 {
+		return fmt.Errorf("hit-ratio must be in [0, 1]")
+	}
+
+	base := "http://" + *addr
+	httpc := &http.Client{Timeout: 2 * time.Minute}
+
+	// Pre-warm the hot pool so "hot" really means "already cached": each
+	// hot spec is computed once, outside the measured window.
+	for i := 0; i < *hot; i++ {
+		if _, err := submit(httpc, base, specJSON(*seed+int64(i), *size, *horizon), "prewarm"); err != nil {
+			return fmt.Errorf("prewarm spec %d: %w", i, err)
+		}
+	}
+
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		sum     totals
+		lats    []float64
+		fresh   atomic.Int64
+		started = time.Now()
+		stopAt  = started.Add(*duration)
+	)
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(*seed + int64(w)*1013904223))
+			client := fmt.Sprintf("loadgen-%d", w%*clients)
+			var local totals
+			var localLats []float64
+			for time.Now().Before(stopAt) {
+				var spec string
+				if rng.Float64() < *hitRatio {
+					spec = specJSON(*seed+rng.Int63n(int64(*hot)), *size, *horizon)
+				} else {
+					spec = specJSON(*seed+1_000_000+fresh.Add(1), *size, *horizon)
+				}
+				local.Requests++
+				t0 := time.Now()
+				res, err := submit(httpc, base, spec, client)
+				if err != nil {
+					local.Errors++
+					continue
+				}
+				switch {
+				case res.code == http.StatusTooManyRequests:
+					local.Rejected429++
+					time.Sleep(backoff(res.retryAfter, time.Second, *maxBackoff))
+				case res.code == http.StatusServiceUnavailable:
+					local.Rejected503++
+					time.Sleep(backoff(res.retryAfter, time.Second, *maxBackoff))
+				case res.code == http.StatusOK && res.state == "done":
+					local.Done++
+					if res.cached != "" {
+						local.CacheHits++
+					}
+					localLats = append(localLats, float64(time.Since(t0).Microseconds())/1000)
+				default:
+					local.Errors++
+				}
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			sum.Requests += local.Requests
+			sum.Done += local.Done
+			sum.CacheHits += local.CacheHits
+			sum.Rejected429 += local.Rejected429
+			sum.Rejected503 += local.Rejected503
+			sum.Errors += local.Errors
+			lats = append(lats, localLats...)
+		}(w)
+	}
+	wg.Wait()
+	wall := time.Since(started).Seconds()
+
+	rep := report{
+		Schema: "ftgcs-load-v1",
+		GitRev: *gitRev,
+		GOOS:   runtime.GOOS, GOARCH: runtime.GOARCH,
+		Config: runConfig{
+			Addr: *addr, Duration: duration.String(), Concurrency: *concurrency,
+			HitRatio: *hitRatio, HotSpecs: *hot, Clients: *clients,
+			Seed: *seed, Size: *size, HorizonSec: *horizon,
+		},
+		Totals:      sum,
+		WallSeconds: round3(wall),
+		QPS:         round3(float64(sum.Requests) / wall),
+		LatencyMS:   percentiles(lats),
+	}
+	if sum.Done > 0 {
+		rep.AchievedHitRatio = round3(float64(sum.CacheHits) / float64(sum.Done))
+	}
+	if sum.Requests > 0 {
+		rep.RejectionRate = round3(float64(sum.Rejected429+sum.Rejected503) / float64(sum.Requests))
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		_, err = stdout.Write(enc)
+		return err
+	}
+	return os.WriteFile(*out, enc, 0o644)
+}
+
+// specJSON renders one line-topology spec submission.
+func specJSON(seed int64, size, horizon int) string {
+	return fmt.Sprintf(
+		`{"spec": {"topology": {"name": "line", "size": %d}, "seed": %d, "horizon": {"seconds": %d}}}`,
+		size, seed, horizon)
+}
+
+// submitResult is the slice of the server's response the harness needs.
+type submitResult struct {
+	code       int
+	state      string
+	cached     string
+	retryAfter string
+}
+
+// submit POSTs one spec with ?wait=true under a client identity.
+func submit(httpc *http.Client, base, spec, client string) (submitResult, error) {
+	req, err := http.NewRequest(http.MethodPost, base+"/v1/experiments?wait=true", strings.NewReader(spec))
+	if err != nil {
+		return submitResult{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Client-ID", client)
+	resp, err := httpc.Do(req)
+	if err != nil {
+		return submitResult{}, err
+	}
+	defer resp.Body.Close()
+	var body struct {
+		State  string `json:"state"`
+		Cached string `json:"cached"`
+	}
+	// Rejection bodies decode too (no state/cached); a decode failure on
+	// a 2xx is the caller's "default: error" case via the empty state.
+	_ = json.NewDecoder(resp.Body).Decode(&body)
+	io.Copy(io.Discard, resp.Body)
+	return submitResult{
+		code:       resp.StatusCode,
+		state:      body.State,
+		cached:     body.Cached,
+		retryAfter: resp.Header.Get("Retry-After"),
+	}, nil
+}
+
+// backoff converts a Retry-After header into a wait: whole seconds per
+// RFC 9110, falling back when absent or malformed, capped at max.
+func backoff(header string, fallback, max time.Duration) time.Duration {
+	d := fallback
+	if secs, err := strconv.Atoi(strings.TrimSpace(header)); err == nil && secs >= 0 {
+		d = time.Duration(secs) * time.Second
+	}
+	return min(d, max)
+}
+
+// percentiles summarizes latency samples (already in milliseconds).
+func percentiles(samples []float64) latencySummary {
+	if len(samples) == 0 {
+		return latencySummary{}
+	}
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	at := func(q float64) float64 {
+		i := int(q * float64(len(sorted)-1))
+		return round3(sorted[i])
+	}
+	var sum float64
+	for _, v := range sorted {
+		sum += v
+	}
+	return latencySummary{
+		Mean: round3(sum / float64(len(sorted))),
+		P50:  at(0.50),
+		P95:  at(0.95),
+		P99:  at(0.99),
+		Max:  round3(sorted[len(sorted)-1]),
+	}
+}
+
+func round3(v float64) float64 { return float64(int64(v*1000+0.5)) / 1000 }

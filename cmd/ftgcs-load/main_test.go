@@ -1,0 +1,169 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestBackoffParsesRetryAfter(t *testing.T) {
+	cases := []struct {
+		header   string
+		fallback time.Duration
+		max      time.Duration
+		want     time.Duration
+	}{
+		{"2", time.Second, 10 * time.Second, 2 * time.Second},
+		{" 3 ", time.Second, 10 * time.Second, 3 * time.Second},
+		{"", time.Second, 10 * time.Second, time.Second},         // absent → fallback
+		{"soon", time.Second, 10 * time.Second, time.Second},     // malformed → fallback
+		{"-1", time.Second, 10 * time.Second, time.Second},       // negative → fallback
+		{"60", time.Second, 2 * time.Second, 2 * time.Second},    // capped
+		{"0", time.Second, 10 * time.Second, 0},                  // explicit zero honored
+		{"", 30 * time.Second, 2 * time.Second, 2 * time.Second}, // fallback capped too
+	}
+	for _, c := range cases {
+		if got := backoff(c.header, c.fallback, c.max); got != c.want {
+			t.Errorf("backoff(%q, %v, %v) = %v, want %v", c.header, c.fallback, c.max, got, c.want)
+		}
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	if got := percentiles(nil); got != (latencySummary{}) {
+		t.Errorf("empty samples: %+v", got)
+	}
+	// 1..100: exact quantiles by construction.
+	samples := make([]float64, 100)
+	for i := range samples {
+		samples[i] = float64(100 - i) // reversed: percentiles must sort
+	}
+	got := percentiles(samples)
+	want := latencySummary{Mean: 50.5, P50: 50, P95: 95, P99: 99, Max: 100}
+	if got != want {
+		t.Errorf("percentiles = %+v, want %+v", got, want)
+	}
+	// The input slice must not be reordered (workers still own it).
+	if samples[0] != 100 {
+		t.Error("percentiles mutated its input")
+	}
+}
+
+func TestSpecJSONShape(t *testing.T) {
+	var body struct {
+		Spec struct {
+			Topology struct {
+				Name string `json:"name"`
+				Size int    `json:"size"`
+			} `json:"topology"`
+			Seed    int64 `json:"seed"`
+			Horizon struct {
+				Seconds int `json:"seconds"`
+			} `json:"horizon"`
+		} `json:"spec"`
+	}
+	if err := json.Unmarshal([]byte(specJSON(42, 3, 2)), &body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Spec.Topology.Name != "line" || body.Spec.Topology.Size != 3 ||
+		body.Spec.Seed != 42 || body.Spec.Horizon.Seconds != 2 {
+		t.Errorf("specJSON decoded to %+v", body)
+	}
+}
+
+// TestRunAgainstStub drives the whole harness against a scripted server:
+// hot seeds answer as cache hits, fresh seeds as computed results, and
+// every 5th request is rejected with a Retry-After of 0 — the report
+// must count each bucket and stay internally consistent.
+func TestRunAgainstStub(t *testing.T) {
+	var n atomic.Int64
+	stub := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/experiments" {
+			http.NotFound(w, r)
+			return
+		}
+		var body struct {
+			Spec struct {
+				Seed int64 `json:"seed"`
+			} `json:"spec"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if r.Header.Get("X-Client-ID") == "" {
+			http.Error(w, "missing client id", http.StatusBadRequest)
+			return
+		}
+		if r.Header.Get("X-Client-ID") != "prewarm" && n.Add(1)%5 == 0 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusTooManyRequests)
+			w.Write([]byte(`{"error":"shed","retryable":true,"scope":"global"}`))
+			return
+		}
+		resp := `{"id":"sha256:x","state":"done"}`
+		if body.Spec.Seed < 1_000_000 { // hot pool seeds are small
+			resp = `{"id":"sha256:x","state":"done","cached":"memory"}`
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(resp))
+	}))
+	defer stub.Close()
+
+	out := filepath.Join(t.TempDir(), "load.json")
+	err := run([]string{
+		"-addr", strings.TrimPrefix(stub.URL, "http://"),
+		"-duration", "300ms", "-concurrency", "4", "-hot", "4",
+		"-hit-ratio", "0.5", "-clients", "2", "-out", out,
+		"-git-rev", "testrev",
+	}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != "ftgcs-load-v1" || rep.GitRev != "testrev" {
+		t.Fatalf("report envelope: %+v", rep)
+	}
+	if rep.Totals.Requests == 0 || rep.Totals.Done == 0 {
+		t.Fatalf("no traffic recorded: %+v", rep.Totals)
+	}
+	if rep.Totals.Rejected429 == 0 {
+		t.Fatalf("stub rejects every 5th request; none recorded: %+v", rep.Totals)
+	}
+	if rep.Totals.Done+rep.Totals.Rejected429+rep.Totals.Rejected503+rep.Totals.Errors != rep.Totals.Requests {
+		t.Fatalf("totals do not add up: %+v", rep.Totals)
+	}
+	if rep.Totals.CacheHits == 0 || rep.AchievedHitRatio <= 0 {
+		t.Fatalf("hot-pool hits not observed: %+v", rep)
+	}
+	if rep.QPS <= 0 || rep.LatencyMS.P50 < 0 || rep.LatencyMS.Max < rep.LatencyMS.P50 {
+		t.Fatalf("implausible summary: %+v", rep)
+	}
+}
+
+// TestRunRejectsBadFlags: nonsense knobs fail fast instead of melting a
+// server.
+func TestRunRejectsBadFlags(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-hit-ratio", "1.5"}, &buf); err == nil {
+		t.Error("hit-ratio 1.5 accepted")
+	}
+	if err := run([]string{"-concurrency", "0"}, &buf); err == nil {
+		t.Error("concurrency 0 accepted")
+	}
+}

@@ -51,6 +51,7 @@ import (
 	"time"
 
 	"ftgcs"
+	"ftgcs/internal/admission"
 	"ftgcs/internal/cas"
 	"ftgcs/internal/jobs"
 	"ftgcs/internal/manifest"
@@ -76,6 +77,9 @@ func run(args []string) error {
 	storeDir := fs.String("store", "", "durable result store directory; completed results persist across restarts (empty = memory only)")
 	storeMaxBytes := fs.Int64("store-max-bytes", 0, "on-disk store size budget; least-recently-used results are evicted (0 = unbounded)")
 	storeMaxAge := fs.Duration("store-max-age", 0, "evict stored results not accessed for this long (0 = keep forever)")
+	admitRate := fs.Float64("admit-rate", 0, "service-wide admission rate in submissions/s; excess gets 429 + Retry-After (0 = no admission control)")
+	admitBurst := fs.Float64("admit-burst", 0, "admission burst capacity in tokens (0 = max(admit-rate, 1))")
+	admitPerClient := fs.Float64("admit-per-client", 0, "per-client fair-share rate in submissions/s, keyed by X-Client-ID or remote host (0 = global bucket only)")
 	pprofFlag := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (off by default)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -103,7 +107,16 @@ func run(args []string) error {
 	sched := manifest.NewScheduler(mgr, ftgcs.DefaultRegistry)
 	defer sched.Close()
 
-	handler := newHandler(&server{mgr: mgr, sched: sched, store: store, reg: ftgcs.DefaultRegistry, waitLimit: *waitLimit, enablePprof: *pprofFlag})
+	var admit admission.Policy
+	if *admitRate > 0 {
+		admit = admission.NewTokenBucket(admission.TokenBucketOptions{
+			Rate:          *admitRate,
+			Burst:         *admitBurst,
+			PerClientRate: *admitPerClient,
+		})
+	}
+
+	handler := newHandler(&server{mgr: mgr, sched: sched, store: store, reg: ftgcs.DefaultRegistry, waitLimit: *waitLimit, enablePprof: *pprofFlag, admit: admit})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err

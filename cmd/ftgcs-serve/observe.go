@@ -22,6 +22,9 @@ import (
 // telemetry-backed counters GET /metrics scrapes — so the three views
 // of the service can never disagree about a number mid-scrape.
 type statsSnapshot struct {
+	// Status is "ok", or "degraded" while the disk-store breaker is open
+	// and the manager is running memory-only (jobs still complete; results
+	// are served from the LRU but not persisted). See jobs.Manager.Degraded.
 	Status string     `json:"status"`
 	Stats  jobs.Stats `json:"stats"`
 	Store  *cas.Stats `json:"store,omitempty"`
@@ -29,6 +32,9 @@ type statsSnapshot struct {
 
 func (s *server) snapshotStats() statsSnapshot {
 	snap := statsSnapshot{Status: "ok", Stats: s.mgr.Stats()}
+	if snap.Stats.StoreDegraded {
+		snap.Status = "degraded"
+	}
 	if s.store != nil {
 		st := s.store.Stats()
 		snap.Store = &st
@@ -99,6 +105,12 @@ func (s *server) handleWatch(w http.ResponseWriter, r *http.Request) {
 
 	tick := time.NewTicker(s.watchPoll)
 	defer tick.Stop()
+	// A job that sits queued behind a deep backlog emits no state or
+	// progress events for arbitrarily long; periodic SSE comments keep
+	// proxies and client read-timeouts from killing the stream while it
+	// waits. Comments are invisible to EventSource consumers.
+	keep := time.NewTicker(s.watchKeepalive)
+	defer keep.Stop()
 	for {
 		select {
 		case <-r.Context().Done():
@@ -106,6 +118,9 @@ func (s *server) handleWatch(w http.ResponseWriter, r *http.Request) {
 		case <-done:
 			emit("done", snap())
 			return
+		case <-keep.C:
+			fmt.Fprint(w, ": keepalive\n\n")
+			flusher.Flush()
 		case <-tick.C:
 			st := snap()
 			if st.State.Terminal() {

@@ -5,18 +5,51 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
+	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"strings"
 	"time"
 
 	"ftgcs"
+	"ftgcs/internal/admission"
 	"ftgcs/internal/cas"
 	"ftgcs/internal/jobs"
 	"ftgcs/internal/manifest"
 	"ftgcs/internal/spec"
 	"ftgcs/internal/telemetry"
 )
+
+// # Retryable vs deterministic errors — the service's rejection contract
+//
+// Every error response classifies into exactly one of two kinds, and the
+// classification tells the client what to do next:
+//
+//   - Retryable (429, 503): the request itself is fine; the service
+//     cannot take it right now. 429 means an admission budget is
+//     exhausted (the service-wide rate, or — scope "client" — the
+//     caller's own fair share); 503 means internal backpressure (the
+//     jobs queue is full, the scheduler is shutting down, or a result
+//     was evicted in the instant between completing and being read).
+//     Both carry a Retry-After header with the whole-seconds wait after
+//     which the same request is expected to succeed, and a JSON body
+//     with "retryable": true. Resubmit the identical payload after the
+//     window; nothing about it needs to change.
+//
+//   - Deterministic (400, 404, 409): replaying the same request will
+//     fail the same way — the spec does not validate, the ID is unknown,
+//     the job already completed. No Retry-After is sent; the client must
+//     change something (the payload, the ID, the expectation), not wait.
+//
+// Batch submissions (the "experiments" array) apply the same contract
+// per item: each item's JobStatus carries "retryable" so one transient
+// rejection does not poison the batch, and the enclosing 200 response
+// carries a Retry-After header whenever at least one item is worth
+// resubmitting. The boundary between the kinds is jobs.Retryable plus
+// the admission verdict — server code never invents its own
+// classification.
 
 // server wires the job manager, manifest scheduler and registry behind
 // the JSON API.
@@ -40,6 +73,21 @@ type server struct {
 	// watchPoll is the ?watch=true progress sampling cadence; newHandler
 	// defaults it to 100ms when zero (tests shorten it).
 	watchPoll time.Duration
+	// watchKeepalive is how often an idle ?watch=true stream emits an SSE
+	// comment so proxies and clients do not time out a job that sits
+	// queued without progress; newHandler defaults it to 15s.
+	watchKeepalive time.Duration
+	// admit gates submissions before they reach the jobs queue (the
+	// -admit-rate/-admit-burst/-admit-per-client flags); nil means
+	// admission.AlwaysAdmit (newHandler defaults it).
+	admit admission.Policy
+	// retryAfter is the Retry-After hint attached to 503 backpressure
+	// responses, where no admission deficit supplies an exact wait;
+	// newHandler defaults it to 1s.
+	retryAfter time.Duration
+	// Admission telemetry, populated by newHandler.
+	admitted *telemetry.Counter
+	rejected *telemetry.CounterVec
 }
 
 // newHandler builds the route table.
@@ -66,9 +114,22 @@ func newHandler(s *server) http.Handler {
 	if s.watchPoll <= 0 {
 		s.watchPoll = 100 * time.Millisecond
 	}
+	if s.watchKeepalive <= 0 {
+		s.watchKeepalive = 15 * time.Second
+	}
+	if s.admit == nil {
+		s.admit = admission.AlwaysAdmit{}
+	}
+	if s.retryAfter <= 0 {
+		s.retryAfter = time.Second
+	}
 	s.httpDur = s.tel.HistogramVec("ftgcs_http_request_duration_seconds",
 		"HTTP request latency by route pattern and status class.",
 		telemetry.DurationBuckets, "route", "status")
+	s.admitted = s.tel.Counter("ftgcs_admission_admitted_total",
+		"Submissions admitted past the admission policy.")
+	s.rejected = s.tel.CounterVec("ftgcs_admission_rejected_total",
+		"Submissions rejected by the admission policy, by exhausted scope.", "scope")
 	if s.store != nil {
 		registerStoreMetrics(s.tel, s.store)
 	}
@@ -119,13 +180,23 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, errors.New(`provide exactly one of "spec" or a non-empty "experiments"`))
 		return
 	}
+	// Admission runs before any validation or topology work: a batch
+	// costs one token per item, so batching cannot launder a burst past
+	// the accounting.
+	cost := 1
+	if body.Spec == nil {
+		cost = len(body.Experiments)
+	}
+	if !s.admitRequest(w, r, cost) {
+		return
+	}
 	wait := boolParam(r, "wait")
 
 	if body.Spec != nil {
 		req := jobs.Request{Spec: *body.Spec, Replicate: body.Replicate, IncludeSeries: body.IncludeSeries}
 		st, err := s.submit(r.Context(), req, wait)
 		if err != nil {
-			writeError(w, submitCode(err), err)
+			s.writeSubmitError(w, err)
 			return
 		}
 		writeJSON(w, statusCode(st), st)
@@ -164,7 +235,74 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			out[i] = st.WithName(body.Experiments[i].Spec.DisplayName())
 		}
 	}
+	// Per the contract above: a batch with at least one retryable item is
+	// worth resubmitting, so the enclosing response advertises when.
+	for i := range out {
+		if out[i].Retryable {
+			setRetryAfter(w, s.retryAfter)
+			break
+		}
+	}
 	writeJSON(w, http.StatusOK, map[string][]jobs.JobStatus{"jobs": out})
+}
+
+// clientKey is the admission identity of a request: the X-Client-ID
+// header when the caller names itself, else the remote host (without
+// the ephemeral port, so one client is one bucket across connections).
+func clientKey(r *http.Request) string {
+	if id := r.Header.Get("X-Client-ID"); id != "" {
+		return id
+	}
+	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+		return host
+	}
+	return r.RemoteAddr
+}
+
+// admitRequest consults the admission policy; on rejection it writes the
+// 429 (Retry-After from the exact token deficit, "retryable": true,
+// scope naming the exhausted budget) and returns false.
+func (s *server) admitRequest(w http.ResponseWriter, r *http.Request, cost int) bool {
+	d := s.admit.Admit(clientKey(r), cost)
+	if d.OK {
+		s.admitted.Inc()
+		return true
+	}
+	s.rejected.With(string(d.Scope)).Inc()
+	setRetryAfter(w, d.RetryAfter)
+	what := "service-wide admission rate exhausted"
+	if d.Scope == admission.ScopeClient {
+		what = "per-client fair share exhausted"
+	}
+	writeJSON(w, http.StatusTooManyRequests, map[string]any{
+		"error":     fmt.Sprintf("%s; retry after the Retry-After window", what),
+		"retryable": true,
+		"scope":     d.Scope,
+	})
+	return false
+}
+
+// writeSubmitError writes a submission failure per the contract above:
+// transient errors are 503 with a Retry-After hint and "retryable":
+// true; deterministic ones are 400 with neither.
+func (s *server) writeSubmitError(w http.ResponseWriter, err error) {
+	code := submitCode(err)
+	if code != http.StatusServiceUnavailable {
+		writeError(w, code, err)
+		return
+	}
+	setRetryAfter(w, s.retryAfter)
+	writeJSON(w, code, map[string]any{"error": err.Error(), "retryable": true})
+}
+
+// setRetryAfter advertises the wait as a whole-seconds Retry-After
+// header (ceiling, minimum 1 — zero would invite an instant retry).
+func setRetryAfter(w http.ResponseWriter, d time.Duration) {
+	secs := int(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
 }
 
 // submit enqueues one request, optionally blocking for the result.
@@ -280,11 +418,18 @@ func (s *server) handleManifestSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	// A manifest costs one admission token: its arms trickle through the
+	// scheduler's own pacing, so the submission — not the expansion — is
+	// the unit of client demand.
+	if !s.admitRequest(w, r, 1) {
+		return
+	}
 	st, created, err := s.sched.Submit(m)
 	switch {
 	case err == nil:
 	case errors.Is(err, manifest.ErrSchedulerClosed):
-		writeError(w, http.StatusServiceUnavailable, err)
+		setRetryAfter(w, s.retryAfter)
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"error": err.Error(), "retryable": true})
 		return
 	default:
 		writeError(w, http.StatusBadRequest, err)

@@ -64,6 +64,10 @@ type Options struct {
 	// MaxAge evicts objects not accessed for longer than this. ≤ 0 means
 	// no age limit.
 	MaxAge time.Duration
+	// FS overrides the filesystem the store operates on; nil means the
+	// real one. Tests inject a FaultFS here (or via WithFS) to exercise
+	// the degradation ladder.
+	FS FS
 	// now overrides the clock in tests.
 	now func() time.Time
 }
@@ -99,6 +103,7 @@ type Store struct {
 	now      func() time.Time
 
 	mu    sync.Mutex
+	fs    FS         // the filesystem seam; swap with WithFS to inject faults
 	ll    *list.List // front = most recently accessed
 	index map[string]*list.Element
 	bytes int64
@@ -121,7 +126,10 @@ func Open(dir string, o Options) (*Store, error) {
 	if o.now == nil {
 		o.now = time.Now
 	}
-	if err := os.MkdirAll(filepath.Join(dir, "objects"), 0o777); err != nil {
+	if o.FS == nil {
+		o.FS = osFS{}
+	}
+	if err := o.FS.MkdirAll(filepath.Join(dir, "objects"), 0o777); err != nil {
 		return nil, fmt.Errorf("cas: %w", err)
 	}
 	s := &Store{
@@ -129,6 +137,7 @@ func Open(dir string, o Options) (*Store, error) {
 		maxBytes: o.MaxBytes,
 		maxAge:   o.MaxAge,
 		now:      o.now,
+		fs:       o.FS,
 		ll:       list.New(),
 		index:    make(map[string]*list.Element),
 	}
@@ -147,26 +156,26 @@ func Open(dir string, o Options) (*Store, error) {
 func (s *Store) scan() error {
 	root := filepath.Join(s.dir, "objects")
 	var entries []entry
-	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+	err := s.fs.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
 		if err != nil || d.IsDir() {
 			return err
 		}
 		name := d.Name()
 		if strings.HasPrefix(name, tmpPrefix) || !strings.HasSuffix(name, objExt) {
-			os.Remove(path)
+			s.fs.Remove(path)
 			return nil
 		}
 		key, ok := keyFromPath(root, path)
 		if !ok {
-			os.Remove(path)
+			s.fs.Remove(path)
 			return nil
 		}
-		payload, err := readObject(path)
+		payload, err := readObject(s.fs, path)
 		if err != nil {
 			// Truncated or corrupt: drop it now so the index only ever
 			// holds objects that will actually read back.
 			s.stats.Corrupt++
-			os.Remove(path)
+			s.fs.Remove(path)
 			return nil
 		}
 		info, err := d.Info()
@@ -201,7 +210,7 @@ func (s *Store) Get(key string) (payload []byte, ok bool) {
 	if err != nil {
 		return nil, false
 	}
-	payload, rerr := readObject(path)
+	payload, rerr := readObject(s.fsys(), path)
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -210,7 +219,7 @@ func (s *Store) Get(key string) (payload []byte, ok bool) {
 			// The file exists but fails validation: corruption. Remove it
 			// so the slot is honest about being empty.
 			s.stats.Corrupt++
-			os.Remove(path)
+			s.fs.Remove(path)
 		}
 		s.removeIndexLocked(key)
 		s.stats.Misses++
@@ -228,8 +237,30 @@ func (s *Store) Get(key string) (payload []byte, ok bool) {
 	}
 	s.stats.Hits++
 	s.stats.BytesRead += uint64(len(payload))
-	os.Chtimes(path, now, now) // best-effort: recency durability
+	s.fs.Chtimes(path, now, now) // best-effort: recency durability
 	return payload, true
+}
+
+// fsys snapshots the filesystem seam for use outside s.mu (Get and Put
+// do their IO unlocked so reads and writes overlap).
+func (s *Store) fsys() FS {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fs
+}
+
+// WithFS swaps the store's filesystem and returns the store: the
+// fault-injection hook. Production code never calls it — the default
+// (or Options.FS) is set at Open; tests arm a FaultFS here to break and
+// heal the disk under a live store.
+func (s *Store) WithFS(fsys FS) *Store {
+	if fsys == nil {
+		fsys = osFS{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.fs = fsys
+	return s
 }
 
 // Put stores payload under key, atomically: the bytes are written to a
@@ -246,15 +277,16 @@ func (s *Store) Put(key string, payload []byte) error {
 	if err != nil {
 		return err
 	}
+	fsys := s.fsys()
 	shard := filepath.Dir(path)
-	if err := os.MkdirAll(shard, 0o777); err != nil {
+	if err := fsys.MkdirAll(shard, 0o777); err != nil {
 		return fmt.Errorf("cas: %w", err)
 	}
-	tmp, err := os.CreateTemp(shard, tmpPrefix+"*")
+	tmp, err := fsys.CreateTemp(shard, tmpPrefix+"*")
 	if err != nil {
 		return fmt.Errorf("cas: %w", err)
 	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	defer fsys.Remove(tmp.Name()) // no-op after a successful rename
 
 	sum := sha256.Sum256(payload)
 	hdr := make([]byte, headerSize)
@@ -276,10 +308,10 @@ func (s *Store) Put(key string, payload []byte) error {
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("cas: %w", err)
 	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
+	if err := fsys.Rename(tmp.Name(), path); err != nil {
 		return fmt.Errorf("cas: %w", err)
 	}
-	syncDir(shard)
+	syncDir(fsys, shard)
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -307,10 +339,10 @@ func (s *Store) Delete(key string) error {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+	if err := s.fs.Remove(path); err != nil && !os.IsNotExist(err) {
 		return fmt.Errorf("cas: %w", err)
 	}
-	syncDir(filepath.Dir(path))
+	syncDir(s.fs, filepath.Dir(path))
 	s.removeIndexLocked(key)
 	return nil
 }
@@ -377,12 +409,15 @@ func (s *Store) gcLocked() int {
 	return evicted
 }
 
-// evictLocked removes one entry and its file; callers hold s.mu.
+// evictLocked removes one entry and its file; callers hold s.mu. The
+// file remove is best-effort: an unremovable file (immutable bit, dying
+// media) must not wedge GC, so the entry leaves the index either way —
+// the next scan re-adopts whatever actually survived on disk.
 func (s *Store) evictLocked(el *list.Element) {
 	e := el.Value.(*entry)
 	if path, err := s.path(e.key); err == nil {
-		os.Remove(path)
-		syncDir(filepath.Dir(path))
+		s.fs.Remove(path)
+		syncDir(s.fs, filepath.Dir(path))
 	}
 	s.ll.Remove(el)
 	delete(s.index, e.key)
@@ -438,8 +473,8 @@ func isLowerHex(s string) bool {
 // readObject reads and validates one envelope. Any deviation — short
 // header, bad magic, length mismatch, digest mismatch — is an error the
 // caller treats as a miss.
-func readObject(path string) ([]byte, error) {
-	f, err := os.Open(path)
+func readObject(fsys FS, path string) ([]byte, error) {
+	f, err := fsys.Open(path)
 	if err != nil {
 		return nil, err
 	}
@@ -472,8 +507,8 @@ func readObject(path string) ([]byte, error) {
 
 // syncDir fsyncs a directory so a just-renamed (or just-removed) entry is
 // durable; best-effort on filesystems that reject directory fsync.
-func syncDir(dir string) {
-	if d, err := os.Open(dir); err == nil {
+func syncDir(fsys FS, dir string) {
+	if d, err := fsys.Open(dir); err == nil {
 		d.Sync()
 		d.Close()
 	}

@@ -1,0 +1,259 @@
+package cas
+
+// fs.go is the store's filesystem seam. Every file operation the store
+// performs goes through the FS interface, so tests (and the job
+// manager's degradation tests) can inject the failures a real disk
+// produces — ENOSPC mid-write, torn renames, bit rot on read, files
+// that refuse to die — without root, loop devices, or flaky timing.
+// The production path is osFS, a zero-cost passthrough to the os
+// package.
+
+import (
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// File is the slice of *os.File the store uses.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	// Name returns the file's path, as handed to CreateTemp/Open.
+	Name() string
+	// Sync flushes the file to stable storage.
+	Sync() error
+}
+
+// FS is the slice of the os package the store uses. Implementations
+// must be safe for concurrent use (the store calls them concurrently).
+type FS interface {
+	MkdirAll(path string, perm os.FileMode) error
+	CreateTemp(dir, pattern string) (File, error)
+	Open(name string) (File, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	Chtimes(name string, atime, mtime time.Time) error
+	WalkDir(root string, fn fs.WalkDirFunc) error
+}
+
+// osFS is the production FS: the os package, verbatim.
+type osFS struct{}
+
+func (osFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+func (osFS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error                     { return os.Remove(name) }
+func (osFS) Chtimes(name string, a, m time.Time) error    { return os.Chtimes(name, a, m) }
+func (osFS) WalkDir(root string, fn fs.WalkDirFunc) error { return filepath.WalkDir(root, fn) }
+
+func (osFS) CreateTemp(dir, pattern string) (File, error) {
+	f, err := os.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) Open(name string) (File, error) {
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// FaultFS wraps an FS with injectable failures: the errfs-style hook
+// behind Store.WithFS. Faults are toggled at runtime (concurrently with
+// store traffic — every knob is mutex-guarded), so a test can let a
+// store run healthy, break its disk mid-flight, and heal it again,
+// exercising the exact degrade/recover ladder production would see.
+//
+// The zero value wraps the real filesystem with no faults armed.
+type FaultFS struct {
+	// Inner is the wrapped FS; nil means the real filesystem.
+	Inner FS
+
+	mu           sync.Mutex
+	writeErr     error // every File.Write fails with this
+	writeBudget  int   // bytes accepted before writeErr fires; <0 = immediately
+	corruptReads bool  // flip a bit in bytes read through Open
+	panicWrites  bool  // File.Write panics (a poisoned encoder/disk driver)
+	openErr      error
+	renameErr    error
+	removeErr    error
+}
+
+// FailWrites makes every subsequent File.Write fail with err
+// (e.g. syscall.ENOSPC). nil disarms.
+func (f *FaultFS) FailWrites(err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.writeErr, f.writeBudget = err, -1
+}
+
+// FailWritesAfter lets each file accept n bytes and then fails with
+// err: a torn write — the media died partway through an object.
+func (f *FaultFS) FailWritesAfter(n int, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.writeErr, f.writeBudget = err, n
+}
+
+// CorruptReads flips a bit in every byte stream read through Open:
+// on-disk rot surfacing at read time.
+func (f *FaultFS) CorruptReads(on bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.corruptReads = on
+}
+
+// PanicWrites makes File.Write panic instead of returning: the failure
+// mode recover-hardening exists for. off by default.
+func (f *FaultFS) PanicWrites(on bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.panicWrites = on
+}
+
+// FailOpens makes Open fail with err. nil disarms.
+func (f *FaultFS) FailOpens(err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.openErr = err
+}
+
+// FailRenames makes Rename fail with err. nil disarms.
+func (f *FaultFS) FailRenames(err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.renameErr = err
+}
+
+// FailRemoves makes Remove fail with err: the unremovable file. nil
+// disarms.
+func (f *FaultFS) FailRemoves(err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.removeErr = err
+}
+
+// Heal disarms every fault.
+func (f *FaultFS) Heal() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.writeErr, f.writeBudget = nil, -1
+	f.corruptReads, f.panicWrites = false, false
+	f.openErr, f.renameErr, f.removeErr = nil, nil, nil
+}
+
+func (f *FaultFS) inner() FS {
+	if f.Inner == nil {
+		return osFS{}
+	}
+	return f.Inner
+}
+
+func (f *FaultFS) MkdirAll(path string, perm os.FileMode) error {
+	return f.inner().MkdirAll(path, perm)
+}
+
+func (f *FaultFS) CreateTemp(dir, pattern string) (File, error) {
+	file, err := f.inner().CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	f.mu.Lock()
+	budget := f.writeBudget
+	f.mu.Unlock()
+	return &faultFile{File: file, fs: f, budget: budget}, nil
+}
+
+func (f *FaultFS) Open(name string) (File, error) {
+	f.mu.Lock()
+	openErr := f.openErr
+	f.mu.Unlock()
+	if openErr != nil {
+		return nil, openErr
+	}
+	file, err := f.inner().Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: file, fs: f}, nil
+}
+
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	f.mu.Lock()
+	renameErr := f.renameErr
+	f.mu.Unlock()
+	if renameErr != nil {
+		return renameErr
+	}
+	return f.inner().Rename(oldpath, newpath)
+}
+
+func (f *FaultFS) Remove(name string) error {
+	f.mu.Lock()
+	removeErr := f.removeErr
+	f.mu.Unlock()
+	if removeErr != nil {
+		return removeErr
+	}
+	return f.inner().Remove(name)
+}
+
+func (f *FaultFS) Chtimes(name string, a, m time.Time) error {
+	return f.inner().Chtimes(name, a, m)
+}
+
+func (f *FaultFS) WalkDir(root string, fn fs.WalkDirFunc) error {
+	return f.inner().WalkDir(root, fn)
+}
+
+// faultFile applies the parent's armed faults to one open file. The
+// write budget is captured at creation, so "n bytes then ENOSPC" is
+// per-file, like a disk filling up under one writer.
+type faultFile struct {
+	File
+	fs     *FaultFS
+	budget int // remaining write bytes; meaningful only while writeErr armed
+}
+
+func (ff *faultFile) Write(p []byte) (int, error) {
+	ff.fs.mu.Lock()
+	writeErr, panics := ff.fs.writeErr, ff.fs.panicWrites
+	ff.fs.mu.Unlock()
+	if panics {
+		panic("cas: injected write panic")
+	}
+	if writeErr == nil {
+		return ff.File.Write(p)
+	}
+	if ff.budget <= 0 {
+		return 0, writeErr
+	}
+	n := min(len(p), ff.budget)
+	ff.budget -= n
+	written, err := ff.File.Write(p[:n])
+	if err != nil {
+		return written, err
+	}
+	if written < len(p) {
+		return written, writeErr
+	}
+	return written, nil
+}
+
+func (ff *faultFile) Read(p []byte) (int, error) {
+	n, err := ff.File.Read(p)
+	ff.fs.mu.Lock()
+	corrupt := ff.fs.corruptReads
+	ff.fs.mu.Unlock()
+	if corrupt && n > 0 {
+		p[n-1] ^= 0x80
+	}
+	return n, err
+}

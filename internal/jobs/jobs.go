@@ -24,6 +24,7 @@ import (
 	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ftgcs"
@@ -307,9 +308,15 @@ type Stats struct {
 	DiskHits uint64 `json:"diskHits"`
 	// DiskStored counts results durably written to the disk store.
 	DiskStored uint64 `json:"diskStored"`
-	Queued     int    `json:"queued"`
-	Running    int    `json:"running"`
-	CacheLen   int    `json:"cacheLen"`
+	// StoreErrors counts failed attempts to persist a result (each retry
+	// of each item counts; recovered panics count too).
+	StoreErrors uint64 `json:"storeErrors"`
+	// StoreDegraded is true while the disk-store breaker is open and the
+	// manager is running memory-only. See Manager.Degraded.
+	StoreDegraded bool `json:"storeDegraded"`
+	Queued        int  `json:"queued"`
+	Running       int  `json:"running"`
+	CacheLen      int  `json:"cacheLen"`
 }
 
 // progressTracker aggregates live progress across one job's scenario
@@ -433,6 +440,19 @@ type Options struct {
 	// so a graceful shutdown never loses completed work). The caller owns
 	// the store's lifetime; the manager never closes it.
 	Store *cas.Store
+	// StoreRetries is how many attempts the write-behind storer makes per
+	// result before counting the item as failed (≤0: 3). Retries back off
+	// exponentially from StoreRetryBackoff, capped at 1s.
+	StoreRetries int
+	// StoreRetryBackoff is the first retry's delay (≤0: 50ms).
+	StoreRetryBackoff time.Duration
+	// StoreFailureThreshold is how many consecutive results must fail all
+	// their attempts before the breaker opens and the manager degrades to
+	// memory-only operation (≤0: 3). See Manager.Degraded.
+	StoreFailureThreshold int
+	// StoreCooldown is how long an open breaker waits before probing the
+	// store with one write again (≤0: 5s).
+	StoreCooldown time.Duration
 	// Telemetry is the registry the manager registers its instruments on
 	// (queue-wait/run-duration histograms, cache and lifecycle counters,
 	// occupancy gauges); nil creates a private one. Metric names are
@@ -514,12 +534,29 @@ type Manager struct {
 	// Disk tier (nil store disables it). Completed results are appended
 	// to pendingStore under mu and written to disk by a dedicated storer
 	// goroutine, so finish never does IO under the lock. storeCond (on
-	// mu) wakes the storer; storeClosing tells it to drain and exit.
-	store        *cas.Store
-	pendingStore []storeItem
-	storeCond    *sync.Cond
-	storeClosing bool
-	storeWg      sync.WaitGroup
+	// mu) wakes the storer; storeClosing tells it to drain and exit;
+	// closing storerInterrupt cuts any backoff sleep short so Close never
+	// waits out a retry schedule.
+	store           *cas.Store
+	pendingStore    []storeItem
+	storeCond       *sync.Cond
+	storeClosing    bool
+	storeWg         sync.WaitGroup
+	storerInterrupt chan struct{}
+
+	// Store breaker configuration (fixed at NewManager) and state.
+	// degraded is the breaker: true means the disk tier is considered down
+	// and the manager serves memory-only until a cooldown probe succeeds.
+	// It is read by Stats/Degraded/healthz concurrently; the remaining
+	// breaker state (storeFails, storeDownSince) belongs to the storer
+	// goroutine alone.
+	storeRetries   int
+	storeBackoff   time.Duration
+	storeThreshold int
+	storeCooldown  time.Duration
+	degraded       atomic.Bool
+	storeFails     int       // consecutive items that failed every attempt
+	storeDownSince time.Time // when the breaker opened (or last failed probe)
 
 	// TestHookBeforeRun, when set, runs in each worker before a job
 	// executes — tests use it to hold workers and fill the queue.
@@ -537,6 +574,8 @@ type managerMetrics struct {
 	evicted    *telemetry.Counter
 	diskStored *telemetry.Counter
 	replicates *telemetry.Counter
+
+	storeErrors *telemetry.Counter
 
 	hitsMemory, hitsDisk           *telemetry.Counter // ftgcs_jobs_cache_hits_total{tier}
 	done, failed, canceled         *telemetry.Counter // ftgcs_jobs_terminal_total{state}
@@ -568,6 +607,8 @@ func newManagerMetrics(reg *telemetry.Registry) *managerMetrics {
 			"Results durably written to the disk store."),
 		replicates: reg.Counter("ftgcs_jobs_replicates_completed_total",
 			"Individual replicate runs completed, across all jobs."),
+		storeErrors: reg.Counter("ftgcs_store_errors_total",
+			"Failed attempts to persist a result to the disk store (including recovered panics)."),
 		hitsMemory: hits.With(string(TierMemory)),
 		hitsDisk:   hits.With(string(TierDisk)),
 		done:       terminal.With(string(StateDone)),
@@ -601,18 +642,35 @@ func NewManager(o Options) *Manager {
 	if o.Telemetry == nil {
 		o.Telemetry = telemetry.NewRegistry()
 	}
+	if o.StoreRetries <= 0 {
+		o.StoreRetries = 3
+	}
+	if o.StoreRetryBackoff <= 0 {
+		o.StoreRetryBackoff = 50 * time.Millisecond
+	}
+	if o.StoreFailureThreshold <= 0 {
+		o.StoreFailureThreshold = 3
+	}
+	if o.StoreCooldown <= 0 {
+		o.StoreCooldown = 5 * time.Second
+	}
 	m := &Manager{
-		reg:          o.Registry,
-		sweepWorkers: o.SweepWorkers,
-		noReuse:      o.NoReuse,
-		runLimit:     o.RunLimit,
-		queue:        make(chan *job, o.QueueDepth),
-		quit:         make(chan struct{}),
-		active:       make(map[string]*job),
-		cache:        newLRUCache(o.CacheSize),
-		store:        o.Store,
-		tel:          o.Telemetry,
-		met:          newManagerMetrics(o.Telemetry),
+		reg:             o.Registry,
+		sweepWorkers:    o.SweepWorkers,
+		noReuse:         o.NoReuse,
+		runLimit:        o.RunLimit,
+		queue:           make(chan *job, o.QueueDepth),
+		quit:            make(chan struct{}),
+		active:          make(map[string]*job),
+		cache:           newLRUCache(o.CacheSize),
+		store:           o.Store,
+		storeRetries:    o.StoreRetries,
+		storeBackoff:    o.StoreRetryBackoff,
+		storeThreshold:  o.StoreFailureThreshold,
+		storeCooldown:   o.StoreCooldown,
+		storerInterrupt: make(chan struct{}),
+		tel:             o.Telemetry,
+		met:             newManagerMetrics(o.Telemetry),
 	}
 	m.tel.GaugeFunc("ftgcs_jobs_queue_depth",
 		"Jobs waiting in the bounded queue.",
@@ -623,6 +681,14 @@ func NewManager(o Options) *Manager {
 	m.tel.GaugeFunc("ftgcs_jobs_cache_entries",
 		"Completed results held in the in-memory LRU.",
 		func() float64 { m.mu.Lock(); defer m.mu.Unlock(); return float64(m.cache.len()) })
+	m.tel.GaugeFunc("ftgcs_store_degraded",
+		"1 while the disk-store breaker is open and the manager serves memory-only.",
+		func() float64 {
+			if m.degraded.Load() {
+				return 1
+			}
+			return 0
+		})
 	if m.store != nil {
 		m.storeCond = sync.NewCond(&m.mu)
 		m.storeWg.Add(1)
@@ -651,7 +717,19 @@ type storeItem struct {
 // pendingStore batches and writes each result's canonical bytes to the
 // store. Encoding and IO happen outside m.mu. It exits only when Close
 // has set storeClosing AND the backlog is empty, so every result that
-// finished before Close returns is durable.
+// finished before Close returns is durable (on a healthy store).
+//
+// The loop is hardened against a misbehaving store: each item's write is
+// retried with capped exponential backoff and any panic out of the
+// encode/Put path is recovered and counted as a failed attempt — one bad
+// object can never kill the goroutine and silently end disk persistence
+// for every job after it. When storeFailureThreshold consecutive items
+// fail every attempt, a breaker opens (Degraded reports true, healthz
+// shows "degraded", ftgcs_store_degraded is 1) and the manager runs
+// memory-only: results stay served from the LRU, nothing blocks, items
+// are dropped from the write-behind queue instead of piling up. After
+// storeCooldown the next item is written as a probe; success closes the
+// breaker, failure re-arms the cooldown.
 func (m *Manager) storer() {
 	defer m.storeWg.Done()
 	for {
@@ -668,18 +746,107 @@ func (m *Manager) storer() {
 		m.mu.Unlock()
 
 		for _, it := range batch {
-			payload, err := json.Marshal(it.res)
-			if err == nil {
-				if err := m.store.Put(it.id, payload); err == nil {
-					m.met.diskStored.Inc()
-				}
-			}
-			if it.endSpan != nil {
-				it.endSpan()
-			}
+			m.storeOne(it)
 		}
 	}
 }
+
+// storeBackoffCap bounds the storer's exponential retry backoff.
+const storeBackoffCap = time.Second
+
+// storeOne persists one result, applying the retry/breaker policy; it
+// always ends the item's "storing" trace span, stored or not.
+func (m *Manager) storeOne(it storeItem) {
+	defer func() {
+		if it.endSpan != nil {
+			it.endSpan()
+		}
+	}()
+	closing := m.storerInterrupted()
+	if m.degraded.Load() {
+		if closing || time.Since(m.storeDownSince) < m.storeCooldown {
+			return // breaker open: memory-only, drop the disk write
+		}
+		// Cooldown elapsed: fall through and use this item as the
+		// half-open probe (single attempt — see below).
+	}
+	attempts := m.storeRetries
+	if closing || m.degraded.Load() {
+		// During shutdown — or as a breaker probe — each item gets exactly
+		// one try: Close must never wait out a retry schedule, and a probe
+		// that fails should not hammer a store already known to be sick.
+		attempts = 1
+	}
+	backoff := m.storeBackoff
+	for i := 0; i < attempts; i++ {
+		if m.storeAttempt(it) == nil {
+			m.met.diskStored.Inc()
+			m.storeFails = 0
+			if m.degraded.CompareAndSwap(true, false) {
+				m.storeDownSince = time.Time{}
+			}
+			return
+		}
+		m.met.storeErrors.Inc()
+		if i+1 < attempts {
+			if !m.storerSleep(backoff) {
+				break // Close interrupted the backoff: give up on this item
+			}
+			backoff = min(backoff*2, storeBackoffCap)
+		}
+	}
+	// The item failed every attempt it was allowed.
+	m.storeFails++
+	if m.degraded.Load() || m.storeFails >= m.storeThreshold {
+		m.degraded.Store(true)
+		m.storeDownSince = time.Now()
+	}
+}
+
+// storeAttempt is one encode+write try, with panics converted to errors
+// so a poisoned payload cannot take the storer goroutine down.
+func (m *Manager) storeAttempt(it storeItem) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("jobs: store write panicked: %v", r)
+		}
+	}()
+	payload, err := json.Marshal(it.res)
+	if err != nil {
+		return err
+	}
+	return m.store.Put(it.id, payload)
+}
+
+// storerSleep waits d or until Close interrupts, whichever is first;
+// false means interrupted.
+func (m *Manager) storerSleep(d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-m.storerInterrupt:
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+// storerInterrupted reports whether Close has begun flushing the store.
+func (m *Manager) storerInterrupted() bool {
+	select {
+	case <-m.storerInterrupt:
+		return true
+	default:
+		return false
+	}
+}
+
+// Degraded reports whether the disk-store breaker is open: persistent
+// store failures have switched the manager to memory-only operation.
+// Jobs keep completing and results keep being served from the LRU;
+// durability resumes (and Degraded clears) once a cooldown probe write
+// succeeds. Always false without a store.
+func (m *Manager) Degraded() bool { return m.degraded.Load() }
 
 // Submit validates, dedupes and enqueues a request. The returned status
 // reflects the submission outcome: a cache hit carries the full result
@@ -969,20 +1136,22 @@ func (m *Manager) Stats() Stats {
 	defer m.mu.Unlock()
 	mem, disk := m.met.hitsMemory.Value(), m.met.hitsDisk.Value()
 	return Stats{
-		Submitted:   m.met.submitted.Value(),
-		Completed:   m.met.done.Value(),
-		Failed:      m.met.failed.Value(),
-		Canceled:    m.met.canceled.Value(),
-		Runs:        m.met.runs.Value(),
-		CacheHits:   mem + disk,
-		CacheMisses: m.met.misses.Value(),
-		Coalesced:   m.met.coalesced.Value(),
-		Evicted:     m.met.evicted.Value(),
-		DiskHits:    disk,
-		DiskStored:  m.met.diskStored.Value(),
-		Queued:      len(m.queue),
-		Running:     m.running,
-		CacheLen:    m.cache.len(),
+		Submitted:     m.met.submitted.Value(),
+		Completed:     m.met.done.Value(),
+		Failed:        m.met.failed.Value(),
+		Canceled:      m.met.canceled.Value(),
+		Runs:          m.met.runs.Value(),
+		CacheHits:     mem + disk,
+		CacheMisses:   m.met.misses.Value(),
+		Coalesced:     m.met.coalesced.Value(),
+		Evicted:       m.met.evicted.Value(),
+		DiskHits:      disk,
+		DiskStored:    m.met.diskStored.Value(),
+		StoreErrors:   m.met.storeErrors.Value(),
+		StoreDegraded: m.degraded.Load(),
+		Queued:        len(m.queue),
+		Running:       m.running,
+		CacheLen:      m.cache.len(),
 	}
 }
 
@@ -1022,6 +1191,7 @@ func (m *Manager) flushStore() {
 	if m.store == nil {
 		return
 	}
+	close(m.storerInterrupt) // cut any in-flight retry backoff short
 	m.mu.Lock()
 	m.storeClosing = true
 	m.storeCond.Broadcast()

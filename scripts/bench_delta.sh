@@ -17,8 +17,14 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Only micro-bench snapshots qualify as a baseline: the BENCH_* series
+# also carries load-harness reports (schema ftgcs-load-v1) that have no
+# per-benchmark rows to gate against.
 latest_committed() {
-    git ls-files 'BENCH_*.json' | sort -t_ -k2 -n | tail -1
+    git ls-files 'BENCH_*.json' | sort -t_ -k2 -n |
+        while read -r f; do
+            grep -q '"schema": "ftgcs-bench-v1"' "$f" && echo "$f"
+        done | tail -1
 }
 
 BASELINE="${BASELINE:-$(latest_committed)}"

@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# load_smoke.sh — short committed-harness run against a live server.
+#
+# Builds ftgcs-serve and ftgcs-load, boots an admission-limited server on
+# an ephemeral port, drives it with the load harness for a few seconds,
+# and sanity-checks the emitted ftgcs-load-v1 report: traffic flowed,
+# nothing errored, the accounting adds up, and the hot-spec pool actually
+# produced cache hits. CI runs this as the overload counterpart to
+# serve_smoke.sh; locally it is also the recipe for refreshing the
+# BENCH_5.json series (run longer and copy the report).
+#
+#   scripts/load_smoke.sh
+#   DURATION=10s CONCURRENCY=32 OUT=BENCH_5.json scripts/load_smoke.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+DURATION="${DURATION:-3s}"
+CONCURRENCY="${CONCURRENCY:-8}"
+OUT="${OUT:-}"
+
+tmp=$(mktemp -d)
+pid=""
+cleanup() {
+  [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+  rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+go build -o "$tmp/ftgcs-serve" ./cmd/ftgcs-serve
+go build -o "$tmp/ftgcs-load" ./cmd/ftgcs-load
+
+"$tmp/ftgcs-serve" -addr 127.0.0.1:0 -workers 4 -store "$tmp/store" \
+  -admit-rate 60 -admit-burst 30 >"$tmp/serve.log" 2>&1 &
+pid=$!
+addr=""
+for _ in $(seq 1 100); do
+  addr=$(sed -n 's/^ftgcs-serve listening on //p' "$tmp/serve.log" | head -1)
+  [ -n "$addr" ] && break
+  kill -0 "$pid" 2>/dev/null || { echo "server died:"; cat "$tmp/serve.log"; exit 1; }
+  sleep 0.1
+done
+[ -n "$addr" ] || { echo "server never reported its address:"; cat "$tmp/serve.log"; exit 1; }
+echo "load smoke: server up at $addr"
+
+report="${OUT:-$tmp/load.json}"
+"$tmp/ftgcs-load" -addr "$addr" -duration "$DURATION" -concurrency "$CONCURRENCY" \
+  -hit-ratio 0.5 -hot 8 -clients 4 \
+  -git-rev "$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
+  -out "$report"
+cat "$report"
+
+python3 - "$report" <<'EOF'
+import json, sys
+rep = json.load(open(sys.argv[1]))
+t = rep["totals"]
+assert rep["schema"] == "ftgcs-load-v1", rep["schema"]
+assert t["requests"] > 0, "no traffic"
+assert t["done"] > 0, "nothing completed"
+assert t["errors"] == 0, f"{t['errors']} hard errors"
+assert t["done"] + t["rejected_429"] + t["rejected_503"] + t["errors"] == t["requests"], "totals do not add up"
+assert t["cache_hits"] > 0, "hot pool produced no cache hits"
+assert rep["qps"] > 0 and rep["latency_ms"]["max"] >= rep["latency_ms"]["p50"] >= 0, "implausible summary"
+print(f"load smoke OK: {t['requests']} requests, {t['done']} done "
+      f"({t['cache_hits']} cached), {t['rejected_429']} shed, qps={rep['qps']}")
+EOF

@@ -174,3 +174,39 @@ if ! cmp -s "$tmp/j1norm.json" "$tmp/j2norm.json"; then
 fi
 
 echo "serve smoke OK: manifest grid replayed from disk after restart, byte-identical"
+
+# --- Overload leg: a tiny token bucket must shed load and recover. ---
+
+kill "$pid" && wait "$pid" 2>/dev/null || true
+boot "$tmp/serve4.log" -admit-rate 1 -admit-burst 2
+echo "admission-limited server up at $base"
+
+# Burst past the 2-token bucket: the first submissions are admitted, then
+# the service answers 429 with a Retry-After the client can obey.
+saw429=""
+for i in $(seq 1 6); do
+  reqN="{\"spec\": $(sed "s/\"seed\": 1/\"seed\": 10$i/" examples/specs/line-quickstart.json)}"
+  curl -s -D "$tmp/o_hdr" -o "$tmp/o_body" -X POST -d "$reqN" "$base/v1/experiments"
+  code=$(head -1 "$tmp/o_hdr" | awk '{print $2}')
+  if [ "$code" = "429" ]; then
+    saw429=1
+    grep -qi '^Retry-After: [0-9]' "$tmp/o_hdr" || { echo "429 without Retry-After:"; cat "$tmp/o_hdr"; exit 1; }
+    grep -q '"retryable":true' "$tmp/o_body" || { echo "429 body not marked retryable:"; cat "$tmp/o_body"; exit 1; }
+    break
+  fi
+  case "$code" in 200|202) ;; *) echo "unexpected status $code during burst:"; cat "$tmp/o_body"; exit 1;; esac
+done
+[ -n "$saw429" ] || { echo "burst of 6 never hit the 2-token bucket"; exit 1; }
+curl -fsS "$base/metrics" >"$tmp/o_metrics.txt"
+grep -q '^ftgcs_admission_rejected_total' "$tmp/o_metrics.txt" || { echo "rejection not counted in /metrics"; exit 1; }
+
+# Honoring the advertised wait refills the bucket: the same client is
+# admitted again and the service still completes work end to end.
+retry=$(sed -n 's/^[Rr]etry-[Aa]fter: \([0-9]*\).*/\1/p' "$tmp/o_hdr")
+sleep "$((retry + 1))"
+reqR="{\"spec\": $(sed 's/"seed": 1/"seed": 201/' examples/specs/line-quickstart.json)}"
+curl -fsS -X POST -d "$reqR" "$base/v1/experiments?wait=true" >"$tmp/o_rec.json"
+grep -q '"state":"done"' "$tmp/o_rec.json" || { echo "post-backoff submission did not run:"; cat "$tmp/o_rec.json"; exit 1; }
+curl -fsS "$base/v1/healthz" | grep -q '"status":"ok"'
+
+echo "serve smoke OK: token bucket shed the burst with 429 + Retry-After, then recovered"
