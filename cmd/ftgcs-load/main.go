@@ -80,19 +80,26 @@ type latencySummary struct {
 	Max  float64 `json:"max"`
 }
 
-// report is the whole output document.
+// report is the whole output document. latency_ms keeps its original
+// meaning (all completed requests) so the snapshot series stays
+// comparable; the per-class summaries split the same completions into
+// cache hits vs fresh simulations, and separately time rejections (the
+// 429/503 turnaround, measured before the backoff sleep).
 type report struct {
-	Schema           string         `json:"schema"`
-	GitRev           string         `json:"git_rev,omitempty"`
-	GOOS             string         `json:"goos"`
-	GOARCH           string         `json:"goarch"`
-	Config           runConfig      `json:"config"`
-	Totals           totals         `json:"totals"`
-	WallSeconds      float64        `json:"wall_seconds"`
-	QPS              float64        `json:"qps"`
-	AchievedHitRatio float64        `json:"achieved_hit_ratio"`
-	RejectionRate    float64        `json:"rejection_rate"`
-	LatencyMS        latencySummary `json:"latency_ms"`
+	Schema            string         `json:"schema"`
+	GitRev            string         `json:"git_rev,omitempty"`
+	GOOS              string         `json:"goos"`
+	GOARCH            string         `json:"goarch"`
+	Config            runConfig      `json:"config"`
+	Totals            totals         `json:"totals"`
+	WallSeconds       float64        `json:"wall_seconds"`
+	QPS               float64        `json:"qps"`
+	AchievedHitRatio  float64        `json:"achieved_hit_ratio"`
+	RejectionRate     float64        `json:"rejection_rate"`
+	LatencyMS         latencySummary `json:"latency_ms"`
+	LatencyMSHit      latencySummary `json:"latency_ms_hit"`
+	LatencyMSFresh    latencySummary `json:"latency_ms_fresh"`
+	LatencyMSRejected latencySummary `json:"latency_ms_rejected"`
 }
 
 func run(args []string, stdout io.Writer) error {
@@ -131,13 +138,15 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	var (
-		wg      sync.WaitGroup
-		mu      sync.Mutex
-		sum     totals
-		lats    []float64
-		fresh   atomic.Int64
-		started = time.Now()
-		stopAt  = started.Add(*duration)
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		sum      totals
+		hitLats  []float64
+		missLats []float64
+		rejLats  []float64
+		fresh    atomic.Int64
+		started  = time.Now()
+		stopAt   = started.Add(*duration)
 	)
 	for w := 0; w < *concurrency; w++ {
 		wg.Add(1)
@@ -146,7 +155,7 @@ func run(args []string, stdout io.Writer) error {
 			rng := rand.New(rand.NewSource(*seed + int64(w)*1013904223))
 			client := fmt.Sprintf("loadgen-%d", w%*clients)
 			var local totals
-			var localLats []float64
+			var localHit, localMiss, localRej []float64
 			for time.Now().Before(stopAt) {
 				var spec string
 				if rng.Float64() < *hitRatio {
@@ -161,19 +170,24 @@ func run(args []string, stdout io.Writer) error {
 					local.Errors++
 					continue
 				}
+				elapsed := float64(time.Since(t0).Microseconds()) / 1000
 				switch {
 				case res.code == http.StatusTooManyRequests:
 					local.Rejected429++
+					localRej = append(localRej, elapsed)
 					time.Sleep(backoff(res.retryAfter, time.Second, *maxBackoff))
 				case res.code == http.StatusServiceUnavailable:
 					local.Rejected503++
+					localRej = append(localRej, elapsed)
 					time.Sleep(backoff(res.retryAfter, time.Second, *maxBackoff))
 				case res.code == http.StatusOK && res.state == "done":
 					local.Done++
 					if res.cached != "" {
 						local.CacheHits++
+						localHit = append(localHit, elapsed)
+					} else {
+						localMiss = append(localMiss, elapsed)
 					}
-					localLats = append(localLats, float64(time.Since(t0).Microseconds())/1000)
 				default:
 					local.Errors++
 				}
@@ -186,7 +200,9 @@ func run(args []string, stdout io.Writer) error {
 			sum.Rejected429 += local.Rejected429
 			sum.Rejected503 += local.Rejected503
 			sum.Errors += local.Errors
-			lats = append(lats, localLats...)
+			hitLats = append(hitLats, localHit...)
+			missLats = append(missLats, localMiss...)
+			rejLats = append(rejLats, localRej...)
 		}(w)
 	}
 	wg.Wait()
@@ -201,10 +217,13 @@ func run(args []string, stdout io.Writer) error {
 			HitRatio: *hitRatio, HotSpecs: *hot, Clients: *clients,
 			Seed: *seed, Size: *size, HorizonSec: *horizon,
 		},
-		Totals:      sum,
-		WallSeconds: round3(wall),
-		QPS:         round3(float64(sum.Requests) / wall),
-		LatencyMS:   percentiles(lats),
+		Totals:            sum,
+		WallSeconds:       round3(wall),
+		QPS:               round3(float64(sum.Requests) / wall),
+		LatencyMS:         percentiles(append(append([]float64(nil), hitLats...), missLats...)),
+		LatencyMSHit:      percentiles(hitLats),
+		LatencyMSFresh:    percentiles(missLats),
+		LatencyMSRejected: percentiles(rejLats),
 	}
 	if sum.Done > 0 {
 		rep.AchievedHitRatio = round3(float64(sum.CacheHits) / float64(sum.Done))

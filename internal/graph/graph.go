@@ -41,6 +41,34 @@ func (g *Graph) M() int {
 	return total / 2
 }
 
+// Equal reports whether g and other are structurally identical: same
+// size, same name, and element-wise identical adjacency lists —
+// including neighbor order, because the simulator consumes adjacency in
+// order, so only order-identical graphs are guaranteed to drive
+// byte-identical simulations. This is the equality the topology
+// interner uses to decide two independently resolved graphs are
+// interchangeable build inputs.
+func (g *Graph) Equal(other *Graph) bool {
+	if g == nil || other == nil {
+		return g == other
+	}
+	if g.n != other.n || g.name != other.name {
+		return false
+	}
+	for v := range g.adj {
+		a, b := g.adj[v], other.adj[v]
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
 // AddEdge inserts the undirected edge {u, v}. Self-loops and duplicate
 // edges are rejected.
 func (g *Graph) AddEdge(u, v NodeID) error {

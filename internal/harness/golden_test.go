@@ -5,6 +5,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"ftgcs"
 )
 
 // TestExperimentTablesGolden regenerates every experiment table (E1–E14
@@ -73,6 +75,44 @@ func TestExperimentTablesGoldenNoReuse(t *testing.T) {
 		tbl.Render(&abl)
 	}
 	compareGolden(t, "golden_quick_seed1_ablations.txt", abl.Bytes())
+}
+
+// TestExperimentTablesGoldenPooled repeats the golden regeneration with
+// one SystemPool shared across every experiment and ablation, twice
+// over: the first pass populates the pool with every released system
+// (sized so nothing evicts), the second pass serves from it — each
+// experiment's scenarios reset systems built by the previous pass
+// instead of building. Both passes must be byte-identical to the same
+// committed goldens, which predate the reuse machinery and the pool
+// entirely; the hits assertion keeps the second pass honest (scenarios
+// that disqualify themselves from pooling — hooks, named topologies —
+// still run, they just build fresh).
+func TestExperimentTablesGoldenPooled(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full quick-mode regeneration (~60s) skipped in -short")
+	}
+	rc := RunConfig{Quick: true, Seed: 1, Pool: ftgcs.NewSystemPool(64)}
+
+	for pass := 1; pass <= 2; pass++ {
+		var got bytes.Buffer
+		if err := RunAll(rc, &got); err != nil {
+			t.Fatal(err)
+		}
+		compareGolden(t, "golden_quick_seed1_experiments.txt", got.Bytes())
+
+		var abl bytes.Buffer
+		for _, e := range Ablations() {
+			tbl, err := e.Run(rc)
+			if err != nil {
+				t.Fatalf("pass %d, %s: %v", pass, e.ID, err)
+			}
+			tbl.Render(&abl)
+		}
+		compareGolden(t, "golden_quick_seed1_ablations.txt", abl.Bytes())
+	}
+	if ps := rc.Pool.Stats(); ps.Hits == 0 {
+		t.Fatalf("shared pool never hit across passes; differential is vacuous: %+v", ps)
+	}
 }
 
 func compareGolden(t *testing.T, name string, got []byte) {

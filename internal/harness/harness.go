@@ -6,6 +6,7 @@ import (
 	"io"
 	"sort"
 
+	"ftgcs"
 	"ftgcs/internal/params"
 )
 
@@ -27,6 +28,12 @@ type RunConfig struct {
 	// a fresh build per scenario. Tables are byte-identical either way
 	// (that is the reset contract); the differential golden test runs both.
 	NoReuse bool
+	// Pool, when non-nil, shares built systems across this config's
+	// sweeps (and with whatever else holds the pool): scenarios whose
+	// build key matches a pooled system reset it instead of building.
+	// Byte-invisible for the same reason NoReuse is — the pooled golden
+	// test proves it across every experiment.
+	Pool *ftgcs.SystemPool
 	// Ctx, when non-nil, cancels in-flight sweeps (the CLI wires SIGINT
 	// here): the running experiment returns the context's error and
 	// RunAll stops before starting the next one. Completed experiments'

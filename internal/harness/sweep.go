@@ -13,7 +13,7 @@ import (
 // old sequential loops did: tables are byte-identical for any worker
 // count.
 func (rc RunConfig) runSweep(scenarios []*ftgcs.Scenario) ([]ftgcs.SweepResult, error) {
-	sw := ftgcs.Sweep{Workers: rc.Workers, BaseSeed: rc.Seed, NoReuse: rc.NoReuse}
+	sw := ftgcs.Sweep{Workers: rc.Workers, BaseSeed: rc.Seed, NoReuse: rc.NoReuse, Pool: rc.Pool}
 	var results []ftgcs.SweepResult
 	if rc.Ctx != nil {
 		results = sw.RunContext(rc.Ctx, scenarios)

@@ -225,10 +225,15 @@ type job struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 
-	// Guarded by the manager's mutex.
+	// Guarded by the job's shard mutex.
 	state  State
 	result *Result
-	err    error
+	// payload is result's canonical marshaled body with the name field
+	// blanked plus the splice offset — the zero-copy serving bytes. Set
+	// exactly when the job reaches StateDone (nil on the rare marshal
+	// failure, which falls back to per-response marshaling).
+	payload *resultPayload
+	err     error
 	// prog tracks live execution progress; set when the job starts
 	// running, cleared at finish (it pins in-flight systems).
 	prog *progressTracker
@@ -267,6 +272,14 @@ type JobStatus struct {
 	// Progress reports a running job's live execution progress; nil in
 	// every other state.
 	Progress *Progress `json:"progress,omitempty"`
+
+	// payload, when non-nil, carries Result's pre-marshaled canonical
+	// body: AppendJSON serves the result by splicing Result.Name into
+	// these bytes instead of re-marshaling the struct. Invariant: it is
+	// always the encoding of *Result modulo the name field (WithName
+	// clones Result but keeps the payload — the overlay name is read
+	// from the clone at append time).
+	payload *resultPayload
 }
 
 // Progress is a live snapshot of a running job. Every field advances
@@ -419,15 +432,31 @@ type Options struct {
 	// QueueDepth bounds the pending-job queue (≤0: 64). A full queue
 	// rejects submissions with ErrQueueFull instead of blocking.
 	QueueDepth int
-	// CacheSize bounds the completed-result LRU (≤0: 128 entries).
+	// CacheSize bounds the completed-result LRU (≤0: 128 entries). The
+	// cache is striped across Shards; each stripe holds an independent
+	// LRU of ⌈CacheSize/Shards⌉ entries, so the total capacity rounds up
+	// to a multiple of the shard count and recency is tracked per stripe.
+	// Set Shards to 1 for a single strictly-LRU cache.
 	CacheSize int
+	// Shards is the number of lock stripes the in-flight index and the
+	// result cache are split across (≤0: 16). Jobs land on a stripe by a
+	// hash of their content-addressed ID, so concurrent submits, gets and
+	// waits of distinct jobs take distinct locks and never contend.
+	Shards int
+	// PoolSize bounds the cross-job arena pool: completed sweeps park
+	// their built Systems here and later jobs with a matching build key
+	// (Scenario.SameBuild) reset one in place instead of rebuilding
+	// (≤0: 8 idle systems). NoReuse disables the pool entirely.
+	PoolSize int
 	// SweepWorkers bounds each job's internal ftgcs.Sweep pool
 	// (≤0: GOMAXPROCS). Only replicated jobs fan out.
 	SweepWorkers int
-	// NoReuse disables the sweep's system-reuse fast path, rebuilding the
-	// system for every replicate seed instead of resetting one in place.
-	// Results are identical either way (the reset contract); this is an
-	// escape hatch and the rebuild arm of the reuse benchmarks.
+	// NoReuse disables every system-reuse fast path — the sweep's
+	// per-worker reset reuse AND the manager's cross-job arena pool —
+	// rebuilding the system for every run instead of resetting one in
+	// place. Results are identical either way (the reset contract); this
+	// is an escape hatch and the rebuild arm of the reuse benchmarks and
+	// differential golden tests.
 	NoReuse bool
 	// RunLimit is a per-job wall-clock budget: a job still executing
 	// after this long is canceled (state canceled, never cached). Zero
@@ -509,8 +538,9 @@ func isCancellation(err error) bool {
 		errors.Is(err, ErrCanceled) || errors.Is(err, ErrClosed) || errors.Is(err, ErrRunLimit)
 }
 
-// Manager owns the queue, the workers, the in-flight dedup index and the
-// result cache. All methods are safe for concurrent use.
+// Manager owns the queue, the workers, the sharded in-flight dedup
+// index and result cache, and the cross-job arena pool. All methods are
+// safe for concurrent use.
 type Manager struct {
 	reg          *ftgcs.Registry
 	sweepWorkers int
@@ -525,19 +555,35 @@ type Manager struct {
 	tel *telemetry.Registry
 	met *managerMetrics
 
-	mu      sync.Mutex
-	active  map[string]*job // queued or running
-	cache   *lruCache       // completed (done or failed: failures are deterministic too)
-	running int
-	closed  bool
+	// shards stripe the in-flight index and the result cache by job-ID
+	// hash: a job's state, result and payload are guarded by its shard's
+	// mutex, so operations on distinct jobs take distinct locks. closed
+	// is the lifecycle latch: Submit holds closeMu for reading across
+	// its closed-check → enqueue window, Close holds it for writing
+	// while flipping the latch — so no submission can slip a job into
+	// the queue after Close started draining it. running is the
+	// busy-worker gauge.
+	shards  []shard
+	closeMu sync.RWMutex
+	closed  atomic.Bool
+	running atomic.Int64
+
+	// pool shares built Systems across jobs (nil when NoReuse): sweeps
+	// draw build-key-compatible systems from it and return them when
+	// done. The pool also interns resolved topologies by structural
+	// equality, so independently submitted specs of the same family/size
+	// share one *Topology pointer — the pointer identity SameBuild
+	// requires.
+	pool *ftgcs.SystemPool
 
 	// Disk tier (nil store disables it). Completed results are appended
-	// to pendingStore under mu and written to disk by a dedicated storer
-	// goroutine, so finish never does IO under the lock. storeCond (on
-	// mu) wakes the storer; storeClosing tells it to drain and exit;
-	// closing storerInterrupt cuts any backoff sleep short so Close never
-	// waits out a retry schedule.
+	// to pendingStore under storeMu and written to disk by a dedicated
+	// storer goroutine, so finish never does IO while blocking lookups.
+	// storeCond (on storeMu) wakes the storer; storeClosing tells it to
+	// drain and exit; closing storerInterrupt cuts any backoff sleep
+	// short so Close never waits out a retry schedule.
 	store           *cas.Store
+	storeMu         sync.Mutex
 	pendingStore    []storeItem
 	storeCond       *sync.Cond
 	storeClosing    bool
@@ -561,6 +607,25 @@ type Manager struct {
 	// TestHookBeforeRun, when set, runs in each worker before a job
 	// executes — tests use it to hold workers and fill the queue.
 	TestHookBeforeRun func()
+}
+
+// shard is one lock stripe of the manager's job index: the in-flight
+// jobs and the completed-result LRU whose IDs hash here. A job's
+// mutable fields (state, result, err, prog, payload) are guarded by its
+// shard's mutex for its whole life.
+type shard struct {
+	mu     sync.Mutex
+	active map[string]*job // queued or running
+	cache  *lruCache       // completed (done or failed: failures are deterministic too)
+}
+
+// shard maps a job ID onto its lock stripe (FNV-1a over the ID).
+func (m *Manager) shard(id string) *shard {
+	h := uint32(2166136261)
+	for i := 0; i < len(id); i++ {
+		h = (h ^ uint32(id[i])) * 16777619
+	}
+	return &m.shards[h%uint32(len(m.shards))]
 }
 
 // managerMetrics is the manager's instrument bundle. Children of the
@@ -654,6 +719,12 @@ func NewManager(o Options) *Manager {
 	if o.StoreCooldown <= 0 {
 		o.StoreCooldown = 5 * time.Second
 	}
+	if o.Shards <= 0 {
+		o.Shards = 16
+	}
+	if o.PoolSize <= 0 {
+		o.PoolSize = 8
+	}
 	m := &Manager{
 		reg:             o.Registry,
 		sweepWorkers:    o.SweepWorkers,
@@ -661,8 +732,7 @@ func NewManager(o Options) *Manager {
 		runLimit:        o.RunLimit,
 		queue:           make(chan *job, o.QueueDepth),
 		quit:            make(chan struct{}),
-		active:          make(map[string]*job),
-		cache:           newLRUCache(o.CacheSize),
+		shards:          make([]shard, o.Shards),
 		store:           o.Store,
 		storeRetries:    o.StoreRetries,
 		storeBackoff:    o.StoreRetryBackoff,
@@ -672,15 +742,31 @@ func NewManager(o Options) *Manager {
 		tel:             o.Telemetry,
 		met:             newManagerMetrics(o.Telemetry),
 	}
+	perShard := (o.CacheSize + o.Shards - 1) / o.Shards
+	for i := range m.shards {
+		m.shards[i] = shard{active: make(map[string]*job), cache: newLRUCache(perShard)}
+	}
+	if !o.NoReuse {
+		m.pool = ftgcs.NewSystemPool(o.PoolSize)
+		m.tel.CounterFunc("ftgcs_pool_hits_total",
+			"Sweep system acquisitions served by the cross-job arena pool (Reset, not Build).",
+			func() float64 { return float64(m.pool.Stats().Hits) })
+		m.tel.CounterFunc("ftgcs_pool_misses_total",
+			"Sweep system acquisitions the pool could not serve (fresh Build).",
+			func() float64 { return float64(m.pool.Stats().Misses) })
+		m.tel.GaugeFunc("ftgcs_pool_entries",
+			"Idle built systems currently parked in the cross-job arena pool.",
+			func() float64 { return float64(m.pool.Stats().Entries) })
+	}
 	m.tel.GaugeFunc("ftgcs_jobs_queue_depth",
 		"Jobs waiting in the bounded queue.",
 		func() float64 { return float64(len(m.queue)) })
 	m.tel.GaugeFunc("ftgcs_jobs_workers_busy",
 		"Workers currently executing a job.",
-		func() float64 { m.mu.Lock(); defer m.mu.Unlock(); return float64(m.running) })
+		func() float64 { return float64(m.running.Load()) })
 	m.tel.GaugeFunc("ftgcs_jobs_cache_entries",
 		"Completed results held in the in-memory LRU.",
-		func() float64 { m.mu.Lock(); defer m.mu.Unlock(); return float64(m.cache.len()) })
+		func() float64 { return float64(m.cacheLen()) })
 	m.tel.GaugeFunc("ftgcs_store_degraded",
 		"1 while the disk-store breaker is open and the manager serves memory-only.",
 		func() float64 {
@@ -690,7 +776,7 @@ func NewManager(o Options) *Manager {
 			return 0
 		})
 	if m.store != nil {
-		m.storeCond = sync.NewCond(&m.mu)
+		m.storeCond = sync.NewCond(&m.storeMu)
 		m.storeWg.Add(1)
 		go m.storer()
 	}
@@ -705,11 +791,15 @@ func NewManager(o Options) *Manager {
 // the one GET /metrics should scrape.
 func (m *Manager) Telemetry() *telemetry.Registry { return m.tel }
 
-// storeItem is one completed result awaiting its disk write. endSpan
-// closes the job trace's "storing" span once the bytes are durable.
+// storeItem is one completed result awaiting its disk write. payload,
+// when non-nil, is the result's already-marshaled canonical body (the
+// same bytes served to clients), so persisting costs a name splice
+// instead of a full re-marshal. endSpan closes the job trace's
+// "storing" span once the bytes are durable.
 type storeItem struct {
 	id      string
 	res     *Result
+	payload *resultPayload
 	endSpan func()
 }
 
@@ -733,17 +823,17 @@ type storeItem struct {
 func (m *Manager) storer() {
 	defer m.storeWg.Done()
 	for {
-		m.mu.Lock()
+		m.storeMu.Lock()
 		for len(m.pendingStore) == 0 && !m.storeClosing {
 			m.storeCond.Wait()
 		}
 		if len(m.pendingStore) == 0 {
-			m.mu.Unlock()
+			m.storeMu.Unlock()
 			return
 		}
 		batch := m.pendingStore
 		m.pendingStore = nil
-		m.mu.Unlock()
+		m.storeMu.Unlock()
 
 		for _, it := range batch {
 			m.storeOne(it)
@@ -804,16 +894,24 @@ func (m *Manager) storeOne(it storeItem) {
 }
 
 // storeAttempt is one encode+write try, with panics converted to errors
-// so a poisoned payload cannot take the storer goroutine down.
+// so a poisoned payload cannot take the storer goroutine down. When the
+// item carries the result's pre-marshaled body the disk bytes are built
+// by splicing the runner's name into it — byte-identical to a full
+// json.Marshal of the result, but without re-walking the struct.
 func (m *Manager) storeAttempt(it storeItem) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("jobs: store write panicked: %v", r)
 		}
 	}()
-	payload, err := json.Marshal(it.res)
-	if err != nil {
-		return err
+	var payload []byte
+	if it.payload != nil {
+		payload = it.payload.appendNamed(make([]byte, 0, it.payload.namedLen(it.res.Name)), it.res.Name)
+	} else {
+		payload, err = json.Marshal(it.res)
+		if err != nil {
+			return err
+		}
 	}
 	return m.store.Put(it.id, payload)
 }
@@ -848,36 +946,77 @@ func (m *Manager) storerInterrupted() bool {
 // succeeds. Always false without a store.
 func (m *Manager) Degraded() bool { return m.degraded.Load() }
 
+// PreparedRequest is a request whose identity has already been derived:
+// normalized, content-hashed, display-named. Preparing is the pure (and
+// comparatively expensive) prefix of Submit — canonical encoding plus
+// two SHA-256 passes — so callers that see the same request bytes
+// repeatedly (the HTTP server's submit memo) prepare once and submit
+// the prepared value on every hit.
+type PreparedRequest struct {
+	req      Request // normalized
+	id       string
+	specHash string
+	name     string
+}
+
+// ID returns the content-addressed job ID the request will run (or hit)
+// under.
+func (p PreparedRequest) ID() string { return p.id }
+
+// Name returns the request's display name (overlayed onto served
+// snapshots).
+func (p PreparedRequest) Name() string { return p.name }
+
+// PrepareRequest normalizes and content-hashes a request. The returned
+// value is immutable and safe to reuse across any number of
+// SubmitPrepared calls on any manager.
+func PrepareRequest(req Request) (PreparedRequest, error) {
+	req = req.normalized()
+	if req.Replicate > MaxReplicate {
+		return PreparedRequest{}, fmt.Errorf("jobs: replicate %d exceeds limit %d", req.Replicate, MaxReplicate)
+	}
+	id, specHash, err := req.identity()
+	if err != nil {
+		return PreparedRequest{}, err
+	}
+	return PreparedRequest{req: req, id: id, specHash: specHash, name: req.Spec.DisplayName()}, nil
+}
+
 // Submit validates, dedupes and enqueues a request. The returned status
 // reflects the submission outcome: a cache hit carries the full result
 // immediately (Cached), an identical in-flight job is joined (Coalesced),
 // otherwise a new job is queued. Validation errors and a full queue are
 // reported synchronously and never create a job.
 func (m *Manager) Submit(req Request) (JobStatus, error) {
-	req = req.normalized()
-	if req.Replicate > MaxReplicate {
-		return JobStatus{}, fmt.Errorf("jobs: replicate %d exceeds limit %d", req.Replicate, MaxReplicate)
-	}
-	id, specHash, err := req.identity()
+	p, err := PrepareRequest(req)
 	if err != nil {
 		return JobStatus{}, err
 	}
-	name := req.Spec.DisplayName()
+	return m.SubmitPrepared(p)
+}
+
+// SubmitPrepared is Submit for a request whose identity was already
+// derived by PrepareRequest — the hashing fast path: a cache hit costs
+// one shard lock and zero canonicalization work.
+func (m *Manager) SubmitPrepared(p PreparedRequest) (JobStatus, error) {
+	if p.id == "" {
+		return JobStatus{}, fmt.Errorf("jobs: unprepared request")
+	}
+	if m.closed.Load() {
+		return JobStatus{}, ErrClosed
+	}
 
 	// Fast path: identical work in flight or cached answers the
 	// submission without validating — a hit's spec already validated when
 	// its job was created, and validation resolves the topology graph,
 	// which is exactly the work dedup exists to avoid repeating.
-	m.mu.Lock()
-	if m.closed {
-		m.mu.Unlock()
-		return JobStatus{}, ErrClosed
-	}
-	if st, ok := m.serveLocked(id, name); ok {
-		m.mu.Unlock()
+	sh := m.shard(p.id)
+	sh.mu.Lock()
+	if st, ok := m.serveLocked(sh, p.id, p.name); ok {
+		sh.mu.Unlock()
 		return st, nil
 	}
-	m.mu.Unlock()
+	sh.mu.Unlock()
 
 	// Shed load before the expensive graph build: a full queue would
 	// reject this submission after validation anyway (the enqueue below
@@ -893,22 +1032,34 @@ func (m *Manager) Submit(req Request) (JobStatus, error) {
 	trace := telemetry.NewTrace()
 	trace.Phase("submitted")
 
-	topo, err := req.Spec.Resolve(m.reg)
+	topo, err := p.req.Spec.Resolve(m.reg)
 	if err != nil {
 		return JobStatus{}, err
 	}
+	if m.pool != nil {
+		// Interning makes equal graphs pointer-identical, which is what
+		// lets the arena pool match this job's build key against systems
+		// built for earlier jobs.
+		topo = m.pool.Intern(topo)
+	}
 
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.closed {
+	// Enqueue critical section. closeMu held for reading makes the
+	// closed-check → queue-send window atomic with respect to Close: a
+	// submission that passes the check enqueues (and indexes) its job
+	// before Close can flip the latch and start draining.
+	m.closeMu.RLock()
+	defer m.closeMu.RUnlock()
+	if m.closed.Load() {
 		return JobStatus{}, ErrClosed
 	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	// An identical submission may have landed while validation ran.
-	if st, ok := m.serveLocked(id, name); ok {
+	if st, ok := m.serveLocked(sh, p.id, p.name); ok {
 		return st, nil
 	}
 	ctx, cancel := context.WithCancel(context.Background())
-	j := &job{id: id, specHash: specHash, req: req, topo: topo, trace: trace, state: StateQueued, done: make(chan struct{}), ctx: ctx, cancel: cancel}
+	j := &job{id: p.id, specHash: p.specHash, req: p.req, topo: topo, trace: trace, state: StateQueued, done: make(chan struct{}), ctx: ctx, cancel: cancel}
 	select {
 	case m.queue <- j:
 	default:
@@ -917,24 +1068,24 @@ func (m *Manager) Submit(req Request) (JobStatus, error) {
 	}
 	j.enqueuedAt = time.Now()
 	trace.Phase("queued")
-	m.active[id] = j
+	sh.active[p.id] = j
 	m.met.submitted.Inc()
 	m.met.misses.Inc() // neither coalesced nor cached: fresh work
-	return m.snapshot(j, ""), nil
+	return snapshotLocked(j, ""), nil
 }
 
 // serveLocked answers a submission from the in-flight index, the memory
 // cache, or the disk store, overlaying the submitter's display name;
-// callers hold m.mu.
-func (m *Manager) serveLocked(id, name string) (JobStatus, bool) {
-	if j, ok := m.active[id]; ok {
+// callers hold sh.mu.
+func (m *Manager) serveLocked(sh *shard, id, name string) (JobStatus, bool) {
+	if j, ok := sh.active[id]; ok {
 		m.met.coalesced.Inc()
-		st := m.snapshot(j, "").WithName(name)
+		st := snapshotLocked(j, "").WithName(name)
 		st.Coalesced = true
 		return st, true
 	}
-	if j, tier, ok := m.lookupLocked(id); ok {
-		return m.snapshot(j, tier).WithName(name), true
+	if j, tier, ok := m.lookupLocked(sh, id); ok {
+		return snapshotLocked(j, tier).WithName(name), true
 	}
 	return JobStatus{}, false
 }
@@ -942,9 +1093,9 @@ func (m *Manager) serveLocked(id, name string) (JobStatus, bool) {
 // lookupLocked consults the result caches, memory first: a memory hit
 // refreshes LRU recency; a disk hit rehydrates the stored result into a
 // completed job record and promotes it into the memory LRU, so repeat
-// lookups hit memory. Callers hold m.mu.
-func (m *Manager) lookupLocked(id string) (*job, CacheTier, bool) {
-	if j, ok := m.cache.get(id); ok {
+// lookups hit memory. Callers hold sh.mu.
+func (m *Manager) lookupLocked(sh *shard, id string) (*job, CacheTier, bool) {
+	if j, ok := sh.cache.get(id); ok {
 		m.met.hitsMemory.Inc()
 		return j, TierMemory, true
 	}
@@ -962,9 +1113,11 @@ func (m *Manager) lookupLocked(id string) (*job, CacheTier, bool) {
 		m.store.Delete(id)
 		return nil, "", false
 	}
-	j := &job{id: id, specHash: res.SpecHash, state: StateDone, result: &res, done: closedChan}
+	// Rebuild the canonical serving payload once at promotion; every
+	// subsequent hit splices instead of marshaling.
+	j := &job{id: id, specHash: res.SpecHash, state: StateDone, result: &res, payload: newResultPayload(&res), done: closedChan}
 	m.met.hitsDisk.Inc()
-	m.met.evicted.Add(uint64(m.cache.add(id, j)))
+	m.met.evicted.Add(uint64(sh.cache.add(id, j)))
 	return j, TierDisk, true
 }
 
@@ -980,13 +1133,14 @@ var closedChan = func() chan struct{} {
 // the in-flight index, the result cache, and the disk store (a cache
 // lookup counts as a hit and refreshes recency).
 func (m *Manager) Get(id string) (JobStatus, bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if j, ok := m.active[id]; ok {
-		return m.snapshot(j, ""), true
+	sh := m.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if j, ok := sh.active[id]; ok {
+		return snapshotLocked(j, ""), true
 	}
-	if j, tier, ok := m.lookupLocked(id); ok {
-		return m.snapshot(j, tier), true
+	if j, tier, ok := m.lookupLocked(sh, id); ok {
+		return snapshotLocked(j, tier), true
 	}
 	m.met.misses.Inc()
 	return JobStatus{}, false
@@ -999,34 +1153,35 @@ func (m *Manager) Get(id string) (JobStatus, bool) {
 // ErrCanceled: the waiter's work was never completed, resubmitting runs
 // it afresh.
 func (m *Manager) Wait(ctx context.Context, id string) (JobStatus, error) {
-	m.mu.Lock()
-	j, inflight := m.active[id]
+	sh := m.shard(id)
+	sh.mu.Lock()
+	j, inflight := sh.active[id]
 	if !inflight {
-		if cached, tier, ok := m.lookupLocked(id); ok {
-			st := m.snapshot(cached, tier)
-			m.mu.Unlock()
+		if cached, tier, ok := m.lookupLocked(sh, id); ok {
+			st := snapshotLocked(cached, tier)
+			sh.mu.Unlock()
 			return st, nil
 		}
-		m.mu.Unlock()
+		sh.mu.Unlock()
 		return JobStatus{}, fmt.Errorf("%w: %s", ErrUnknownJob, id)
 	}
 	done := j.done
-	m.mu.Unlock()
+	sh.mu.Unlock()
 
 	select {
 	case <-done:
 	case <-ctx.Done():
 		return JobStatus{}, ctx.Err()
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	if j.state == StateCanceled {
-		return m.snapshot(j, ""), fmt.Errorf("jobs: job %s: %w", id, ErrCanceled)
+		return snapshotLocked(j, ""), fmt.Errorf("jobs: job %s: %w", id, ErrCanceled)
 	}
 	// The job just finished; it is in the cache unless a flood of newer
 	// results already evicted it.
-	if cached, ok := m.cache.get(id); ok {
-		return m.snapshot(cached, ""), nil
+	if cached, ok := sh.cache.get(id); ok {
+		return snapshotLocked(cached, ""), nil
 	}
 	return JobStatus{}, fmt.Errorf("jobs: job %s: %w", id, ErrEvicted)
 }
@@ -1041,39 +1196,40 @@ func (m *Manager) Wait(ctx context.Context, id string) (JobStatus, error) {
 // Completed jobs return ErrCompleted (their cached result stays valid);
 // IDs that are neither active nor cached return ErrUnknownJob.
 func (m *Manager) Cancel(id string) (JobStatus, error) {
-	m.mu.Lock()
-	j, ok := m.active[id]
+	sh := m.shard(id)
+	sh.mu.Lock()
+	j, ok := sh.active[id]
 	if !ok {
-		if cached, tier, okc := m.lookupLocked(id); okc {
-			st := m.snapshot(cached, tier)
-			m.mu.Unlock()
+		if cached, tier, okc := m.lookupLocked(sh, id); okc {
+			st := snapshotLocked(cached, tier)
+			sh.mu.Unlock()
 			return st, ErrCompleted
 		}
-		m.mu.Unlock()
+		sh.mu.Unlock()
 		return JobStatus{}, fmt.Errorf("%w: %s", ErrUnknownJob, id)
 	}
 	j.cancel()
 	if j.state == StateQueued {
 		// Never picked up: finish it here. The job object stays in the
 		// channel until a worker (or Close) drains and skips it.
-		m.finishLocked(j, nil, ErrCanceled)
-		st := m.snapshot(j, "")
-		m.mu.Unlock()
+		m.finishLocked(sh, j, nil, nil, ErrCanceled)
+		st := snapshotLocked(j, "")
+		sh.mu.Unlock()
 		return st, nil
 	}
 	done := j.done
-	m.mu.Unlock()
+	sh.mu.Unlock()
 	// Running: the sweep aborts at its next context poll (a few hundred
 	// simulation events, microseconds of wall clock).
 	<-done
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	if j.state == StateCanceled {
-		return m.snapshot(j, ""), nil
+		return snapshotLocked(j, ""), nil
 	}
 	// The run won the race and completed before noticing the cancel; its
 	// result is valid and cached.
-	return m.snapshot(j, ""), ErrCompleted
+	return snapshotLocked(j, ""), ErrCompleted
 }
 
 // Done exposes a job's completion signal for streaming observers
@@ -1083,21 +1239,22 @@ func (m *Manager) Cancel(id string) (JobStatus, error) {
 // dropped from every index, so a watcher can always render the
 // terminal state it was waiting for.
 func (m *Manager) Done(id string) (<-chan struct{}, func() JobStatus, bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	sh := m.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	var j *job
 	var tier CacheTier
-	if a, ok := m.active[id]; ok {
+	if a, ok := sh.active[id]; ok {
 		j = a
-	} else if c, t, ok := m.lookupLocked(id); ok {
+	} else if c, t, ok := m.lookupLocked(sh, id); ok {
 		j, tier = c, t
 	} else {
 		return nil, nil, false
 	}
 	snap := func() JobStatus {
-		m.mu.Lock()
-		defer m.mu.Unlock()
-		return m.snapshot(j, tier)
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		return snapshotLocked(j, tier)
 	}
 	return j.done, snap, true
 }
@@ -1117,11 +1274,12 @@ type TraceInfo struct {
 // process life), and canceled jobs are dropped entirely — both report
 // ok=false, like an unknown ID.
 func (m *Manager) Trace(id string) (TraceInfo, bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	j, ok := m.active[id]
+	sh := m.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	j, ok := sh.active[id]
 	if !ok {
-		j, ok = m.cache.get(id)
+		j, ok = sh.cache.get(id)
 	}
 	if !ok || j.trace == nil {
 		return TraceInfo{}, false
@@ -1132,8 +1290,6 @@ func (m *Manager) Trace(id string) (TraceInfo, bool) {
 // Stats assembles the snapshot from the telemetry instruments (the
 // counters) and the manager's live state (the gauges) in one pass.
 func (m *Manager) Stats() Stats {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	mem, disk := m.met.hitsMemory.Value(), m.met.hitsDisk.Value()
 	return Stats{
 		Submitted:     m.met.submitted.Value(),
@@ -1150,10 +1306,28 @@ func (m *Manager) Stats() Stats {
 		StoreErrors:   m.met.storeErrors.Value(),
 		StoreDegraded: m.degraded.Load(),
 		Queued:        len(m.queue),
-		Running:       m.running,
-		CacheLen:      m.cache.len(),
+		Running:       int(m.running.Load()),
+		CacheLen:      m.cacheLen(),
 	}
 }
+
+// cacheLen sums the result-cache occupancy across shards (one registry
+// view over N stripes — Stats and the ftgcs_jobs_cache_entries gauge
+// both read it).
+func (m *Manager) cacheLen() int {
+	total := 0
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		total += sh.cache.len()
+		sh.mu.Unlock()
+	}
+	return total
+}
+
+// Pool exposes the cross-job arena pool's statistics (zero-valued when
+// NoReuse disabled the pool).
+func (m *Manager) Pool() ftgcs.PoolStats { return m.pool.Stats() }
 
 // Close cancels in-flight runs instead of waiting them out: every active
 // job's context is canceled, the workers drain within a few simulation
@@ -1161,22 +1335,29 @@ func (m *Manager) Stats() Stats {
 // submissions are rejected. Interrupted and queued jobs end in
 // StateCanceled (never cached); their waiters get a retryable error.
 func (m *Manager) Close() {
-	m.mu.Lock()
-	if m.closed {
-		m.mu.Unlock()
+	// The write lock excludes every Submit critical section: once the
+	// latch flips under it, no submission can add to the queue or the
+	// in-flight index, so the cancel/drain below sees all of them.
+	m.closeMu.Lock()
+	if m.closed.Swap(true) {
+		m.closeMu.Unlock()
 		return
 	}
-	m.closed = true
-	for _, j := range m.active {
-		j.cancel()
+	m.closeMu.Unlock()
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		for _, j := range sh.active {
+			j.cancel()
+		}
+		sh.mu.Unlock()
 	}
-	m.mu.Unlock()
 	close(m.quit)
 	m.wg.Wait()
 	for {
 		select {
 		case j := <-m.queue:
-			m.finish(j, nil, ErrClosed)
+			m.finish(j, nil, nil, ErrClosed)
 		default:
 			m.flushStore()
 			return
@@ -1192,16 +1373,17 @@ func (m *Manager) flushStore() {
 		return
 	}
 	close(m.storerInterrupt) // cut any in-flight retry backoff short
-	m.mu.Lock()
+	m.storeMu.Lock()
 	m.storeClosing = true
 	m.storeCond.Broadcast()
-	m.mu.Unlock()
+	m.storeMu.Unlock()
 	m.storeWg.Wait()
 }
 
-// snapshot builds an external view; callers hold m.mu.
-func (m *Manager) snapshot(j *job, tier CacheTier) JobStatus {
-	st := JobStatus{ID: j.id, SpecHash: j.specHash, State: j.state, Cached: tier, Result: j.result}
+// snapshotLocked builds an external view; callers hold the job's shard
+// mutex (or exclusively own a not-yet-indexed job).
+func snapshotLocked(j *job, tier CacheTier) JobStatus {
+	st := JobStatus{ID: j.id, SpecHash: j.specHash, State: j.state, Cached: tier, Result: j.result, payload: j.payload}
 	if j.err != nil {
 		st.Error = j.err.Error()
 		// A canceled job is always retryable: whatever interrupted it
@@ -1246,30 +1428,38 @@ func (m *Manager) worker() {
 			// supposed to cancel.
 			select {
 			case <-m.quit:
-				m.finish(j, nil, ErrClosed)
+				m.finish(j, nil, nil, ErrClosed)
 				return
 			default:
 			}
 			if m.TestHookBeforeRun != nil {
 				m.TestHookBeforeRun()
 			}
-			m.mu.Lock()
+			sh := m.shard(j.id)
+			sh.mu.Lock()
 			if j.state != StateQueued {
 				// Canceled while queued: Cancel already finished it; the
 				// stale channel entry is skipped.
-				m.mu.Unlock()
+				sh.mu.Unlock()
 				continue
 			}
 			j.state = StateRunning
 			j.startedAt = time.Now()
 			j.prog = newProgressTracker(j.req.Replicate)
-			m.running++
+			m.running.Add(1)
 			m.met.runs.Inc()
 			m.met.queueWait.Observe(j.startedAt.Sub(j.enqueuedAt).Seconds())
 			j.trace.Phase("building")
-			m.mu.Unlock()
+			sh.mu.Unlock()
 			res, err := m.execute(j)
-			m.finish(j, res, err)
+			// The canonical payload is marshaled here, off every lock:
+			// it is both the bytes the zero-copy serving path splices
+			// per hit and the body the storer persists.
+			var payload *resultPayload
+			if err == nil {
+				payload = newResultPayload(res)
+			}
+			m.finish(j, res, payload, err)
 		}
 	}
 }
@@ -1277,22 +1467,24 @@ func (m *Manager) worker() {
 // finish records the outcome, moves the job from the in-flight index to
 // the result cache (done and failed only — canceled work is partial and
 // must never be served back), and wakes waiters.
-func (m *Manager) finish(j *job, res *Result, err error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.finishLocked(j, res, err)
+func (m *Manager) finish(j *job, res *Result, payload *resultPayload, err error) {
+	sh := m.shard(j.id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	m.finishLocked(sh, j, res, payload, err)
 }
 
-// finishLocked is finish for callers already holding m.mu. A job already
-// in a terminal state is left untouched: a queued job canceled by Cancel
-// is finished there and its stale queue entry drained later.
-func (m *Manager) finishLocked(j *job, res *Result, err error) {
+// finishLocked is finish for callers already holding the job's shard
+// mutex. A job already in a terminal state is left untouched: a queued
+// job canceled by Cancel is finished there and its stale queue entry
+// drained later.
+func (m *Manager) finishLocked(sh *shard, j *job, res *Result, payload *resultPayload, err error) {
 	ran := false
 	switch j.state {
 	case StateDone, StateFailed, StateCanceled:
 		return
 	case StateRunning:
-		m.running--
+		m.running.Add(-1)
 		ran = true
 	}
 	j.cancel() // release the context (and its budget timer, if any)
@@ -1301,6 +1493,7 @@ func (m *Manager) finishLocked(j *job, res *Result, err error) {
 	case err == nil:
 		j.state = StateDone
 		j.result = res
+		j.payload = payload
 		m.met.done.Inc()
 		runDur = m.met.runDone
 	case isCancellation(err):
@@ -1322,9 +1515,9 @@ func (m *Manager) finishLocked(j *job, res *Result, err error) {
 	j.topo = nil // the cache keeps jobs around; don't pin their graphs too
 	j.prog = nil // nor their in-flight systems (the trace stays: it is
 	// the job's durable lifecycle record, served by /trace)
-	delete(m.active, j.id)
+	delete(sh.active, j.id)
 	if j.state != StateCanceled {
-		m.met.evicted.Add(uint64(m.cache.add(j.id, j)))
+		m.met.evicted.Add(uint64(sh.cache.add(j.id, j)))
 	}
 	if j.state == StateDone && m.store != nil {
 		// Write-behind to the disk tier; the storer goroutine picks it
@@ -1333,8 +1526,11 @@ func (m *Manager) finishLocked(j *job, res *Result, err error) {
 		// payload is not worth disk space across restarts. The trace's
 		// "storing" span opens now and closes when the bytes are
 		// durable, overlapping the terminal marker below.
-		m.pendingStore = append(m.pendingStore, storeItem{id: j.id, res: j.result, endSpan: j.trace.StartSpan("storing")})
+		it := storeItem{id: j.id, res: j.result, payload: j.payload, endSpan: j.trace.StartSpan("storing")}
+		m.storeMu.Lock()
+		m.pendingStore = append(m.pendingStore, it)
 		m.storeCond.Signal()
+		m.storeMu.Unlock()
 	}
 	j.trace.Finish(string(j.state))
 	close(j.done)
@@ -1385,6 +1581,7 @@ func (m *Manager) execute(j *job) (*Result, error) {
 	sw := ftgcs.Sweep{
 		Workers:        m.sweepWorkers,
 		NoReuse:        m.noReuse,
+		Pool:           m.pool,
 		OnSystemStart:  j.prog.start,
 		OnScenarioDone: j.prog.done,
 	}

@@ -375,7 +375,9 @@ func TestValidationErrorsNeverCreateJobs(t *testing.T) {
 }
 
 func TestLRUEvictionRecomputes(t *testing.T) {
-	m := NewManager(Options{Workers: 1, CacheSize: 2})
+	// Shards: 1 — this test asserts strict whole-cache LRU order, which
+	// only holds when all jobs share one stripe.
+	m := NewManager(Options{Workers: 1, CacheSize: 2, Shards: 1})
 	defer m.Close()
 
 	ids := make([]string, 3)

@@ -1,0 +1,187 @@
+package jobs
+
+import (
+	"bytes"
+	"encoding/json"
+	"unicode/utf8"
+)
+
+// This file is the zero-copy serving path. A completed job's Result is
+// marshaled exactly once — with the name field blanked — into a
+// resultPayload; every response built from it afterwards (Submit hits,
+// Get, ?wait=true, SSE terminal events, the disk write-behind) splices
+// the response's display name into those bytes instead of re-walking
+// the Result struct through encoding/json. The splice output is
+// byte-identical to json.Marshal of the same Result carrying that name:
+// the name overlay is the ONLY difference between any two serves of one
+// cached result, which is the documented cached/name overlay contract.
+
+// resultPayload is a Result's canonical JSON body with Name == "" plus
+// the offset where a name field splices in. Immutable once built.
+type resultPayload struct {
+	body []byte
+	// off points just past `{"specHash":"…",` — the position where the
+	// encoder would have emitted `"name":…,` had the name been set.
+	off int
+}
+
+// newResultPayload marshals res (name blanked) and locates the splice
+// point. It returns nil when the payload cannot be built or verified —
+// callers treat nil as "marshal per response", so this path can only
+// lose speed, never correctness.
+func newResultPayload(res *Result) *resultPayload {
+	if res == nil {
+		return nil
+	}
+	nameless := *res
+	nameless.Name = ""
+	body, err := json.Marshal(&nameless)
+	if err != nil {
+		return nil
+	}
+	prefix := append(appendJSONString([]byte(`{"specHash":`), res.SpecHash), ',')
+	if !bytes.HasPrefix(body, prefix) {
+		return nil
+	}
+	return &resultPayload{body: body, off: len(prefix)}
+}
+
+// namedLen is the exact byte length appendNamed will produce for name,
+// letting callers size a buffer in one allocation.
+func (p *resultPayload) namedLen(name string) int {
+	if name == "" {
+		return len(p.body)
+	}
+	// `"name":` + worst-case escaped string + `,`; escaping can expand a
+	// byte to 6 (`\u00xx`), so over-reserve rather than count precisely.
+	return len(p.body) + len(`"name":`) + 2 + 6*len(name) + 1
+}
+
+// appendNamed appends the payload with name spliced in, byte-identical
+// to json.Marshal of the same Result with Name == name.
+func (p *resultPayload) appendNamed(dst []byte, name string) []byte {
+	if name == "" {
+		return append(dst, p.body...)
+	}
+	dst = append(dst, p.body[:p.off]...)
+	dst = append(dst, `"name":`...)
+	dst = appendJSONString(dst, name)
+	dst = append(dst, ',')
+	return append(dst, p.body[p.off:]...)
+}
+
+// MarshalJSON renders the status through AppendJSON, so the encoded
+// form is identical whether a caller goes through encoding/json or the
+// server's pooled-buffer fast path.
+func (st JobStatus) MarshalJSON() ([]byte, error) {
+	return st.AppendJSON(make([]byte, 0, 256))
+}
+
+// AppendJSON appends the status's JSON encoding to dst and returns the
+// extended slice. The output is byte-for-byte what encoding/json
+// produces for the equivalent plain struct (same fields, same tags, no
+// custom marshaler) — enforced by TestJobStatusEncodingMatchesStruct —
+// but a cached-result hit costs a few appends and one payload splice
+// instead of a reflective walk over the whole Result.
+func (st JobStatus) AppendJSON(dst []byte) ([]byte, error) {
+	dst = append(dst, `{"id":`...)
+	dst = appendJSONString(dst, st.ID)
+	dst = append(dst, `,"specHash":`...)
+	dst = appendJSONString(dst, st.SpecHash)
+	dst = append(dst, `,"state":`...)
+	dst = appendJSONString(dst, string(st.State))
+	if st.Cached != "" {
+		dst = append(dst, `,"cached":`...)
+		dst = appendJSONString(dst, string(st.Cached))
+	}
+	if st.Coalesced {
+		dst = append(dst, `,"coalesced":true`...)
+	}
+	if st.Result != nil {
+		dst = append(dst, `,"result":`...)
+		if st.payload != nil {
+			dst = st.payload.appendNamed(dst, st.Result.Name)
+		} else {
+			b, err := json.Marshal(st.Result)
+			if err != nil {
+				return nil, err
+			}
+			dst = append(dst, b...)
+		}
+	}
+	if st.Error != "" {
+		dst = append(dst, `,"error":`...)
+		dst = appendJSONString(dst, st.Error)
+	}
+	if st.Retryable {
+		dst = append(dst, `,"retryable":true`...)
+	}
+	if st.Progress != nil {
+		dst = append(dst, `,"progress":`...)
+		b, err := json.Marshal(st.Progress)
+		if err != nil {
+			return nil, err
+		}
+		dst = append(dst, b...)
+	}
+	return append(dst, '}'), nil
+}
+
+const hexDigits = "0123456789abcdef"
+
+// appendJSONString appends s as a JSON string literal, replicating
+// encoding/json's encoder exactly (HTML-escaping on, invalid UTF-8 →
+// U+FFFD, U+2028/U+2029 escaped) so hand-assembled envelopes stay
+// byte-identical to marshaled ones. Parity with json.Marshal is
+// enforced across the full byte range by TestAppendJSONStringParity.
+func appendJSONString(dst []byte, s string) []byte {
+	dst = append(dst, '"')
+	start := 0
+	for i := 0; i < len(s); {
+		if c := s[i]; c < utf8.RuneSelf {
+			if c >= 0x20 && c != '"' && c != '\\' && c != '<' && c != '>' && c != '&' {
+				i++
+				continue
+			}
+			dst = append(dst, s[start:i]...)
+			switch c {
+			case '\\', '"':
+				dst = append(dst, '\\', c)
+			case '\b':
+				dst = append(dst, '\\', 'b')
+			case '\f':
+				dst = append(dst, '\\', 'f')
+			case '\n':
+				dst = append(dst, '\\', 'n')
+			case '\r':
+				dst = append(dst, '\\', 'r')
+			case '\t':
+				dst = append(dst, '\\', 't')
+			default:
+				// Control chars and the HTML trio < > & as \u00xx.
+				dst = append(dst, '\\', 'u', '0', '0', hexDigits[c>>4], hexDigits[c&0xF])
+			}
+			i++
+			start = i
+			continue
+		}
+		r, size := utf8.DecodeRuneInString(s[i:])
+		if r == utf8.RuneError && size == 1 {
+			dst = append(dst, s[start:i]...)
+			dst = append(dst, '\\', 'u', 'f', 'f', 'f', 'd')
+			i += size
+			start = i
+			continue
+		}
+		if r == '\u2028' || r == '\u2029' {
+			dst = append(dst, s[start:i]...)
+			dst = append(dst, '\\', 'u', '2', '0', '2', hexDigits[r&0xF])
+			i += size
+			start = i
+			continue
+		}
+		i += size
+	}
+	dst = append(dst, s[start:]...)
+	return append(dst, '"')
+}

@@ -1,0 +1,224 @@
+package jobs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestAppendJSONStringParity pins appendJSONString to encoding/json's
+// encoder byte-for-byte: every single byte value (valid ASCII, controls,
+// invalid UTF-8 continuation bytes), the HTML-escaped trio, multi-byte
+// runes, and the JS line separators. Any divergence would break the
+// zero-copy path's byte-identity contract, so the comparison is exact.
+func TestAppendJSONStringParity(t *testing.T) {
+	cases := []string{
+		"",
+		"plain ascii",
+		`quote " and backslash \`,
+		"tab\tnewline\ncarriage\r",
+		"<script>alert(1)&amp;</script>",
+		"control \x00\x01\x1f\x7f bytes",
+		"h\u00e9llo w\u00f6rld",
+		"\u65e5\u672c\u8a9e",
+		"line sep \u2028 para sep \u2029",
+		"\xff\xfe invalid utf-8",
+		"truncated rune \xe2\x82",
+		strings.Repeat("x", 1000),
+		strings.Repeat("\"", 64),
+	}
+	for b := 0; b < 256; b++ {
+		cases = append(cases,
+			string([]byte{byte(b)}),
+			"pre"+string([]byte{byte(b)})+"post")
+	}
+	for _, s := range cases {
+		want, err := json.Marshal(s)
+		if err != nil {
+			t.Fatalf("json.Marshal(%q): %v", s, err)
+		}
+		got := appendJSONString(nil, s)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("appendJSONString diverges from encoding/json for %q:\ngot:  %s\nwant: %s", s, got, want)
+		}
+	}
+}
+
+// shadowStatus mirrors JobStatus field-for-field and tag-for-tag but has
+// no custom marshaler, so json.Marshal walks it reflectively — the
+// reference encoding AppendJSON must reproduce exactly.
+type shadowStatus struct {
+	ID        string    `json:"id"`
+	SpecHash  string    `json:"specHash"`
+	State     State     `json:"state"`
+	Cached    CacheTier `json:"cached,omitempty"`
+	Coalesced bool      `json:"coalesced,omitempty"`
+	Result    *Result   `json:"result,omitempty"`
+	Error     string    `json:"error,omitempty"`
+	Retryable bool      `json:"retryable,omitempty"`
+	Progress  *Progress `json:"progress,omitempty"`
+}
+
+func (st JobStatus) shadow() shadowStatus {
+	return shadowStatus{
+		ID:        st.ID,
+		SpecHash:  st.SpecHash,
+		State:     st.State,
+		Cached:    st.Cached,
+		Coalesced: st.Coalesced,
+		Result:    st.Result,
+		Error:     st.Error,
+		Retryable: st.Retryable,
+		Progress:  st.Progress,
+	}
+}
+
+// requireShadowParity marshals st through its custom encoder (AppendJSON
+// via MarshalJSON) and through the reflective shadow struct and requires
+// identical bytes.
+func requireShadowParity(t *testing.T, label string, st JobStatus) {
+	t.Helper()
+	got, err := json.Marshal(st)
+	if err != nil {
+		t.Fatalf("%s: marshal status: %v", label, err)
+	}
+	want, err := json.Marshal(st.shadow())
+	if err != nil {
+		t.Fatalf("%s: marshal shadow: %v", label, err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("%s: AppendJSON diverges from reflective encoding:\ngot:  %s\nwant: %s", label, got, want)
+	}
+}
+
+// TestJobStatusEncodingMatchesStruct proves the hand-assembled envelope
+// (and the payload splice inside it) is byte-identical to what
+// encoding/json would produce for the equivalent plain struct, across
+// the snapshot shapes the service serves: queued, fresh done, cache hits
+// with and without a name overlay, replicated results with series,
+// failures, and synthetic progress/error permutations.
+func TestJobStatusEncodingMatchesStruct(t *testing.T) {
+	m := NewManager(Options{Workers: 1, SweepWorkers: 1})
+	defer m.Close()
+
+	st, err := m.Submit(Request{Spec: quickSpec(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireShadowParity(t, "queued", st)
+	fresh := waitDone(t, m, st.ID)
+	requireShadowParity(t, "fresh done", fresh)
+	if fresh.payload == nil {
+		t.Fatal("completed job should carry a pre-marshaled payload")
+	}
+
+	// Cache hit without a name change: pure splice of the stored bytes.
+	hit, err := m.Submit(Request{Spec: quickSpec(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit.Cached != TierMemory || hit.payload == nil {
+		t.Fatalf("resubmission should be a payload-carrying memory hit: %+v", hit)
+	}
+	requireShadowParity(t, "memory hit", hit)
+
+	// Name overlay: the splice inserts an escaped name field into the
+	// stored bytes; awkward names exercise the escaper inside a real
+	// envelope.
+	for _, name := range []string{"plain", `needs "escaping" <&> \`, "uni \u2028 code \xff"} {
+		named := quickSpec(3)
+		named.Name = name
+		over, err := m.Submit(Request{Spec: named})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if over.Cached != TierMemory || over.Result == nil || over.Result.Name != name {
+			t.Fatalf("named resubmission should hit with overlay %q: %+v", name, over)
+		}
+		requireShadowParity(t, "name overlay "+name, over)
+	}
+
+	// Replicated result with series: the largest payload shape.
+	rep, err := m.Submit(Request{Spec: replicatedSpec(5), Replicate: 3, IncludeSeries: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireShadowParity(t, "replicated", waitDone(t, m, rep.ID))
+
+	// Synthetic permutations: the envelope branches that real jobs only
+	// hit transiently (progress, errors, coalesced) and the nil-payload
+	// fallback for a result that never went through a job record.
+	syntheticResult := fresh.Result
+	for _, tc := range []struct {
+		label string
+		st    JobStatus
+	}{
+		{"failed retryable", JobStatus{ID: "sha256:x", SpecHash: "sha256:y", State: StateFailed, Error: "queue full:\nretry \u2029 later", Retryable: true}},
+		{"canceled", JobStatus{ID: "sha256:x", SpecHash: "sha256:y", State: StateCanceled, Error: "canceled"}},
+		{"coalesced running with progress", JobStatus{ID: "sha256:x", SpecHash: "sha256:y", State: StateRunning, Coalesced: true, Progress: &Progress{Events: 123, SimFraction: 0.25, Replicate: 1, Replicates: 4}}},
+		{"disk hit nil payload", JobStatus{ID: "sha256:x", SpecHash: syntheticResult.SpecHash, State: StateDone, Cached: TierDisk, Result: syntheticResult}},
+	} {
+		requireShadowParity(t, tc.label, tc.st)
+	}
+}
+
+// TestCachedServeByteIdentity is the overlay contract test: a cached
+// serve is byte-identical to the fresh serve except for the documented
+// "cached" tier field and the caller's display-name overlay — proven by
+// reconstructing the expected bytes from the fresh snapshot and
+// requiring an exact match with the splice-served hit.
+func TestCachedServeByteIdentity(t *testing.T) {
+	m := NewManager(Options{Workers: 1})
+	defer m.Close()
+
+	st, err := m.Submit(Request{Spec: quickSpec(11)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := waitDone(t, m, st.ID)
+	freshBytes, err := json.Marshal(fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	named := quickSpec(11)
+	named.Name = "overlay name"
+	hit, err := m.Submit(Request{Spec: named})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hitBytes, err := json.Marshal(hit)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Expected hit bytes = the fresh snapshot with exactly two edits:
+	// the cached tier and the overlayed name, applied at the struct
+	// level and re-encoded reflectively.
+	expected := fresh.WithName("overlay name")
+	expected.Cached = TierMemory
+	wantBytes, err := json.Marshal(expected.shadow())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(hitBytes, wantBytes) {
+		t.Fatalf("cached serve is not fresh-serve + documented overlay:\nhit:  %s\nwant: %s", hitBytes, wantBytes)
+	}
+
+	// And with no overlay at all, the only difference from the fresh
+	// bytes is the cached field itself.
+	plainHit, err := m.Submit(Request{Spec: quickSpec(11)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainBytes, err := json.Marshal(plainHit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPlain := bytes.Replace(freshBytes,
+		[]byte(`,"state":"done"`), []byte(`,"state":"done","cached":"memory"`), 1)
+	if !bytes.Equal(plainBytes, wantPlain) {
+		t.Fatalf("unnamed cached serve should differ from fresh only by the cached field:\nhit:   %s\nfresh: %s", plainBytes, freshBytes)
+	}
+}

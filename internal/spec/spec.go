@@ -361,14 +361,18 @@ func (s ScenarioSpec) validateWith(reg *ftgcs.Registry, topo *ftgcs.Topology) (*
 		if err != nil {
 			return nil, err
 		}
-		if topo.N() > MaxTopologyClusters {
-			return nil, fmt.Errorf("spec: topology %s(%d) resolves to %d clusters, exceeds limit %d",
-				n.Topology.Name, n.Topology.Size, topo.N(), MaxTopologyClusters)
-		}
-		if total := topo.N() * n.Clusters.K; total > MaxSimNodes {
-			return nil, fmt.Errorf("spec: %d clusters × k=%d is %d simulated nodes, exceeds limit %d",
-				topo.N(), n.Clusters.K, total, MaxSimNodes)
-		}
+	}
+	// Budget the resolved graph whether it was built here or handed in:
+	// a caller re-validating against a cached topology (e.g. the same
+	// graph paired with a different k) must hit the same limits as the
+	// build path.
+	if topo.N() > MaxTopologyClusters {
+		return nil, fmt.Errorf("spec: topology %s(%d) resolves to %d clusters, exceeds limit %d",
+			n.Topology.Name, n.Topology.Size, topo.N(), MaxTopologyClusters)
+	}
+	if total := topo.N() * n.Clusters.K; total > MaxSimNodes {
+		return nil, fmt.Errorf("spec: %d clusters × k=%d is %d simulated nodes, exceeds limit %d",
+			topo.N(), n.Clusters.K, total, MaxSimNodes)
 	}
 	if n.Physical.Rho <= 0 || n.Physical.Delay <= 0 || n.Physical.Uncertainty <= 0 {
 		return nil, fmt.Errorf("spec: physical constants must be positive: ρ=%g d=%g U=%g",

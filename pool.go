@@ -1,0 +1,169 @@
+package ftgcs
+
+import "sync"
+
+// PoolStats is a SystemPool's cumulative and instantaneous state.
+// Hits/Misses/Evictions are monotone (suitable for counter bridging);
+// Entries is the current pool occupancy.
+type PoolStats struct {
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	Entries   int
+}
+
+// SystemPool shares built Systems across sweeps — and across the jobs
+// that own those sweeps — keyed by Scenario.SameBuild. Where the
+// per-worker cache inside one Sweep reuses a system across consecutive
+// replicates of a single request, the pool carries that reuse across
+// request boundaries: back-to-back fresh specs sharing a topology, k/f
+// and preset pay a Reset (~17µs) instead of a Build (~720µs).
+//
+// The pool is bounded: Release evicts the least-recently-returned entry
+// past capacity, so it can never pin more than cap built systems. All
+// methods are safe for concurrent use, and every method on a nil
+// *SystemPool is a no-op — a nil pool simply disables cross-job reuse.
+type SystemPool struct {
+	mu  sync.Mutex
+	cap int
+	// entries is ordered oldest → newest; Acquire scans newest-first so
+	// the hottest build key wins, and eviction drops the oldest.
+	entries                 []poolEntry
+	hits, misses, evictions uint64
+
+	// Topology intern table, under its own lock (Intern runs on submit
+	// paths that never touch the system entries).
+	topoMu sync.Mutex
+	topos  map[string]*Topology
+}
+
+// poolEntry pairs an idle system with the scenario that built (or last
+// reset) it — the build key the next Acquire checks against.
+type poolEntry struct {
+	sc  *Scenario
+	sys *System
+}
+
+// NewSystemPool returns a pool bounded to capacity idle systems
+// (≤0 selects 8).
+func NewSystemPool(capacity int) *SystemPool {
+	if capacity <= 0 {
+		capacity = 8
+	}
+	return &SystemPool{cap: capacity}
+}
+
+// Acquire removes and returns a pooled system whose build key matches
+// sc, already Reset to sc's seed and ready to run — or nil when no
+// compatible system is pooled (the caller builds). A system whose Reset
+// fails is dropped, never handed out.
+func (p *SystemPool) Acquire(sc *Scenario) *System {
+	if p == nil || sc == nil {
+		return nil
+	}
+	p.mu.Lock()
+	for i := len(p.entries) - 1; i >= 0; i-- {
+		e := p.entries[i]
+		if e.sys.CanReset() && sc.SameBuild(e.sc) {
+			p.entries = append(p.entries[:i], p.entries[i+1:]...)
+			p.mu.Unlock()
+			// Reset outside the lock: it touches the whole system arena
+			// and must not serialize unrelated Acquires.
+			if err := e.sys.Reset(sc.seed); err != nil {
+				p.note(&p.misses)
+				return nil
+			}
+			p.note(&p.hits)
+			return e.sys
+		}
+	}
+	p.mu.Unlock()
+	p.note(&p.misses)
+	return nil
+}
+
+// Release returns an idle system to the pool under sc's build key.
+// Non-poolable pairs are dropped silently: a nil system, a system whose
+// backend forbids Reset, or a scenario whose build key cannot match even
+// itself (hooks, custom backend, unpinned topology — see
+// Scenario.SameBuild). Past capacity the oldest entry is evicted.
+func (p *SystemPool) Release(sc *Scenario, sys *System) {
+	if p == nil || sc == nil || sys == nil || !sys.CanReset() || !sc.SameBuild(sc) {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, e := range p.entries {
+		if e.sys == sys {
+			return // already pooled; never double-insert one system
+		}
+	}
+	p.entries = append(p.entries, poolEntry{sc: sc, sys: sys})
+	for len(p.entries) > p.cap {
+		copy(p.entries, p.entries[1:])
+		p.entries = p.entries[:len(p.entries)-1]
+		p.evictions++
+	}
+}
+
+// maxInternedTopologies bounds the pool's topology intern table. Past
+// the cap the table is dropped wholesale — interning is an optimization,
+// so resetting it costs pool misses, never correctness.
+const maxInternedTopologies = 256
+
+// Intern returns the pool's canonical *Topology equal to t: the
+// previously interned graph with the same name and element-wise ordered
+// structure when one exists, else t itself after recording it. Equal
+// graphs produce byte-identical simulations, so swapping a pinned
+// topology for the interned pointer is invisible to results — while
+// making SameBuild's pointer-identity check succeed across
+// independently constructed scenarios, which is what lets the pool
+// match build keys across jobs and experiments. Randomized families
+// that resolved differently fail Equal and replace the entry — never a
+// false hit. Safe on a nil pool (returns t unchanged).
+func (p *SystemPool) Intern(t *Topology) *Topology {
+	if p == nil || t == nil {
+		return t
+	}
+	p.topoMu.Lock()
+	defer p.topoMu.Unlock()
+	if prev, ok := p.topos[t.Name()]; ok && prev.Equal(t) {
+		return prev
+	}
+	if p.topos == nil || len(p.topos) >= maxInternedTopologies {
+		p.topos = make(map[string]*Topology, 16)
+	}
+	p.topos[t.Name()] = t
+	return t
+}
+
+// withInternedTopology swaps sc's pinned topology for the pool's
+// canonical equal graph, so the scenario's build key can match systems
+// pooled by other sweeps. No-op for unpinned topologies: named families
+// resolve with the scenario seed and must stay per-scenario.
+func (sc *Scenario) withInternedTopology(p *SystemPool) *Scenario {
+	if sc.topology == nil || sc.err != nil {
+		return sc
+	}
+	if t := p.Intern(sc.topology); t != sc.topology {
+		return sc.With(WithTopology(t))
+	}
+	return sc
+}
+
+// Stats snapshots the pool's counters and occupancy.
+func (p *SystemPool) Stats() PoolStats {
+	if p == nil {
+		return PoolStats{}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return PoolStats{Hits: p.hits, Misses: p.misses, Evictions: p.evictions, Entries: len(p.entries)}
+}
+
+// note bumps one of the pool's counters under the lock.
+func (p *SystemPool) note(c *uint64) {
+	p.mu.Lock()
+	*c++
+	p.mu.Unlock()
+}

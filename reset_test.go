@@ -297,13 +297,13 @@ func TestScenarioSameBuild(t *testing.T) {
 			WithSeed(1),
 		)
 	}
-	if !base().sameBuild(base()) {
+	if !base().SameBuild(base()) {
 		t.Fatal("identical scenarios must share a build key")
 	}
-	if !base().With(WithSeed(2)).sameBuild(base()) {
+	if !base().With(WithSeed(2)).SameBuild(base()) {
 		t.Fatal("seed must not participate in the build key")
 	}
-	if !base().With(WithObserver(func(*System) (any, error) { return nil, nil })).sameBuild(base()) {
+	if !base().With(WithObserver(func(*System) (any, error) { return nil, nil })).SameBuild(base()) {
 		t.Fatal("observers must not participate in the build key")
 	}
 
@@ -330,7 +330,7 @@ func TestScenarioSameBuild(t *testing.T) {
 		"hook":             base().With(WithMidRunHook(1, func(*System) error { return nil })),
 	}
 	for name, sc := range diff {
-		if sc.sameBuild(base()) {
+		if sc.SameBuild(base()) {
 			t.Errorf("%s: differing scenario reported same build key", name)
 		}
 	}
@@ -340,7 +340,7 @@ func TestScenarioSameBuild(t *testing.T) {
 	pc := func() *Scenario {
 		return base().With(WithAttackPerCluster(func() Attack { return Silent() }, 2))
 	}
-	if !pc().sameBuild(pc()) {
+	if !pc().SameBuild(pc()) {
 		t.Fatal("equal per-cluster attack plants must share a build key")
 	}
 }

@@ -401,15 +401,19 @@ func sameModel(a, b any) bool {
 	return a == b
 }
 
-// sameBuild reports whether building s would produce a System structurally
-// identical to one built from prev — same topology, geometry, derived
-// constants, models, fault set and instrumentation — differing at most in
-// seed. When true, a system built from prev can be Reset to s's seed
-// instead of rebuilt (the Sweep reuse path). Conservative by design: any
-// input it cannot prove equal (named topologies, whose resolution is
-// seed-dependent; function-valued knobs like mode overrides or custom
-// backends; non-comparable model types) disqualifies reuse.
-func (s *Scenario) sameBuild(prev *Scenario) bool {
+// SameBuild is the conservative build key: it reports whether building s
+// would produce a System structurally identical to one built from prev —
+// same topology, geometry, derived constants, models, fault set and
+// instrumentation — differing at most in seed. When true, a system built
+// from prev can be Reset to s's seed instead of rebuilt (the Sweep reuse
+// path and the cross-job SystemPool). Conservative by design: any input
+// it cannot prove equal (named topologies, whose resolution is
+// seed-dependent; function-valued knobs like mode overrides, hooks or
+// custom backends; non-comparable model types) disqualifies reuse.
+// SameBuild(s) == true is the "poolable" predicate: a scenario whose key
+// cannot even match itself (hooks, backend, unpinned topology) never
+// enters the pool.
+func (s *Scenario) SameBuild(prev *Scenario) bool {
 	if s == nil || prev == nil || s.err != nil || prev.err != nil {
 		return false
 	}

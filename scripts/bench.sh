@@ -25,7 +25,7 @@ GIT_REV="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
 if [ -n "$(git status --porcelain 2>/dev/null)" ]; then
     GIT_REV="${GIT_REV}-dirty"
 fi
-BENCH='BenchmarkSystemSimSecond|BenchmarkSystemBuild|BenchmarkSystemReset|BenchmarkReplicatedJob|BenchmarkDeriveParams|BenchmarkEngine|BenchmarkBroadcast'
+BENCH='BenchmarkSystemSimSecond|BenchmarkSystemBuild|BenchmarkSystemReset|BenchmarkReplicatedJob|BenchmarkSubmit|BenchmarkDeriveParams|BenchmarkEngine|BenchmarkBroadcast'
 PKGS=". ./internal/sim ./internal/transport ./internal/jobs"
 
 RAW="$(mktemp)"

@@ -11,11 +11,14 @@
 #
 #   scripts/load_smoke.sh
 #   DURATION=10s CONCURRENCY=32 OUT=BENCH_5.json scripts/load_smoke.sh
+#   HOT=16 CLIENTS=8 DURATION=10s CONCURRENCY=32 OUT=BENCH_7.json scripts/load_smoke.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 DURATION="${DURATION:-3s}"
 CONCURRENCY="${CONCURRENCY:-8}"
+HOT="${HOT:-8}"
+CLIENTS="${CLIENTS:-4}"
 OUT="${OUT:-}"
 
 tmp=$(mktemp -d)
@@ -44,7 +47,7 @@ echo "load smoke: server up at $addr"
 
 report="${OUT:-$tmp/load.json}"
 "$tmp/ftgcs-load" -addr "$addr" -duration "$DURATION" -concurrency "$CONCURRENCY" \
-  -hit-ratio 0.5 -hot 8 -clients 4 \
+  -hit-ratio 0.5 -hot "$HOT" -clients "$CLIENTS" \
   -git-rev "$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
   -out "$report"
 cat "$report"

@@ -43,7 +43,15 @@ type Sweep struct {
 	// on a worker share a build key. Reuse is semantically invisible —
 	// Reset guarantees byte-identical results — so this exists as an
 	// escape hatch and for differential testing of that guarantee.
+	// NoReuse also disables Pool.
 	NoReuse bool
+	// Pool, when non-nil, shares built Systems beyond this sweep: workers
+	// whose cached system misses the build key consult the pool before
+	// building, and hand their systems back (on replacement and at worker
+	// exit) for later sweeps to reuse. Semantically invisible for the
+	// same reason per-worker reuse is — Reset guarantees byte-identical
+	// results.
+	Pool *SystemPool
 
 	// OnSystemStart, when set, is called from a worker goroutine right
 	// after a scenario's System is built, immediately before it runs. The
@@ -105,6 +113,12 @@ func (sw Sweep) run(ctx context.Context, scenarios []*Scenario) []SweepResult {
 				}
 				out[i] = res
 			}
+			// The worker's last system outlives this sweep through the
+			// pool (Release drops non-poolable pairs; the panic path in
+			// runOne cleared the cache already).
+			if !sw.NoReuse {
+				sw.Pool.Release(cache.sc, cache.sys)
+			}
 		}()
 	}
 	for i := range scenarios {
@@ -139,24 +153,35 @@ type workerCache struct {
 }
 
 // acquireSystem returns a system ready to run sc: the worker's cached
-// system rewound to sc's seed when the build keys match, a fresh build
-// otherwise. The cache is updated to the returned system (and dropped
-// entirely when a Reset fails, leaving the old system in an undefined
-// state).
+// system rewound to sc's seed when the build keys match, a pooled system
+// from Sweep.Pool next, a fresh build last. The cache is updated to the
+// returned system (and dropped entirely when a Reset fails, leaving the
+// old system in an undefined state); a cached system displaced by a
+// different build key is released to the pool rather than dropped.
 func (sw Sweep) acquireSystem(sc *Scenario, cache *workerCache) (*System, error) {
 	if cache != nil && !sw.NoReuse && cache.sys != nil &&
-		cache.sys.CanReset() && sc.sameBuild(cache.sc) {
+		cache.sys.CanReset() && sc.SameBuild(cache.sc) {
 		if err := cache.sys.Reset(sc.seed); err == nil {
 			cache.sc = sc
 			return cache.sys, nil
 		}
 		cache.sc, cache.sys = nil, nil
 	}
+	if cache != nil && !sw.NoReuse && sw.Pool != nil {
+		if sys := sw.Pool.Acquire(sc); sys != nil {
+			sw.Pool.Release(cache.sc, cache.sys)
+			cache.sc, cache.sys = sc, sys
+			return sys, nil
+		}
+	}
 	sys, err := sc.Build()
 	if err != nil {
 		return nil, err
 	}
 	if cache != nil {
+		if !sw.NoReuse {
+			sw.Pool.Release(cache.sc, cache.sys)
+		}
 		cache.sc, cache.sys = sc, sys
 	}
 	return sys, nil
@@ -186,6 +211,12 @@ func (sw Sweep) runOne(ctx context.Context, sc *Scenario, index int, cache *work
 	}
 	if _, ok := sc.Seeded(); !ok {
 		sc = sc.With(WithSeed(sw.BaseSeed + int64(index)))
+	}
+	if !sw.NoReuse && sw.Pool != nil {
+		// Pinned topologies intern through the pool so this scenario's
+		// build key is pointer-comparable with systems pooled by other
+		// sweeps (equal graphs simulate byte-identically).
+		sc = sc.withInternedTopology(sw.Pool)
 	}
 	sys, err := sw.acquireSystem(sc, cache)
 	if err != nil {
