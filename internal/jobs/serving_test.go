@@ -191,6 +191,15 @@ func BenchmarkSubmitFreshPooled(b *testing.B) {
 		b.Run(arm.name, func(b *testing.B) {
 			m := NewManager(Options{Workers: 1, SweepWorkers: 1, NoReuse: arm.noReuse, CacheSize: 4})
 			defer m.Close()
+			// Warm the pool (and every lazy manager structure) outside the
+			// timed region: the first job's full Build would otherwise be
+			// amortized over b.N, making allocs/op depend on the iteration
+			// count the harness picks.
+			if st, err := m.Submit(Request{Spec: benchSpec(0)}); err != nil {
+				b.Fatal(err)
+			} else if st := waitDone(b, m, st.ID); st.State != StateDone {
+				b.Fatalf("warm-up job state %v", st.State)
+			}
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
